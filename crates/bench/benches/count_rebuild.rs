@@ -1,0 +1,46 @@
+//! Ablation bench: rebuilding the document–topic matrix with SSC vs. the
+//! naive global sort (the G2→G3 step of Fig. 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saber_core::config::{CountRebuild, TokenOrder};
+use saber_core::count::rebuild_doc_topic;
+use saber_core::layout::build_chunks;
+use saber_corpus::synthetic::SyntheticSpec;
+use saber_gpu_sim::MemoryTracker;
+use std::hint::black_box;
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_rebuild");
+    group.sample_size(15);
+    for k in [64usize, 1024] {
+        let corpus = SyntheticSpec {
+            n_docs: 400,
+            vocab_size: 600,
+            mean_doc_len: 80.0,
+            n_topics: 12,
+            ..SyntheticSpec::default()
+        }
+        .generate(3);
+        let mut chunks = build_chunks(&corpus, 1, TokenOrder::WordMajor, true);
+        chunks[0].randomize_topics(k, &mut StdRng::seed_from_u64(1));
+        let chunk = &chunks[0];
+        group.bench_with_input(BenchmarkId::new("ssc", k), chunk, |b, chunk| {
+            b.iter(|| {
+                let mut tracker = MemoryTracker::new(1 << 21);
+                black_box(rebuild_doc_topic(chunk, k, CountRebuild::Ssc, &mut tracker))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_sort", k), chunk, |b, chunk| {
+            b.iter(|| {
+                let mut tracker = MemoryTracker::new(1 << 21);
+                black_box(rebuild_doc_topic(chunk, k, CountRebuild::NaiveSort, &mut tracker))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the sparse substrate primitives the kernels are built
+//! on: radix sort, segmented count, CSR construction and prefix-sum search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_sparse::prefix::{find_in_prefix_sum, inclusive_prefix_sum};
+use saber_sparse::radix::{radix_sort_u32, stable_sort_permutation};
+use saber_sparse::segcount::{count_segment, segmented_count};
+use saber_sparse::CsrBuilder;
+use std::hint::black_box;
+
+fn data(n: usize, max: u32, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+fn bench_sort_and_count(c: &mut Criterion) {
+    let values = data(20_000, 1024, 1);
+    let mut group = c.benchmark_group("sparse_ops");
+    group.sample_size(20);
+    group.bench_function("radix_sort_20k", |b| {
+        b.iter(|| {
+            let mut v = values.clone();
+            radix_sort_u32(&mut v);
+            black_box(v)
+        })
+    });
+    group.bench_function("std_sort_20k", |b| {
+        b.iter(|| {
+            let mut v = values.clone();
+            v.sort_unstable();
+            black_box(v)
+        })
+    });
+    group.bench_function("segmented_count_100_docs", |b| {
+        let offsets: Vec<usize> = (0..=100).map(|i| i * 200).collect();
+        b.iter(|| black_box(segmented_count(&values, &offsets)))
+    });
+    group.bench_function("count_single_segment_20k", |b| {
+        b.iter(|| black_box(count_segment(&values)))
+    });
+    group.bench_function("stable_sort_permutation_20k", |b| {
+        b.iter(|| black_box(stable_sort_permutation(&values)))
+    });
+    group.finish();
+}
+
+fn bench_csr_and_prefix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_prefix");
+    group.sample_size(20);
+    group.bench_function("csr_build_1000_rows", |b| {
+        b.iter(|| {
+            let mut builder = CsrBuilder::<u32>::with_capacity(512, 1000, 16_000);
+            for r in 0..1000u32 {
+                builder.push_row_unchecked((0..16).map(|i| (i * 31 % 512, r % 7 + 1)));
+            }
+            black_box(builder.build())
+        })
+    });
+    let weights: Vec<f32> = (0..4096).map(|i| ((i * 7) % 97) as f32 + 0.5).collect();
+    let prefix = inclusive_prefix_sum(&weights);
+    let total: f32 = weights.iter().sum();
+    group.bench_function("prefix_search_4096", |b| {
+        b.iter(|| {
+            (0..128)
+                .map(|i| find_in_prefix_sum(&prefix, total * (i as f32 + 0.5) / 128.0))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_and_count, bench_csr_and_prefix);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation bench: building and querying the three pre-processed sampling
+//! structures (W-ary tree vs. alias table vs. Fenwick tree) across topic
+//! counts — the design choice behind the G1→G2 step of Fig. 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_core::trees::{AliasTable, FenwickTree, TopicSampler, WaryTree};
+use std::hint::black_box;
+
+fn weights(k: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..k).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    for k in [1_000usize, 10_000] {
+        let w = weights(k);
+        group.bench_with_input(BenchmarkId::new("wary_tree", k), &w, |b, w| {
+            b.iter(|| black_box(WaryTree::new(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("alias_table", k), &w, |b, w| {
+            b.iter(|| black_box(AliasTable::new(w)))
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick_tree", k), &w, |b, w| {
+            b.iter(|| black_box(FenwickTree::new(w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_query");
+    group.sample_size(20);
+    let k = 10_000usize;
+    let w = weights(k);
+    let wary = WaryTree::new(&w);
+    let alias = AliasTable::new(&w);
+    let fenwick = FenwickTree::new(&w);
+    let us: Vec<f32> = {
+        let mut rng = StdRng::seed_from_u64(2);
+        (0..1024).map(|_| rng.gen_range(0.0f32..1.0)).collect()
+    };
+    group.bench_function("wary_tree_1024_samples", |b| {
+        b.iter(|| us.iter().map(|&u| wary.sample_with(u)).sum::<usize>())
+    });
+    group.bench_function("alias_table_1024_samples", |b| {
+        b.iter(|| us.iter().map(|&u| alias.sample_with(u)).sum::<usize>())
+    });
+    group.bench_function("fenwick_tree_1024_samples", |b| {
+        b.iter(|| us.iter().map(|&u| fenwick.sample_with(u)).sum::<usize>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 3: dataset statistics (paper values and the synthetic stand-ins used
+//! by this reproduction's benchmarks).
+
+use saber_bench::{bench_corpus, print_header, BenchArgs};
+use saber_corpus::presets::DatasetPreset;
+use saber_corpus::stats::CorpusStats;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    println!("# Table 3 — dataset statistics\n");
+    println!("Paper's datasets:");
+    print_header(&["dataset", "D", "T", "V", "T/D"]);
+    for preset in DatasetPreset::ALL {
+        let s = preset.paper_stats();
+        println!(
+            "| {} | {} | {} | {} | {:.0} |",
+            s.name, s.n_docs, s.n_tokens, s.vocab_size, s.tokens_per_doc
+        );
+    }
+
+    println!("\nSynthetic stand-ins generated for this reproduction's benchmarks:");
+    print_header(&["dataset (scaled)", "D", "T", "V", "T/D", "top-1% token share"]);
+    for preset in DatasetPreset::ALL {
+        let corpus = bench_corpus(preset, &args, 7);
+        let s = CorpusStats::of(&corpus);
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {:.2} |",
+            preset, s.n_docs, s.n_tokens, s.vocab_size, s.tokens_per_doc, s.top1pct_token_share
+        );
+    }
+    println!(
+        "\nThe stand-ins preserve tokens-per-document and the Zipf skew of word frequencies;\n\
+         pass --scale N to regenerate them closer to (or at) the paper's full size."
+    );
+}

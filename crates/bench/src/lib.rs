@@ -1,0 +1,109 @@
+//! Shared helpers for the benchmark harness that regenerates every table and
+//! figure of the SaberLDA paper.
+//!
+//! Each table/figure has a dedicated binary under `src/bin/`; the Criterion
+//! micro-benchmarks under `benches/` cover the design-choice ablations
+//! (W-ary tree vs. alias vs. Fenwick, warp vs. thread kernel, SSC vs. naive
+//! count, PDOW vs. doc-major layout, sparse primitives).
+//!
+//! All binaries accept `--scale <N>`: the synthetic corpora are the paper's
+//! datasets scaled down by `N` (default: a per-dataset value small enough to
+//! run in minutes on a laptop CPU). EXPERIMENTS.md records the scales used
+//! for the committed results.
+
+#![deny(missing_docs)]
+
+use saber_core::{SaberLda, SaberLdaConfig};
+use saber_corpus::presets::DatasetPreset;
+use saber_corpus::Corpus;
+
+/// Parses `--scale N` and `--iters N` style overrides from `std::env::args`.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Corpus scale-down factor override (`None` = per-dataset default).
+    pub scale: Option<u64>,
+    /// Iteration-count override.
+    pub iters: Option<usize>,
+    /// Free-form part selector (e.g. `--part a` for Fig. 10).
+    pub part: Option<char>,
+}
+
+impl BenchArgs {
+    /// Parses the current process's arguments (ignoring unknown flags).
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let find = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        BenchArgs {
+            scale: find("--scale").and_then(|s| s.parse().ok()),
+            iters: find("--iters").and_then(|s| s.parse().ok()),
+            part: find("--part").and_then(|s| s.chars().next()),
+        }
+    }
+}
+
+/// Generates the benchmark corpus for a dataset preset, honouring `--scale`.
+pub fn bench_corpus(preset: DatasetPreset, args: &BenchArgs, seed: u64) -> Corpus {
+    match args.scale {
+        Some(scale) => preset.synthetic_spec(scale).generate(seed),
+        None => preset.bench_spec().generate(seed),
+    }
+}
+
+/// Builds a SaberLDA trainer with the paper's hyper-parameters for `k` topics.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (only possible for out-of-range
+/// `k`).
+pub fn saber_trainer(corpus: &Corpus, k: usize, iterations: usize, chunks: usize) -> SaberLda {
+    let config = SaberLdaConfig::builder()
+        .n_topics(k)
+        .n_iterations(iterations)
+        .n_chunks(chunks)
+        .seed(42)
+        .build()
+        .expect("valid benchmark configuration");
+    SaberLda::new(config, corpus).expect("benchmark corpus is non-empty")
+}
+
+/// Prints a Markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_corpus_is_generated_at_default_scale() {
+        let args = BenchArgs {
+            scale: None,
+            iters: None,
+            part: None,
+        };
+        let corpus = bench_corpus(DatasetPreset::NyTimes, &args, 1);
+        assert!(corpus.n_tokens() > 0);
+        let mut lda = saber_trainer(&corpus, 16, 1, 2);
+        let report = lda.train();
+        assert_eq!(report.iterations.len(), 1);
+    }
+
+    #[test]
+    fn args_parse_overrides() {
+        // from_env reads the test harness's args; just check the defaults path.
+        let args = BenchArgs::from_env();
+        assert!(args.part.is_none() || args.part.is_some());
+    }
+}

@@ -1,0 +1,245 @@
+//! Memory estimation (Tables 1 and 2 of the paper).
+//!
+//! Table 2 lists the footprint of each data structure on the PubMed dataset
+//! for K = 100, 1 000 and 10 000 topics, motivating the design: the dense
+//! word–topic matrices must live on the device, the token list and the
+//! document–topic matrix must stream, and the CSR representation of the
+//! document–topic matrix saves an order of magnitude over dense storage once
+//! K reaches the thousands. Table 1 compares the maximum problem sizes of
+//! prior GPU systems, which kept *everything* dense and resident.
+
+use saber_gpu_sim::DeviceSpec;
+
+/// Byte sizes of every LDA data structure for a corpus/model shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Dense word–topic count matrix `B` plus probability matrix `B̂`
+    /// (`2 · V · K · 4` bytes).
+    pub word_topic_dense_bytes: u64,
+    /// Token list `L` (8 bytes per token: word id + topic).
+    pub token_list_bytes: u64,
+    /// Document–topic matrix stored dense (`D · K · 4` bytes).
+    pub doc_topic_dense_bytes: u64,
+    /// Document–topic matrix stored CSR (≈ 8 bytes per non-zero plus row
+    /// pointers).
+    pub doc_topic_sparse_bytes: u64,
+}
+
+/// Estimates data-structure sizes for a corpus of `n_docs` documents,
+/// `n_tokens` tokens and `vocab_size` words trained with `n_topics` topics.
+///
+/// `mean_doc_topics` is the expected number of distinct topics per document
+/// (`K_d`); the paper's corpora have `K_d ≈ min(doc length, K)` but far
+/// smaller than `K` once `K` is in the thousands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryEstimator {
+    /// Number of documents `D`.
+    pub n_docs: u64,
+    /// Number of tokens `T`.
+    pub n_tokens: u64,
+    /// Vocabulary size `V`.
+    pub vocab_size: u64,
+    /// Expected distinct topics per document `K_d`.
+    pub mean_doc_topics: f64,
+}
+
+impl MemoryEstimator {
+    /// Estimator for a corpus shape, deriving `K_d` as
+    /// `min(tokens-per-document, K) / 2` (documents rarely use every topic
+    /// their length would allow).
+    pub fn for_corpus_shape(n_docs: u64, n_tokens: u64, vocab_size: u64, n_topics: usize) -> Self {
+        let tokens_per_doc = if n_docs == 0 {
+            0.0
+        } else {
+            n_tokens as f64 / n_docs as f64
+        };
+        MemoryEstimator {
+            n_docs,
+            n_tokens,
+            vocab_size,
+            mean_doc_topics: (tokens_per_doc.min(n_topics as f64) / 2.0).max(1.0),
+        }
+    }
+
+    /// Computes the estimate for `n_topics` topics.
+    pub fn estimate(&self, n_topics: usize) -> MemoryEstimate {
+        let k = n_topics as u64;
+        let nnz = (self.n_docs as f64 * self.mean_doc_topics).ceil() as u64;
+        MemoryEstimate {
+            word_topic_dense_bytes: 2 * self.vocab_size * k * 4,
+            token_list_bytes: self.n_tokens * 8,
+            doc_topic_dense_bytes: self.n_docs * k * 4,
+            doc_topic_sparse_bytes: nnz * 8 + self.n_docs * 8,
+        }
+    }
+
+    /// Whether the *resident* working set of SaberLDA — the dense word–topic
+    /// matrices plus one chunk's share of the token list and sparse
+    /// document–topic matrix — fits on `device` when streaming in `n_chunks`
+    /// chunks.
+    pub fn fits_on_device(&self, n_topics: usize, n_chunks: usize, device: &DeviceSpec) -> bool {
+        let e = self.estimate(n_topics);
+        let chunked = (e.token_list_bytes + e.doc_topic_sparse_bytes) / n_chunks.max(1) as u64;
+        e.word_topic_dense_bytes + chunked <= device.global_mem_bytes
+    }
+
+    /// The smallest number of chunks that fits on `device`, if any number up
+    /// to `max_chunks` does (the paper minimises the chunk count subject to
+    /// the memory budget, §3.1.4).
+    pub fn min_chunks_for_device(
+        &self,
+        n_topics: usize,
+        device: &DeviceSpec,
+        max_chunks: usize,
+    ) -> Option<usize> {
+        (1..=max_chunks).find(|&p| self.fits_on_device(n_topics, p, device))
+    }
+
+    /// The largest number of topics (searched over powers of two times 1 000)
+    /// a *dense* resident system — one that keeps `B`, `B̂`, the token list and
+    /// a dense document–topic matrix on the device — can support. Used for the
+    /// Table 1 comparison.
+    pub fn max_topics_dense_resident(&self, device: &DeviceSpec) -> usize {
+        let mut best = 0usize;
+        for k in [
+            16, 32, 64, 100, 128, 200, 256, 500, 512, 1000, 2000, 3000, 5000, 10_000, 20_000, 32_768,
+        ] {
+            let e = self.estimate(k);
+            let total = e.word_topic_dense_bytes + e.token_list_bytes + e.doc_topic_dense_bytes;
+            if total <= device.global_mem_bytes {
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// The largest number of topics SaberLDA can support on `device` when
+    /// streaming in up to `max_chunks` chunks (bounded by the W-ary tree's
+    /// `32³` topic limit).
+    pub fn max_topics_streaming(&self, device: &DeviceSpec, max_chunks: usize) -> usize {
+        let mut best = 0usize;
+        for k in [
+            100, 256, 500, 1000, 2000, 3000, 5000, 10_000, 16_384, 20_000, 32_768,
+        ] {
+            if self.min_chunks_for_device(k, device, max_chunks).is_some() {
+                best = k;
+            }
+        }
+        best
+    }
+}
+
+/// Formats a byte count the way Table 2 does (GB with two decimals, or MB for
+/// small values).
+pub fn format_bytes(bytes: u64) -> String {
+    let gb = bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+    if gb >= 0.1 {
+        format!("{gb:.2} GB")
+    } else {
+        format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PubMed shape of Table 2: V = 141k, T = 738M, D = 8.2M.
+    fn pubmed() -> MemoryEstimator {
+        MemoryEstimator {
+            n_docs: 8_200_000,
+            n_tokens: 738_000_000,
+            vocab_size: 141_000,
+            mean_doc_topics: 88.0, // T/D = 90, nearly all distinct at K >= 1000
+        }
+    }
+
+    #[test]
+    fn table2_word_topic_sizes_match_paper() {
+        // Paper: 0.108 GB at K=100, 1.08 GB at K=1k, 10.8 GB at K=10k for the
+        // "B, B̂" column, i.e. 8 bytes per (word, topic) pair.
+        let est = pubmed();
+        let gb = |b: u64| b as f64 / 1e9;
+        assert!((gb(est.estimate(100).word_topic_dense_bytes) - 0.108).abs() < 0.015);
+        assert!((gb(est.estimate(1000).word_topic_dense_bytes) - 1.08).abs() < 0.15);
+        assert!((gb(est.estimate(10_000).word_topic_dense_bytes) - 10.8).abs() < 1.5);
+    }
+
+    #[test]
+    fn table2_token_list_and_dense_a_match_paper() {
+        let est = pubmed();
+        let e = est.estimate(1000);
+        // Paper: token list 8.65 GB (stored with doc ids); ours keeps the doc
+        // id implicit in the chunk so 8 bytes/token ≈ 5.9 GB; check the order
+        // of magnitude and the dense A sizes which the paper lists as
+        // 3.2 / 32 / 320 GB for K = 100 / 1k / 10k.
+        assert!(e.token_list_bytes > 5_000_000_000 && e.token_list_bytes < 9_000_000_000);
+        let gb = |b: u64| b as f64 / 1e9;
+        assert!((gb(est.estimate(100).doc_topic_dense_bytes) - 3.28).abs() < 0.2);
+        assert!((gb(est.estimate(1000).doc_topic_dense_bytes) - 32.8).abs() < 1.0);
+        assert!((gb(est.estimate(10_000).doc_topic_dense_bytes) - 328.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn sparse_a_is_independent_of_k_and_much_smaller() {
+        let est = pubmed();
+        let sparse_1k = est.estimate(1000).doc_topic_sparse_bytes;
+        let sparse_10k = est.estimate(10_000).doc_topic_sparse_bytes;
+        assert_eq!(sparse_1k, sparse_10k, "CSR size must not depend on K");
+        // Paper: 5.8 GB sparse vs 32 GB dense at K = 1000.
+        assert!(sparse_1k < est.estimate(1000).doc_topic_dense_bytes / 4);
+        let gb = sparse_1k as f64 / 1e9;
+        assert!(gb > 4.0 && gb < 8.0, "sparse A = {gb} GB");
+    }
+
+    /// The ClueWeb subset shape of §4.5: V = 100k, T = 7.1B, D = 19.4M.
+    fn clueweb() -> MemoryEstimator {
+        MemoryEstimator {
+            n_docs: 19_400_000,
+            n_tokens: 7_100_000_000,
+            vocab_size: 100_000,
+            mean_doc_topics: 120.0,
+        }
+    }
+
+    #[test]
+    fn streaming_supports_large_k_where_dense_does_not() {
+        // A dense resident system (prior GPU LDA) tops out in the hundreds of
+        // topics on PubMed (Table 1 lists K ≤ 256 for prior systems).
+        let est = pubmed();
+        let gpu = DeviceSpec::gtx_1080();
+        assert!(est.max_topics_dense_resident(&gpu) < 1000);
+        // SaberLDA streams and reaches thousands of topics on the same card…
+        assert!(est.max_topics_streaming(&gpu, 64) >= 5_000);
+        // …and 10k topics on the 12 GB Titan X with the ClueWeb vocabulary,
+        // the configuration of Fig. 12 / Table 1.
+        assert!(clueweb().max_topics_streaming(&DeviceSpec::titan_x_maxwell(), 64) >= 10_000);
+    }
+
+    #[test]
+    fn min_chunks_grows_with_topics() {
+        let est = pubmed();
+        let gpu = DeviceSpec::gtx_1080();
+        let p1k = est.min_chunks_for_device(1000, &gpu, 64).unwrap();
+        let p5k = est.min_chunks_for_device(5_000, &gpu, 64).unwrap();
+        assert!(p5k >= p1k);
+        // A toy device cannot hold the dense matrices at all.
+        assert!(est
+            .min_chunks_for_device(10_000, &DeviceSpec::toy(1 << 30), 64)
+            .is_none());
+    }
+
+    #[test]
+    fn corpus_shape_constructor_derives_doc_topics() {
+        let est = MemoryEstimator::for_corpus_shape(1000, 50_000, 5_000, 100);
+        assert!(est.mean_doc_topics > 1.0 && est.mean_doc_topics <= 50.0);
+        let est_small_k = MemoryEstimator::for_corpus_shape(1000, 50_000, 5_000, 4);
+        assert!(est_small_k.mean_doc_topics <= 2.0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(1024 * 1024 * 1024), "1.00 GB");
+        assert!(format_bytes(10 * 1024 * 1024).contains("MB"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The learned LDA model: word–topic counts `B` and probabilities `B̂`.
+
+use saber_sparse::DenseMatrix;
+
+use crate::{Result, SaberError};
+
+/// A trained (or in-training) LDA model.
+///
+/// The model is fully described by the word–topic count matrix `B` (`V × K`)
+/// together with the smoothing parameters: the word–topic probability matrix
+/// `B̂` is the column-normalised, β-smoothed version of `B` (Eq. 2 of the
+/// paper),
+///
+/// ```text
+/// B̂_vk = (B_vk + β) / (Σ_v B_vk + V·β)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use saber_core::LdaModel;
+///
+/// let mut model = LdaModel::new(5, 3, 0.1, 0.01).unwrap();
+/// model.word_topic_mut()[(0, 2)] = 4;
+/// model.word_topic_mut()[(1, 2)] = 1;
+/// model.refresh_probabilities();
+/// let row = model.word_topic_prob().row(0);
+/// assert!(row[2] > row[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    vocab_size: usize,
+    n_topics: usize,
+    alpha: f32,
+    beta: f32,
+    /// Word–topic counts `B`.
+    word_topic: DenseMatrix<u32>,
+    /// Word–topic probabilities `B̂`.
+    word_topic_prob: DenseMatrix<f32>,
+    /// Column sums of `B` (tokens per topic), cached by `refresh_probabilities`.
+    topic_totals: Vec<u64>,
+}
+
+impl LdaModel {
+    /// Creates an empty model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::InvalidConfig`] if any dimension is zero or a
+    /// smoothing parameter is non-positive.
+    pub fn new(vocab_size: usize, n_topics: usize, alpha: f32, beta: f32) -> Result<Self> {
+        if vocab_size == 0 || n_topics == 0 {
+            return Err(SaberError::InvalidConfig {
+                detail: "vocab_size and n_topics must be positive".into(),
+            });
+        }
+        if alpha <= 0.0 || beta <= 0.0 {
+            return Err(SaberError::InvalidConfig {
+                detail: "alpha and beta must be positive".into(),
+            });
+        }
+        Ok(LdaModel {
+            vocab_size,
+            n_topics,
+            alpha,
+            beta,
+            word_topic: DenseMatrix::zeros(vocab_size, n_topics),
+            word_topic_prob: DenseMatrix::zeros(vocab_size, n_topics),
+            topic_totals: vec![0; n_topics],
+        })
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Number of topics `K`.
+    pub fn n_topics(&self) -> usize {
+        self.n_topics
+    }
+
+    /// Document–topic smoothing α.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Topic–word smoothing β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// The word–topic count matrix `B`.
+    pub fn word_topic(&self) -> &DenseMatrix<u32> {
+        &self.word_topic
+    }
+
+    /// Mutable access to `B` (the M-step rebuilds it; callers must invoke
+    /// [`LdaModel::refresh_probabilities`] afterwards).
+    pub fn word_topic_mut(&mut self) -> &mut DenseMatrix<u32> {
+        &mut self.word_topic
+    }
+
+    /// The word–topic probability matrix `B̂`.
+    pub fn word_topic_prob(&self) -> &DenseMatrix<f32> {
+        &self.word_topic_prob
+    }
+
+    /// Tokens currently assigned to each topic (column sums of `B`), as of the
+    /// last [`LdaModel::refresh_probabilities`] call.
+    pub fn topic_totals(&self) -> &[u64] {
+        &self.topic_totals
+    }
+
+    /// Recomputes `B̂` from `B` following Eq. 2 (the `Preprocess` function of
+    /// Alg. 1). Returns the number of matrix elements written, which the
+    /// trainer charges to the pre-processing phase.
+    pub fn refresh_probabilities(&mut self) -> usize {
+        for k in 0..self.n_topics {
+            self.topic_totals[k] = self.word_topic.col_sum(k);
+        }
+        let vbeta = self.vocab_size as f32 * self.beta;
+        for v in 0..self.vocab_size {
+            let counts = self.word_topic.row(v);
+            let probs = self.word_topic_prob.row_mut(v);
+            for k in 0..self.n_topics {
+                probs[k] = (counts[k] as f32 + self.beta) / (self.topic_totals[k] as f32 + vbeta);
+            }
+        }
+        self.vocab_size * self.n_topics
+    }
+
+    /// Rebuilds `B` from scratch given every token's `(word, topic)` pair
+    /// (the `CountByVZ` function of Alg. 1) and refreshes `B̂`.
+    pub fn rebuild_from_assignments<'a, I>(&mut self, assignments: I)
+    where
+        I: IntoIterator<Item = (u32, u32)> + 'a,
+    {
+        self.word_topic.clear();
+        for (word, topic) in assignments {
+            self.word_topic[(word as usize, topic as usize)] += 1;
+        }
+        self.refresh_probabilities();
+    }
+
+    /// The `n` highest-probability words of topic `k`, as `(word id,
+    /// probability)` pairs in decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_topics`.
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
+        assert!(k < self.n_topics, "topic {k} out of range");
+        let mut scored: Vec<(u32, f32)> = (0..self.vocab_size)
+            .map(|v| (v as u32, self.word_topic_prob[(v, k)]))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(n);
+        scored
+    }
+
+    /// The probability of word `v` under topic `k` (`B̂_vk`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `k` is out of range.
+    pub fn word_prob(&self, v: usize, k: usize) -> f32 {
+        self.word_topic_prob[(v, k)]
+    }
+
+    /// Device-memory footprint of the dense matrices `B` + `B̂` in bytes
+    /// (Table 2's "Word-Topic Matrix B, B̂" column).
+    pub fn dense_matrices_bytes(&self) -> u64 {
+        (self.word_topic.memory_bytes() + self.word_topic_prob.memory_bytes()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_inputs() {
+        assert!(LdaModel::new(0, 3, 0.1, 0.1).is_err());
+        assert!(LdaModel::new(5, 0, 0.1, 0.1).is_err());
+        assert!(LdaModel::new(5, 3, 0.0, 0.1).is_err());
+        assert!(LdaModel::new(5, 3, 0.1, -1.0).is_err());
+        assert!(LdaModel::new(5, 3, 0.1, 0.1).is_ok());
+    }
+
+    #[test]
+    fn probabilities_follow_equation_2() {
+        let mut m = LdaModel::new(3, 2, 0.1, 0.5).unwrap();
+        // Topic 0: word 0 twice, word 1 once. Topic 1: empty.
+        m.word_topic_mut()[(0, 0)] = 2;
+        m.word_topic_mut()[(1, 0)] = 1;
+        m.refresh_probabilities();
+        let vbeta = 3.0 * 0.5;
+        assert!((m.word_prob(0, 0) - (2.0 + 0.5) / (3.0 + vbeta)).abs() < 1e-6);
+        assert!((m.word_prob(2, 0) - 0.5 / (3.0 + vbeta)).abs() < 1e-6);
+        // Empty topic: uniform 1/V.
+        assert!((m.word_prob(0, 1) - 0.5 / vbeta).abs() < 1e-6);
+        assert_eq!(m.topic_totals(), &[3, 0]);
+    }
+
+    #[test]
+    fn columns_of_bhat_sum_to_one() {
+        let mut m = LdaModel::new(10, 4, 0.1, 0.01).unwrap();
+        m.word_topic_mut()[(3, 1)] = 7;
+        m.word_topic_mut()[(9, 1)] = 2;
+        m.word_topic_mut()[(0, 3)] = 1;
+        m.refresh_probabilities();
+        for k in 0..4 {
+            let col_sum: f32 = (0..10).map(|v| m.word_prob(v, k)).sum();
+            assert!((col_sum - 1.0).abs() < 1e-5, "column {k} sums to {col_sum}");
+        }
+    }
+
+    #[test]
+    fn rebuild_from_assignments_counts_tokens() {
+        let mut m = LdaModel::new(4, 3, 0.1, 0.01).unwrap();
+        m.rebuild_from_assignments(vec![(0u32, 1u32), (0, 1), (2, 0), (3, 2), (3, 2)]);
+        assert_eq!(m.word_topic()[(0, 1)], 2);
+        assert_eq!(m.word_topic()[(3, 2)], 2);
+        assert_eq!(m.word_topic()[(1, 0)], 0);
+        assert_eq!(m.topic_totals(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn top_words_are_sorted_by_probability() {
+        let mut m = LdaModel::new(5, 2, 0.1, 0.01).unwrap();
+        m.rebuild_from_assignments(vec![(4u32, 0u32), (4, 0), (4, 0), (1, 0), (2, 1)]);
+        let top = m.top_words(0, 2);
+        assert_eq!(top[0].0, 4);
+        assert_eq!(top[1].0, 1);
+        assert!(top[0].1 > top[1].1);
+        assert_eq!(m.top_words(0, 100).len(), 5);
+    }
+
+    #[test]
+    fn memory_footprint_matches_dimensions() {
+        let m = LdaModel::new(1000, 64, 0.1, 0.01).unwrap();
+        assert_eq!(m.dense_matrices_bytes(), 2 * 1000 * 64 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn top_words_panics_on_bad_topic() {
+        LdaModel::new(5, 2, 0.1, 0.01).unwrap().top_words(2, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Model persistence.
+//!
+//! Trained models are saved in a small self-describing binary format so that
+//! the examples can train once and reuse the model, and so that downstream
+//! users can export topics without retraining. The format is deliberately
+//! simple (magic, version, dimensions, hyper-parameters, then the raw `B`
+//! counts); `B̂` is recomputed on load.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::model::LdaModel;
+use crate::{Result, SaberError};
+
+const MAGIC: &[u8; 8] = b"SABERLDA";
+const VERSION: u32 = 1;
+
+/// Writes `model` to `writer`.
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] on write failures.
+pub fn save_model<W: Write>(model: &LdaModel, mut writer: W) -> Result<()> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(model.vocab_size() as u64).to_le_bytes())?;
+    writer.write_all(&(model.n_topics() as u64).to_le_bytes())?;
+    writer.write_all(&model.alpha().to_le_bytes())?;
+    writer.write_all(&model.beta().to_le_bytes())?;
+    for v in 0..model.vocab_size() {
+        for &count in model.word_topic().row(v) {
+            writer.write_all(&count.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes `model` to a file at `path`.
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] on failure to create or write the file.
+pub fn save_model_file<P: AsRef<Path>>(model: &LdaModel, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    save_model(model, std::io::BufWriter::new(file))
+}
+
+/// Reads a model previously written by [`save_model`].
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] for truncated input and
+/// [`SaberError::InvalidConfig`] for a bad magic number, version or
+/// dimensions.
+pub fn load_model<R: Read>(mut reader: R) -> Result<LdaModel> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SaberError::InvalidConfig {
+            detail: "not a SaberLDA model file (bad magic)".into(),
+        });
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("unsupported model version {version}"),
+        });
+    }
+    let vocab_size = read_u64(&mut reader)? as usize;
+    let n_topics = read_u64(&mut reader)? as usize;
+    let alpha = read_f32(&mut reader)?;
+    let beta = read_f32(&mut reader)?;
+    if vocab_size == 0 || n_topics == 0 || vocab_size > (1 << 32) || n_topics > (1 << 20) {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("implausible model dimensions {vocab_size} x {n_topics}"),
+        });
+    }
+    let mut model = LdaModel::new(vocab_size, n_topics, alpha, beta)?;
+    for v in 0..vocab_size {
+        for k in 0..n_topics {
+            model.word_topic_mut()[(v, k)] = read_u32(&mut reader)?;
+        }
+    }
+    model.refresh_probabilities();
+    Ok(model)
+}
+
+/// Reads a model from a file at `path`.
+///
+/// # Errors
+///
+/// See [`load_model`].
+pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<LdaModel> {
+    let file = std::fs::File::open(path)?;
+    load_model(std::io::BufReader::new(file))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64> {
+    let mut buf = [0u8; 8];
+    reader.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(reader: &mut R) -> Result<f32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> LdaModel {
+        let mut m = LdaModel::new(6, 3, 0.2, 0.05).unwrap();
+        m.rebuild_from_assignments(vec![(0u32, 0u32), (0, 0), (3, 1), (5, 2), (5, 2), (2, 1)]);
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        let loaded = load_model(buf.as_slice()).unwrap();
+        assert_eq!(loaded.vocab_size(), model.vocab_size());
+        assert_eq!(loaded.n_topics(), model.n_topics());
+        assert!((loaded.alpha() - model.alpha()).abs() < 1e-7);
+        assert!((loaded.beta() - model.beta()).abs() < 1e-7);
+        for v in 0..model.vocab_size() {
+            assert_eq!(loaded.word_topic().row(v), model.word_topic().row(v));
+            for k in 0..model.n_topics() {
+                assert!((loaded.word_prob(v, k) - model.word_prob(v, k)).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(load_model(&b"NOTALDAX rest"[..]).is_err());
+        let model = sample_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        assert!(load_model(&buf[..buf.len() - 3]).is_err());
+        assert!(load_model(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        buf[8] = 99; // corrupt the version field
+        assert!(load_model(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("saberlda_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bin");
+        let model = sample_model();
+        save_model_file(&model, &path).unwrap();
+        let loaded = load_model_file(&path).unwrap();
+        assert_eq!(loaded.n_topics(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

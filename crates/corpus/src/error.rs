@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors produced while constructing or parsing corpora.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// A word id exceeded the declared vocabulary size.
+    WordOutOfRange {
+        /// Offending word id.
+        word: u32,
+        /// Declared vocabulary size.
+        vocab_size: usize,
+    },
+    /// A document id referenced by a token does not exist.
+    DocOutOfRange {
+        /// Offending document id.
+        doc: u32,
+        /// Number of documents.
+        n_docs: usize,
+    },
+    /// The UCI bag-of-words file is malformed.
+    ParseError {
+        /// Line number (1-based) where the problem was found.
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An I/O error while reading a corpus file.
+    Io(std::io::Error),
+    /// The requested configuration is invalid (e.g. zero documents).
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::WordOutOfRange { word, vocab_size } => {
+                write!(f, "word id {word} out of range for vocabulary of {vocab_size}")
+            }
+            CorpusError::DocOutOfRange { doc, n_docs } => {
+                write!(f, "document id {doc} out of range for {n_docs} documents")
+            }
+            CorpusError::ParseError { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            CorpusError::Io(e) => write!(f, "i/o error: {e}"),
+            CorpusError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = CorpusError::WordOutOfRange {
+            word: 10,
+            vocab_size: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = CorpusError::ParseError {
+            line: 3,
+            detail: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: CorpusError = io.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CorpusError>();
+    }
+}

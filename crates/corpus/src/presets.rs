@@ -1,0 +1,171 @@
+//! Dataset presets matching Table 3 of the paper.
+//!
+//! | Dataset   | D     | T     | V    | T/D |
+//! |-----------|-------|-------|------|-----|
+//! | NYTimes   | 300K  | 100M  | 102k | 332 |
+//! | PubMed    | 8.2M  | 738M  | 141k | 90  |
+//! | ClueWeb12 subset | 19.4M | 7.1B | 100k | 365 |
+//!
+//! The real datasets cannot ship with the repository, so each preset exposes
+//! both the paper's full-scale statistics ([`DatasetPreset::paper_stats`]) and
+//! a [`SyntheticSpec`] scaled down by a user-chosen factor
+//! ([`DatasetPreset::synthetic_spec`]) that preserves the tokens-per-document
+//! ratio and vocabulary skew.
+
+use crate::stats::PaperDatasetStats;
+use crate::synthetic::SyntheticSpec;
+
+/// The three datasets of the paper's evaluation (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetPreset {
+    /// The UCI NYTimes bag-of-words corpus.
+    NyTimes,
+    /// The UCI PubMed abstracts corpus.
+    PubMed,
+    /// The ClueWeb12 subset used in §4.5.
+    ClueWeb,
+}
+
+impl DatasetPreset {
+    /// All presets, in the order Table 3 lists them.
+    pub const ALL: [DatasetPreset; 3] =
+        [DatasetPreset::NyTimes, DatasetPreset::PubMed, DatasetPreset::ClueWeb];
+
+    /// The dataset's name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::NyTimes => "NYTimes",
+            DatasetPreset::PubMed => "PubMed",
+            DatasetPreset::ClueWeb => "ClueWeb12 subset",
+        }
+    }
+
+    /// Full-scale statistics as reported in Table 3.
+    pub fn paper_stats(self) -> PaperDatasetStats {
+        match self {
+            DatasetPreset::NyTimes => PaperDatasetStats {
+                name: "NYTimes",
+                n_docs: 300_000,
+                n_tokens: 100_000_000,
+                vocab_size: 102_000,
+                tokens_per_doc: 332.0,
+            },
+            DatasetPreset::PubMed => PaperDatasetStats {
+                name: "PubMed",
+                n_docs: 8_200_000,
+                n_tokens: 738_000_000,
+                vocab_size: 141_000,
+                tokens_per_doc: 90.0,
+            },
+            DatasetPreset::ClueWeb => PaperDatasetStats {
+                name: "ClueWeb12 subset",
+                n_docs: 19_400_000,
+                n_tokens: 7_100_000_000,
+                vocab_size: 100_000,
+                tokens_per_doc: 365.0,
+            },
+        }
+    }
+
+    /// A [`SyntheticSpec`] that mimics this dataset scaled down by `scale`
+    /// (e.g. `scale = 1000` produces a corpus with `D/1000` documents but the
+    /// same tokens-per-document and a vocabulary shrunk by `sqrt(scale)` so the
+    /// per-word token counts stay realistic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale == 0`.
+    pub fn synthetic_spec(self, scale: u64) -> SyntheticSpec {
+        assert!(scale > 0, "scale must be positive");
+        let stats = self.paper_stats();
+        let n_docs = ((stats.n_docs as u64 / scale).max(50)) as usize;
+        let vocab_scale = (scale as f64).sqrt();
+        let vocab_size = ((stats.vocab_size as f64 / vocab_scale).max(200.0)) as usize;
+        SyntheticSpec {
+            n_docs,
+            vocab_size,
+            mean_doc_len: stats.tokens_per_doc,
+            n_topics: 50,
+            doc_topic_alpha: 0.08,
+            topic_word_beta: 0.02,
+            zipf_exponent: 1.07,
+            doc_len_dispersion: 1.5,
+            attach_vocabulary: false,
+        }
+    }
+
+    /// The default scaled spec used by the benchmark harness: small enough to
+    /// run every experiment in minutes on a CPU.
+    pub fn bench_spec(self) -> SyntheticSpec {
+        match self {
+            DatasetPreset::NyTimes => self.synthetic_spec(1_000),
+            DatasetPreset::PubMed => self.synthetic_spec(10_000),
+            DatasetPreset::ClueWeb => self.synthetic_spec(40_000),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stats_match_table3() {
+        let ny = DatasetPreset::NyTimes.paper_stats();
+        assert_eq!(ny.n_docs, 300_000);
+        assert_eq!(ny.vocab_size, 102_000);
+        let pm = DatasetPreset::PubMed.paper_stats();
+        assert_eq!(pm.n_tokens, 738_000_000);
+        let cw = DatasetPreset::ClueWeb.paper_stats();
+        assert_eq!(cw.n_tokens, 7_100_000_000);
+        assert!(cw.tokens_per_doc > 300.0);
+    }
+
+    #[test]
+    fn scaled_spec_preserves_doc_length() {
+        for p in DatasetPreset::ALL {
+            let spec = p.synthetic_spec(1_000);
+            assert!((spec.mean_doc_len - p.paper_stats().tokens_per_doc).abs() < 1e-9);
+            assert!(spec.n_docs >= 50);
+            assert!(spec.vocab_size >= 200);
+        }
+    }
+
+    #[test]
+    fn bench_specs_are_tractable() {
+        for p in DatasetPreset::ALL {
+            let spec = p.bench_spec();
+            assert!(
+                spec.expected_tokens() < 50_000_000,
+                "{p}: {} expected tokens is too many for CI",
+                spec.expected_tokens()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_from_preset_works() {
+        let spec = DatasetPreset::NyTimes.synthetic_spec(10_000);
+        let corpus = spec.generate(1);
+        assert!(corpus.n_docs() >= 30);
+        assert!(corpus.mean_doc_len() > 100.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DatasetPreset::NyTimes.to_string(), "NYTimes");
+        assert_eq!(DatasetPreset::ClueWeb.to_string(), "ClueWeb12 subset");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        DatasetPreset::PubMed.synthetic_spec(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Train / held-out splitting.
+//!
+//! The paper assesses model quality by "hold-out log-likelihood per token,
+//! using the partially-observed document approach" (§4, citing Wallach et al.
+//! 2009): a set of held-out documents is split per document into an *observed*
+//! half (used to estimate the document's topic proportions under the trained
+//! model) and an *evaluation* half (whose likelihood is reported).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Corpus, CorpusError, Document, Result};
+
+/// A corpus split into training documents and held-out documents.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Documents used for training.
+    pub train: Corpus,
+    /// Documents held out for evaluation.
+    pub test: Corpus,
+}
+
+/// Splits a corpus at the document level: a fraction `test_fraction` of
+/// documents (at least one, if the corpus is non-empty) is held out.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::InvalidConfig`] if `test_fraction` is not within
+/// `(0, 1)` or the corpus has fewer than two documents.
+pub fn train_test_split(corpus: &Corpus, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(CorpusError::InvalidConfig {
+            detail: format!("test_fraction must be in (0, 1), got {test_fraction}"),
+        });
+    }
+    if corpus.n_docs() < 2 {
+        return Err(CorpusError::InvalidConfig {
+            detail: "need at least two documents to split".to_string(),
+        });
+    }
+    let mut order: Vec<usize> = (0..corpus.n_docs()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let n_test = ((corpus.n_docs() as f64 * test_fraction).round() as usize)
+        .clamp(1, corpus.n_docs() - 1);
+    let (test_ids, train_ids) = order.split_at(n_test);
+    let mut train_ids = train_ids.to_vec();
+    let mut test_ids = test_ids.to_vec();
+    train_ids.sort_unstable();
+    test_ids.sort_unstable();
+    Ok(TrainTestSplit {
+        train: corpus.select_documents(train_ids.into_iter()),
+        test: corpus.select_documents(test_ids.into_iter()),
+    })
+}
+
+/// A held-out corpus split per document into observed and evaluation halves.
+///
+/// `observed.document(i)` and `evaluation.document(i)` always refer to the same
+/// underlying document.
+#[derive(Debug, Clone)]
+pub struct HeldOutSplit {
+    /// Tokens the evaluator may condition on (to estimate θ_d).
+    pub observed: Corpus,
+    /// Tokens whose likelihood is reported.
+    pub evaluation: Corpus,
+}
+
+/// Splits every document's tokens into an observed part (`observed_fraction`)
+/// and an evaluation part, token by token.
+///
+/// Documents with fewer than two tokens contribute their single token to the
+/// observed half and nothing to the evaluation half.
+///
+/// # Errors
+///
+/// Returns [`CorpusError::InvalidConfig`] if `observed_fraction` is not in
+/// `(0, 1)`.
+pub fn held_out_split(corpus: &Corpus, observed_fraction: f64, seed: u64) -> Result<HeldOutSplit> {
+    if !(0.0..1.0).contains(&observed_fraction) || observed_fraction == 0.0 {
+        return Err(CorpusError::InvalidConfig {
+            detail: format!("observed_fraction must be in (0, 1), got {observed_fraction}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut observed_docs = Vec::with_capacity(corpus.n_docs());
+    let mut eval_docs = Vec::with_capacity(corpus.n_docs());
+    for doc in corpus.documents() {
+        let mut observed = Vec::new();
+        let mut eval = Vec::new();
+        for (i, &w) in doc.words().iter().enumerate() {
+            // Guarantee at least one observed token per non-empty document.
+            if i == 0 || rng.gen_bool(observed_fraction) {
+                observed.push(w);
+            } else {
+                eval.push(w);
+            }
+        }
+        observed_docs.push(Document::new(observed));
+        eval_docs.push(Document::new(eval));
+    }
+    Ok(HeldOutSplit {
+        observed: Corpus::from_documents(corpus.vocab_size(), observed_docs)?,
+        evaluation: Corpus::from_documents(corpus.vocab_size(), eval_docs)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    #[test]
+    fn document_split_partitions_corpus() {
+        let corpus = SyntheticSpec::small_test().generate(0);
+        let split = train_test_split(&corpus, 0.25, 7).unwrap();
+        assert_eq!(split.train.n_docs() + split.test.n_docs(), corpus.n_docs());
+        assert_eq!(
+            split.train.n_tokens() + split.test.n_tokens(),
+            corpus.n_tokens()
+        );
+        assert!(split.test.n_docs() >= 1);
+        assert!(split.train.n_docs() >= 1);
+    }
+
+    #[test]
+    fn document_split_is_deterministic() {
+        let corpus = SyntheticSpec::small_test().generate(0);
+        let a = train_test_split(&corpus, 0.2, 3).unwrap();
+        let b = train_test_split(&corpus, 0.2, 3).unwrap();
+        assert_eq!(a.test.n_tokens(), b.test.n_tokens());
+        let c = train_test_split(&corpus, 0.2, 4).unwrap();
+        // Different seed should (almost surely) select different documents.
+        assert!(a.test.document(0).words() != c.test.document(0).words()
+            || a.test.n_tokens() != c.test.n_tokens());
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        let corpus = SyntheticSpec::small_test().generate(0);
+        assert!(train_test_split(&corpus, 0.0, 0).is_err());
+        assert!(train_test_split(&corpus, 1.0, 0).is_err());
+        assert!(train_test_split(&corpus, -0.5, 0).is_err());
+        assert!(held_out_split(&corpus, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn token_split_preserves_documents_and_tokens() {
+        let corpus = SyntheticSpec::small_test().generate(1);
+        let split = held_out_split(&corpus, 0.5, 11).unwrap();
+        assert_eq!(split.observed.n_docs(), corpus.n_docs());
+        assert_eq!(split.evaluation.n_docs(), corpus.n_docs());
+        assert_eq!(
+            split.observed.n_tokens() + split.evaluation.n_tokens(),
+            corpus.n_tokens()
+        );
+        // Every non-empty document keeps at least one observed token.
+        for (i, doc) in corpus.documents().iter().enumerate() {
+            if !doc.is_empty() {
+                assert!(!split.observed.document(i).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn token_split_word_multisets_are_preserved() {
+        let corpus = SyntheticSpec::small_test().generate(2);
+        let split = held_out_split(&corpus, 0.6, 5).unwrap();
+        let mut combined = split.observed.word_frequencies();
+        for (i, f) in split.evaluation.word_frequencies().iter().enumerate() {
+            combined[i] += f;
+        }
+        assert_eq!(combined, corpus.word_frequencies());
+    }
+
+    #[test]
+    fn tiny_corpus_split_fails_gracefully() {
+        let corpus = Corpus::from_documents(2, vec![Document::new(vec![0])]).unwrap();
+        assert!(train_test_split(&corpus, 0.5, 0).is_err());
+        // held_out_split still works: the single token stays observed.
+        let split = held_out_split(&corpus, 0.5, 0).unwrap();
+        assert_eq!(split.observed.n_tokens(), 1);
+        assert_eq!(split.evaluation.n_tokens(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Kernel execution counters.
+//!
+//! Every simulated kernel accumulates a [`KernelStats`]: how many bytes moved
+//! through each level of the memory hierarchy, how many warp instructions
+//! executed, and how much time was lost to the divergence/waiting effects the
+//! paper's warp-based design eliminates (§3.2). The cost model converts these
+//! counters into estimated time, and Table 4 reports the bandwidth figures.
+
+/// Counters accumulated while executing a simulated kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Bytes read from global memory (DRAM), after cache-line rounding.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory, after cache-line rounding.
+    pub global_write_bytes: u64,
+    /// Bytes of global reads that were served by the simulated L2 cache.
+    pub l2_hit_bytes: u64,
+    /// Bytes read from shared memory.
+    pub shared_read_bytes: u64,
+    /// Bytes written to shared memory.
+    pub shared_write_bytes: u64,
+    /// Warp-level instructions executed.
+    pub warp_instructions: u64,
+    /// Atomic add operations issued (word–topic matrix updates).
+    pub atomic_adds: u64,
+    /// Extra warp-iterations spent waiting because lanes in a warp had
+    /// different loop lengths (thread-based sampling only).
+    pub wait_iterations: u64,
+    /// Branches on which a warp diverged (thread-based sampling only).
+    pub divergent_branches: u64,
+    /// Number of global-memory transactions (cache lines touched).
+    pub global_transactions: u64,
+}
+
+impl KernelStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        KernelStats::default()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.global_read_bytes += other.global_read_bytes;
+        self.global_write_bytes += other.global_write_bytes;
+        self.l2_hit_bytes += other.l2_hit_bytes;
+        self.shared_read_bytes += other.shared_read_bytes;
+        self.shared_write_bytes += other.shared_write_bytes;
+        self.warp_instructions += other.warp_instructions;
+        self.atomic_adds += other.atomic_adds;
+        self.wait_iterations += other.wait_iterations;
+        self.divergent_branches += other.divergent_branches;
+        self.global_transactions += other.global_transactions;
+    }
+
+    /// Total bytes that had to come from DRAM (reads + writes).
+    pub fn dram_bytes(&self) -> u64 {
+        self.global_read_bytes + self.global_write_bytes
+    }
+
+    /// Total shared-memory traffic.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_read_bytes + self.shared_write_bytes
+    }
+
+    /// Total bytes requested from the L2 (DRAM traffic plus L2 hits).
+    pub fn l2_request_bytes(&self) -> u64 {
+        self.dram_bytes() + self.l2_hit_bytes
+    }
+
+    /// Fraction of global read traffic served by the L2, in `[0, 1]`.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let requests = self.global_read_bytes + self.l2_hit_bytes;
+        if requests == 0 {
+            0.0
+        } else {
+            self.l2_hit_bytes as f64 / requests as f64
+        }
+    }
+}
+
+impl std::ops::Add for KernelStats {
+    type Output = KernelStats;
+
+    fn add(mut self, rhs: KernelStats) -> KernelStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::iter::Sum for KernelStats {
+    fn sum<I: Iterator<Item = KernelStats>>(iter: I) -> KernelStats {
+        iter.fold(KernelStats::default(), |acc, s| acc + s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let a = KernelStats {
+            global_read_bytes: 10,
+            global_write_bytes: 1,
+            l2_hit_bytes: 5,
+            shared_read_bytes: 2,
+            shared_write_bytes: 3,
+            warp_instructions: 100,
+            atomic_adds: 4,
+            wait_iterations: 7,
+            divergent_branches: 8,
+            global_transactions: 2,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.global_read_bytes, 20);
+        assert_eq!(b.warp_instructions, 200);
+        assert_eq!(b.divergent_branches, 16);
+        assert_eq!(b.dram_bytes(), 22);
+        assert_eq!(b.shared_bytes(), 10);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut s = KernelStats::default();
+        assert_eq!(s.l2_hit_rate(), 0.0);
+        s.global_read_bytes = 50;
+        s.l2_hit_bytes = 50;
+        assert!((s.l2_hit_rate() - 0.5).abs() < 1e-12);
+        s.global_read_bytes = 0;
+        assert!((s.l2_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            KernelStats {
+                warp_instructions: 1,
+                ..KernelStats::default()
+            };
+            5
+        ];
+        let total: KernelStats = parts.into_iter().sum();
+        assert_eq!(total.warp_instructions, 5);
+    }
+}

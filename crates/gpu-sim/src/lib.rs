@@ -1,0 +1,58 @@
+//! A deterministic GPU execution model for the SaberLDA reproduction.
+//!
+//! The original SaberLDA is ~3,000 lines of CUDA targeting a GTX 1080 / Titan X.
+//! This reproduction runs on CPUs, so the GPU is replaced by an *execution
+//! model* that enforces the architectural constraints the paper's design
+//! responds to:
+//!
+//! * **Warps** ([`warp`]): 32-lane SIMD groups with the warp intrinsics used by
+//!   the paper's kernels — `warp_prefix_sum`, ballot/ffs voting, shuffles —
+//!   implemented lane-by-lane so kernel code in `saber-core` reads like the
+//!   CUDA in Fig. 5/6 of the paper.
+//! * **Memory system** ([`memory`]): 128-byte cache-line accounting for global
+//!   memory, an LRU set-associative L2 model, and shared-memory counters. The
+//!   counters feed Table 4 (bandwidth utilisation).
+//! * **Device specifications** ([`device`]): published specs of the GTX 1080
+//!   and Titan X (Maxwell) plus the host link, used by the cost model.
+//! * **Cost model** ([`cost`]): a roofline-style translation of counted bytes
+//!   and instructions into estimated kernel time, so the reproduction can
+//!   report *relative* performance (who wins, by what factor) without claiming
+//!   absolute wall-clock fidelity.
+//! * **Dynamic scheduler** ([`scheduler`]): the block/warp level dynamic
+//!   work-fetching of §3.4, including the sort-words-by-frequency heuristic.
+//! * **Streaming timeline** ([`stream`]): the multi-worker copy/compute
+//!   overlap of the streaming workflow (§3.1.2, Fig. 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use saber_gpu_sim::device::DeviceSpec;
+//! use saber_gpu_sim::warp::{warp_inclusive_prefix_sum, warp_vote_first};
+//!
+//! let mut vals = [1.0f32; 32];
+//! warp_inclusive_prefix_sum(&mut vals);
+//! assert_eq!(vals[31], 32.0);
+//! assert_eq!(warp_vote_first(|lane| vals[lane] >= 10.0), Some(9));
+//!
+//! let gpu = DeviceSpec::gtx_1080();
+//! assert_eq!(gpu.warp_size, 32);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod cost;
+pub mod counters;
+pub mod device;
+pub mod memory;
+pub mod scheduler;
+pub mod shared;
+pub mod stream;
+pub mod warp;
+
+pub use cost::CostModel;
+pub use counters::KernelStats;
+pub use device::DeviceSpec;
+pub use memory::{MemoryTracker, CACHE_LINE_BYTES};
+pub use shared::SharedMemory;
+pub use warp::WARP_SIZE;

@@ -1,0 +1,327 @@
+//! Global-memory and cache modelling.
+//!
+//! GPUs move global memory in long cache lines (128 bytes), which is one of
+//! the two architectural facts (besides warp width) that drive SaberLDA's
+//! data-layout decisions (§3.1.3): a warp that touches a whole row of the
+//! document–topic matrix uses every byte of the lines it pulls, while random
+//! single-element accesses waste most of each line. The [`MemoryTracker`]
+//! reproduces that accounting, together with a small LRU set-associative L2
+//! model used to estimate the hit rates reported in Table 4.
+
+use crate::counters::KernelStats;
+
+/// Global-memory cache-line size in bytes (NVIDIA L2 line).
+pub const CACHE_LINE_BYTES: u64 = 128;
+
+/// A set-associative LRU cache model over 128-byte lines.
+#[derive(Debug, Clone)]
+pub struct L2Cache {
+    n_sets: usize,
+    associativity: usize,
+    /// `sets[s]` holds the resident line tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl L2Cache {
+    /// Creates a cache of `capacity_bytes` with the given associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is smaller than one line or
+    /// `associativity == 0`.
+    pub fn new(capacity_bytes: u64, associativity: usize) -> Self {
+        assert!(capacity_bytes >= CACHE_LINE_BYTES, "cache smaller than a line");
+        assert!(associativity > 0, "associativity must be positive");
+        let n_lines = (capacity_bytes / CACHE_LINE_BYTES) as usize;
+        let n_sets = (n_lines / associativity).max(1);
+        L2Cache {
+            n_sets,
+            associativity,
+            sets: vec![Vec::new(); n_sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / CACHE_LINE_BYTES;
+        let set_idx = (line as usize) % self.n_sets;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            set.push(line);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() >= self.associativity {
+                set.remove(0);
+            }
+            set.push(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Forgets all cached lines and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Tracks the memory traffic of a simulated kernel.
+///
+/// Kernels report *logical* accesses (address + length); the tracker rounds
+/// them to cache-line granularity, runs them through the L2 model and
+/// accumulates a [`KernelStats`].
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    l2: L2Cache,
+    stats: KernelStats,
+}
+
+impl MemoryTracker {
+    /// Creates a tracker with an L2 cache of `l2_capacity_bytes`.
+    pub fn new(l2_capacity_bytes: u64) -> Self {
+        MemoryTracker {
+            l2: L2Cache::new(l2_capacity_bytes.max(CACHE_LINE_BYTES), 16),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Records a global-memory read of `bytes` bytes starting at `addr`.
+    /// The address space is logical — each data structure picks a distinct
+    /// base offset so that cache behaviour between structures is realistic.
+    pub fn global_read(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let first_line = addr / CACHE_LINE_BYTES;
+        let last_line = (addr + bytes - 1) / CACHE_LINE_BYTES;
+        for line in first_line..=last_line {
+            self.stats.global_transactions += 1;
+            if self.l2.access(line * CACHE_LINE_BYTES) {
+                self.stats.l2_hit_bytes += CACHE_LINE_BYTES;
+            } else {
+                self.stats.global_read_bytes += CACHE_LINE_BYTES;
+            }
+        }
+    }
+
+    /// Records a global-memory write of `bytes` bytes starting at `addr`
+    /// (write-through accounting: every written line reaches DRAM).
+    pub fn global_write(&mut self, addr: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let first_line = addr / CACHE_LINE_BYTES;
+        let last_line = (addr + bytes - 1) / CACHE_LINE_BYTES;
+        for line in first_line..=last_line {
+            self.stats.global_transactions += 1;
+            self.l2.access(line * CACHE_LINE_BYTES);
+            self.stats.global_write_bytes += CACHE_LINE_BYTES;
+        }
+    }
+
+    /// Records a shared-memory read.
+    pub fn shared_read(&mut self, bytes: u64) {
+        self.stats.shared_read_bytes += bytes;
+    }
+
+    /// Records a shared-memory write.
+    pub fn shared_write(&mut self, bytes: u64) {
+        self.stats.shared_write_bytes += bytes;
+    }
+
+    /// Records an atomic add to global memory (`atomicAdd` on `B`), which
+    /// costs one read-modify-write transaction.
+    pub fn atomic_add(&mut self, addr: u64, bytes: u64) {
+        self.stats.atomic_adds += 1;
+        self.global_read(addr, bytes);
+        self.stats.global_write_bytes += bytes;
+    }
+
+    /// Adds `count` warp instructions.
+    pub fn instructions(&mut self, count: u64) {
+        self.stats.warp_instructions += count;
+    }
+
+    /// Adds warp wait-iterations (lanes idling behind a longer lane).
+    pub fn wait(&mut self, iterations: u64) {
+        self.stats.wait_iterations += iterations;
+    }
+
+    /// Adds divergent branches.
+    pub fn divergence(&mut self, branches: u64) {
+        self.stats.divergent_branches += branches;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The L2 cache model, for inspecting hit rates.
+    pub fn l2(&self) -> &L2Cache {
+        &self.l2
+    }
+
+    /// Resets counters and cache contents (e.g. between iterations).
+    pub fn reset(&mut self) {
+        self.l2.reset();
+        self.stats = KernelStats::default();
+    }
+
+    /// Takes the accumulated statistics, resetting them but keeping cache
+    /// contents warm.
+    pub fn take_stats(&mut self) -> KernelStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Logical base addresses for the data structures of an LDA iteration, spaced
+/// far apart so their cache sets do not alias artificially.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    /// Base of the token list.
+    pub token_list: u64,
+    /// Base of the document–topic CSR matrix.
+    pub doc_topic: u64,
+    /// Base of the word–topic count matrix `B`.
+    pub word_topic: u64,
+    /// Base of the word–topic probability matrix `B̂`.
+    pub word_topic_prob: u64,
+    /// Base of the per-word sampling-tree arena.
+    pub trees: u64,
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap {
+            token_list: 0,
+            doc_topic: 1 << 34,
+            word_topic: 1 << 35,
+            word_topic_prob: 3 << 34,
+            trees: 1 << 36,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_on_repeated_access() {
+        let mut c = L2Cache::new(4096, 4);
+        assert!(!c.access(0));
+        assert!(c.access(64)); // same 128-byte line
+        assert!(!c.access(128));
+        assert!(c.access(0));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        // 2 lines capacity, associativity 2 → a single set.
+        let mut c = L2Cache::new(256, 2);
+        c.access(0);
+        c.access(128);
+        c.access(256); // evicts line 0
+        assert!(!c.access(0), "line 0 should have been evicted");
+        assert!(c.access(256));
+    }
+
+    #[test]
+    fn tracker_rounds_to_cache_lines() {
+        let mut t = MemoryTracker::new(1 << 20);
+        t.global_read(0, 4);
+        assert_eq!(t.stats().global_read_bytes, CACHE_LINE_BYTES);
+        // A 256-byte read spanning a line boundary touches 3 lines.
+        t.global_read(100, 256);
+        assert_eq!(t.stats().global_transactions, 4);
+    }
+
+    #[test]
+    fn tracker_reports_l2_hits_separately() {
+        let mut t = MemoryTracker::new(1 << 20);
+        t.global_read(0, 128);
+        t.global_read(0, 128);
+        assert_eq!(t.stats().global_read_bytes, 128);
+        assert_eq!(t.stats().l2_hit_bytes, 128);
+        assert!((t.stats().l2_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_and_atomics_accumulate() {
+        let mut t = MemoryTracker::new(1 << 20);
+        t.global_write(0, 4);
+        t.atomic_add(4096, 4);
+        assert_eq!(t.stats().atomic_adds, 1);
+        assert!(t.stats().global_write_bytes >= 128 + 4);
+        t.shared_read(64);
+        t.shared_write(32);
+        assert_eq!(t.stats().shared_bytes(), 96);
+    }
+
+    #[test]
+    fn reset_and_take() {
+        let mut t = MemoryTracker::new(1 << 20);
+        t.global_read(0, 1);
+        t.instructions(10);
+        let s = t.take_stats();
+        assert_eq!(s.warp_instructions, 10);
+        assert_eq!(t.stats().warp_instructions, 0);
+        t.global_read(0, 1);
+        t.reset();
+        assert_eq!(t.stats().global_transactions, 0);
+        assert_eq!(t.l2().hits() + t.l2().misses(), 0);
+    }
+
+    #[test]
+    fn zero_byte_accesses_are_ignored() {
+        let mut t = MemoryTracker::new(1 << 20);
+        t.global_read(0, 0);
+        t.global_write(0, 0);
+        assert_eq!(t.stats().global_transactions, 0);
+    }
+
+    #[test]
+    fn address_map_bases_are_distinct() {
+        let m = AddressMap::default();
+        let bases = [m.token_list, m.doc_topic, m.word_topic, m.word_topic_prob, m.trees];
+        for i in 0..bases.len() {
+            for j in 0..i {
+                assert_ne!(bases[i], bases[j]);
+            }
+        }
+    }
+}

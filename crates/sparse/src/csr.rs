@@ -1,0 +1,487 @@
+use std::fmt;
+
+use crate::{DenseMatrix, Result, SparseError, SparseRowView};
+
+/// A compressed-sparse-rows (CSR) matrix.
+///
+/// SaberLDA stores the document–topic count matrix `A` in CSR form (§3.1.1):
+/// the sampler only ever iterates over the non-zero topics of a document, and
+/// the CSR layout also cuts host↔device transfer volume compared to the dense
+/// representation of prior GPU systems.
+///
+/// Invariants maintained by every constructor:
+///
+/// * `row_ptr.len() == n_rows + 1`, `row_ptr[0] == 0`, monotone non-decreasing,
+///   `row_ptr[n_rows] == col_idx.len() == values.len()`;
+/// * within a row, column indices are strictly increasing and `< n_cols`.
+///
+/// # Examples
+///
+/// ```
+/// use saber_sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::<u32>::from_rows(4, &[vec![(0, 1), (3, 2)], vec![], vec![(2, 5)]]).unwrap();
+/// assert_eq!(m.shape(), (3, 4));
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row(0).get(3), Some(2));
+/// assert!(m.row(1).is_empty());
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for CsrMatrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CsrMatrix")
+            .field("n_rows", &self.n_rows)
+            .field("n_cols", &self.n_cols)
+            .field("nnz", &self.col_idx.len())
+            .finish()
+    }
+}
+
+impl<T: Copy> CsrMatrix<T> {
+    /// Builds a matrix from per-row `(column, value)` lists.
+    ///
+    /// Each row list must have strictly increasing column indices.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::ColumnOutOfBounds`] if a column index `>= n_cols`;
+    /// * [`SparseError::UnsortedRow`] if a row's columns are not strictly
+    ///   increasing.
+    pub fn from_rows(n_cols: usize, rows: &[Vec<(u32, T)>]) -> Result<Self> {
+        let mut b = CsrBuilder::new(n_cols);
+        for row in rows {
+            b.push_row(row.iter().copied())?;
+        }
+        Ok(b.build())
+    }
+
+    /// Builds a CSR matrix from a dense matrix, dropping zero entries.
+    pub fn from_dense(dense: &DenseMatrix<T>) -> Self
+    where
+        T: Default + PartialEq,
+    {
+        let mut b = CsrBuilder::new(dense.cols());
+        for r in 0..dense.rows() {
+            let row = dense.row(r);
+            b.push_row_unchecked(
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != T::default())
+                    .map(|(c, v)| (c as u32, *v)),
+            );
+        }
+        b.build()
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix<T>
+    where
+        T: Default,
+    {
+        let mut out = DenseMatrix::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for (c, &v) in self.row(r).iter() {
+                out[(r, c as usize)] = v;
+            }
+        }
+        out
+    }
+}
+
+impl<T> CsrMatrix<T> {
+    /// Builds a matrix directly from raw CSR arrays.
+    ///
+    /// # Errors
+    ///
+    /// Validates all CSR invariants listed in the type-level documentation and
+    /// returns the corresponding [`SparseError`] on violation.
+    pub fn from_raw_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Result<Self> {
+        if row_ptr.len() != n_rows + 1 {
+            return Err(SparseError::MalformedRowPtr {
+                detail: format!("expected length {}, got {}", n_rows + 1, row_ptr.len()),
+            });
+        }
+        if row_ptr.first() != Some(&0) {
+            return Err(SparseError::MalformedRowPtr {
+                detail: "row_ptr[0] must be 0".to_string(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::LengthMismatch {
+                indices: col_idx.len(),
+                values: values.len(),
+            });
+        }
+        if *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
+            return Err(SparseError::MalformedRowPtr {
+                detail: format!(
+                    "row_ptr[n_rows]={} but nnz={}",
+                    row_ptr.last().unwrap(),
+                    col_idx.len()
+                ),
+            });
+        }
+        for r in 0..n_rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::MalformedRowPtr {
+                    detail: format!("row_ptr decreases at row {r}"),
+                });
+            }
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::UnsortedRow { row: r });
+                }
+            }
+            if let Some(&last) = cols.last() {
+                if last as usize >= n_cols {
+                    return Err(SparseError::ColumnOutOfBounds {
+                        col: last,
+                        n_cols,
+                    });
+                }
+            }
+        }
+        Ok(CsrMatrix {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Average number of stored entries per row (the paper's `K_d` when the
+    /// matrix is the document–topic matrix).
+    pub fn mean_nnz_per_row(&self) -> f64 {
+        if self.n_rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.n_rows as f64
+        }
+    }
+
+    /// Borrow row `r` as a [`SparseRowView`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> SparseRowView<'_, T> {
+        assert!(r < self.n_rows, "row {r} out of bounds ({} rows)", self.n_rows);
+        let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        SparseRowView::new(&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.n_rows, "row {r} out of bounds");
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Iterator over all rows as [`SparseRowView`]s.
+    pub fn iter_rows(&self) -> RowIter<'_, T> {
+        RowIter { matrix: self, row: 0 }
+    }
+
+    /// The raw row-pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The raw column-index array.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The raw value array.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Size of the payload arrays in bytes (CSR footprint reported in Table 2).
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> Default for CsrMatrix<T> {
+    fn default() -> Self {
+        CsrMatrix {
+            n_rows: 0,
+            n_cols: 0,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+/// Iterator over the rows of a [`CsrMatrix`], yielding [`SparseRowView`]s.
+#[derive(Debug)]
+pub struct RowIter<'a, T> {
+    matrix: &'a CsrMatrix<T>,
+    row: usize,
+}
+
+impl<'a, T> Iterator for RowIter<'a, T> {
+    type Item = SparseRowView<'a, T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.row >= self.matrix.n_rows {
+            return None;
+        }
+        let view = self.matrix.row(self.row);
+        self.row += 1;
+        Some(view)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.matrix.n_rows - self.row;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for RowIter<'a, T> {}
+
+/// Incremental builder for a [`CsrMatrix`], appending one row at a time.
+///
+/// This is how the M-step count kernels assemble the document–topic matrix: a
+/// chunk's documents are counted in order and each per-document histogram is
+/// appended as a row.
+///
+/// # Examples
+///
+/// ```
+/// use saber_sparse::CsrBuilder;
+///
+/// let mut b = CsrBuilder::<u32>::new(8);
+/// b.push_row([(1, 3), (5, 1)]).unwrap();
+/// b.push_row([]).unwrap();
+/// let m = b.build();
+/// assert_eq!(m.shape(), (2, 8));
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrBuilder<T> {
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<T>,
+}
+
+impl<T: Copy> CsrBuilder<T> {
+    /// Creates a builder for a matrix with `n_cols` columns and no rows yet.
+    pub fn new(n_cols: usize) -> Self {
+        CsrBuilder {
+            n_cols,
+            row_ptr: vec![0],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `rows` rows and `nnz`
+    /// total entries.
+    pub fn with_capacity(n_cols: usize, rows: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0);
+        CsrBuilder {
+            n_cols,
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            values: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends a row given `(column, value)` pairs with strictly increasing
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// * [`SparseError::ColumnOutOfBounds`] for a column `>= n_cols`;
+    /// * [`SparseError::UnsortedRow`] if columns are not strictly increasing.
+    pub fn push_row<I: IntoIterator<Item = (u32, T)>>(&mut self, entries: I) -> Result<()> {
+        let start = self.col_idx.len();
+        let row = self.row_ptr.len() - 1;
+        let mut prev: Option<u32> = None;
+        for (c, v) in entries {
+            if c as usize >= self.n_cols {
+                self.col_idx.truncate(start);
+                self.values.truncate(start);
+                return Err(SparseError::ColumnOutOfBounds {
+                    col: c,
+                    n_cols: self.n_cols,
+                });
+            }
+            if let Some(p) = prev {
+                if c <= p {
+                    self.col_idx.truncate(start);
+                    self.values.truncate(start);
+                    return Err(SparseError::UnsortedRow { row });
+                }
+            }
+            prev = Some(c);
+            self.col_idx.push(c);
+            self.values.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+        Ok(())
+    }
+
+    /// Appends a row without validating entries (used on hot paths where the
+    /// caller constructs entries that are sorted by construction).
+    pub fn push_row_unchecked<I: IntoIterator<Item = (u32, T)>>(&mut self, entries: I) {
+        for (c, v) in entries {
+            debug_assert!((c as usize) < self.n_cols);
+            self.col_idx.push(c);
+            self.values.push(v);
+        }
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// Number of rows appended so far.
+    pub fn rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Finalises the matrix.
+    pub fn build(self) -> CsrMatrix<T> {
+        CsrMatrix {
+            n_rows: self.row_ptr.len() - 1,
+            n_cols: self.n_cols,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix<u32> {
+        // Fig. 1 of the paper: 3 documents, 3 topics.
+        CsrMatrix::from_rows(3, &[vec![(2, 2)], vec![(0, 3), (2, 1)], vec![(1, 2)]]).unwrap()
+    }
+
+    #[test]
+    fn basic_shape_and_access() {
+        let m = example();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row(0).get(2), Some(2));
+        assert_eq!(m.row(1).get(0), Some(3));
+        assert_eq!(m.row(1).get(1), None);
+        assert_eq!(m.row_nnz(1), 2);
+        assert!((m.mean_nnz_per_row() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = example();
+        let dense = m.to_dense();
+        assert_eq!(dense[(1, 0)], 3);
+        assert_eq!(dense[(0, 0)], 0);
+        let back = CsrMatrix::from_dense(&dense);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn builder_rejects_bad_rows() {
+        let mut b = CsrBuilder::<u32>::new(4);
+        assert!(b.push_row([(5, 1)]).is_err());
+        assert!(b.push_row([(2, 1), (1, 1)]).is_err());
+        assert!(b.push_row([(2, 1), (2, 1)]).is_err());
+        // Failed pushes must not leave partial data behind.
+        b.push_row([(0, 9)]).unwrap();
+        let m = b.build();
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_raw_parts_validation() {
+        // Valid.
+        assert!(CsrMatrix::from_raw_parts(2, 3, vec![0, 1, 2], vec![0, 2], vec![1u32, 1]).is_ok());
+        // Bad row_ptr length.
+        assert!(CsrMatrix::from_raw_parts(2, 3, vec![0, 1], vec![0], vec![1u32]).is_err());
+        // Non-monotone row_ptr.
+        assert!(
+            CsrMatrix::from_raw_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1u32, 1]).is_err()
+        );
+        // Column out of range.
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1u32]).is_err());
+        // Unsorted row.
+        assert!(
+            CsrMatrix::from_raw_parts(1, 5, vec![0, 2], vec![3, 1], vec![1u32, 1]).is_err()
+        );
+        // nnz mismatch.
+        assert!(CsrMatrix::from_raw_parts(1, 5, vec![0, 2], vec![1], vec![1u32]).is_err());
+    }
+
+    #[test]
+    fn iter_rows_counts() {
+        let m = example();
+        let nnzs: Vec<usize> = m.iter_rows().map(|r| r.nnz()).collect();
+        assert_eq!(nnzs, vec![1, 2, 1]);
+        assert_eq!(m.iter_rows().len(), 3);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let m: CsrMatrix<u32> = CsrMatrix::default();
+        assert_eq!(m.shape(), (0, 0));
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.mean_nnz_per_row(), 0.0);
+        let m = CsrMatrix::<f32>::from_rows(4, &[]).unwrap();
+        assert_eq!(m.rows(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_counts_all_arrays() {
+        let m = example();
+        let expected = 4 * std::mem::size_of::<usize>() + 4 * 4 + 4 * 4;
+        assert_eq!(m.memory_bytes(), expected);
+    }
+}

@@ -1,0 +1,205 @@
+//! Reference *segmented count*.
+//!
+//! Segmented count is the problem at the heart of rebuilding the
+//! document–topic matrix: given tokens grouped into segments (one segment per
+//! document) and a topic value per token, produce for every segment the list of
+//! distinct topics with their multiplicities (§3.3, Fig. 8 of the paper).
+//!
+//! This module provides the straightforward host implementation used as the
+//! correctness oracle; `saber-core::count::ssc` implements the paper's
+//! shuffle-and-segmented-count on the simulated GPU and is property-tested
+//! against this one.
+
+use crate::radix::radix_sort_u32;
+
+/// The counts of one segment: parallel `(keys, counts)` arrays with keys in
+/// increasing order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentCounts {
+    /// Distinct keys (topics) present in the segment, increasing.
+    pub keys: Vec<u32>,
+    /// Multiplicity of each key.
+    pub counts: Vec<u32>,
+}
+
+impl SegmentCounts {
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` when the segment holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total number of tokens counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+/// Counts distinct values within a single segment using the three-step
+/// procedure of Fig. 8: radix sort, adjacent-difference + prefix sum, then
+/// scatter/accumulate.
+///
+/// # Examples
+///
+/// ```
+/// use saber_sparse::segcount::count_segment;
+///
+/// let counts = count_segment(&[1, 8, 5, 1, 3, 5, 5, 3]);
+/// assert_eq!(counts.keys, vec![1, 3, 5, 8]);
+/// assert_eq!(counts.counts, vec![2, 2, 3, 1]);
+/// ```
+pub fn count_segment(values: &[u32]) -> SegmentCounts {
+    if values.is_empty() {
+        return SegmentCounts::default();
+    }
+    // (1) radix sort
+    let mut sorted = values.to_vec();
+    radix_sort_u32(&mut sorted);
+    // (2) adjacent difference marks the first occurrence of each key; its
+    // prefix sum gives each key's ordinal.
+    let mut diff = vec![0u32; sorted.len()];
+    for i in 1..sorted.len() {
+        diff[i] = u32::from(sorted[i] != sorted[i - 1]);
+    }
+    let mut ordinal = vec![0u32; sorted.len()];
+    let mut acc = 0u32;
+    for i in 0..sorted.len() {
+        acc += diff[i];
+        ordinal[i] = acc;
+    }
+    let n_keys = (acc + 1) as usize;
+    // (3) place keys at their ordinal and accumulate counters.
+    let mut keys = vec![0u32; n_keys];
+    let mut counts = vec![0u32; n_keys];
+    for i in 0..sorted.len() {
+        let o = ordinal[i] as usize;
+        keys[o] = sorted[i];
+        counts[o] += 1;
+    }
+    SegmentCounts { keys, counts }
+}
+
+/// Counts values per segment, where `segment_offsets` delimits segments in
+/// `values` (`segment i` spans `segment_offsets[i]..segment_offsets[i+1]`).
+///
+/// # Panics
+///
+/// Panics if `segment_offsets` is not a valid monotone offset array ending at
+/// `values.len()`.
+pub fn segmented_count(values: &[u32], segment_offsets: &[usize]) -> Vec<SegmentCounts> {
+    assert!(
+        !segment_offsets.is_empty(),
+        "segment offsets must contain at least the terminating offset"
+    );
+    assert_eq!(
+        *segment_offsets.last().unwrap(),
+        values.len(),
+        "last segment offset must equal values.len()"
+    );
+    let mut out = Vec::with_capacity(segment_offsets.len() - 1);
+    for w in segment_offsets.windows(2) {
+        assert!(w[0] <= w[1], "segment offsets must be monotone");
+        out.push(count_segment(&values[w[0]..w[1]]));
+    }
+    out
+}
+
+/// Naive hash-free oracle for [`count_segment`]: dense histogram over the key
+/// range. Used in tests.
+pub fn count_segment_dense_oracle(values: &[u32], key_range: usize) -> SegmentCounts {
+    let mut hist = vec![0u32; key_range];
+    for &v in values {
+        hist[v as usize] += 1;
+    }
+    let mut keys = Vec::new();
+    let mut counts = Vec::new();
+    for (k, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            keys.push(k as u32);
+            counts.push(c);
+        }
+    }
+    SegmentCounts { keys, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example() {
+        // Fig. 8: a = [1, 8, 5, 1, 3, 5, 5, 3] → keys [1,3,5,8], counts [2,2,3,1].
+        let c = count_segment(&[1, 8, 5, 1, 3, 5, 5, 3]);
+        assert_eq!(c.keys, vec![1, 3, 5, 8]);
+        assert_eq!(c.counts, vec![2, 2, 3, 1]);
+        assert_eq!(c.total(), 8);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let c = count_segment(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn single_value_segment() {
+        let c = count_segment(&[7, 7, 7]);
+        assert_eq!(c.keys, vec![7]);
+        assert_eq!(c.counts, vec![3]);
+    }
+
+    #[test]
+    fn segmented_over_documents() {
+        // Two documents: [1,1,2] and [0,2].
+        let values = [1u32, 1, 2, 0, 2];
+        let offsets = [0usize, 3, 5];
+        let counts = segmented_count(&values, &offsets);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].keys, vec![1, 2]);
+        assert_eq!(counts[0].counts, vec![2, 1]);
+        assert_eq!(counts[1].keys, vec![0, 2]);
+        assert_eq!(counts[1].counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn segmented_with_empty_segments() {
+        let values = [5u32, 5];
+        let offsets = [0usize, 0, 2, 2];
+        let counts = segmented_count(&values, &offsets);
+        assert_eq!(counts.len(), 3);
+        assert!(counts[0].is_empty());
+        assert_eq!(counts[1].counts, vec![2]);
+        assert!(counts[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "last segment offset")]
+    fn bad_offsets_panic() {
+        segmented_count(&[1, 2, 3], &[0, 2]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_dense_oracle(values in proptest::collection::vec(0u32..64, 0..300)) {
+            let got = count_segment(&values);
+            let expected = count_segment_dense_oracle(&values, 64);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn totals_preserved(values in proptest::collection::vec(0u32..1000, 0..300), cut in 0usize..300) {
+            let cut = cut.min(values.len());
+            let offsets = [0, cut, values.len()];
+            let segs = segmented_count(&values, &offsets);
+            let total: u64 = segs.iter().map(|s| s.total()).sum();
+            prop_assert_eq!(total, values.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Baseline shoot-out: convergence of every system on one corpus.
+//!
+//! A miniature version of the paper's Fig. 11: SaberLDA (simulated GTX 1080)
+//! against the dense GPU baseline and the three CPU baselines, all trained on
+//! the same corpus and evaluated with the same held-out likelihood.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example baseline_shootout
+//! ```
+
+use saberlda::corpus::presets::DatasetPreset;
+use saberlda::{
+    DenseGibbsLda, DeviceSpec, EscaCpuLda, FTreeLda, HeldOutEvaluator, LdaTrainer, SaberLda,
+    SaberLdaConfig, WarpLdaMh,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = DatasetPreset::NyTimes.synthetic_spec(10_000).generate(17);
+    let evaluator = HeldOutEvaluator::new(&corpus, 2)?;
+    let k = 200;
+    let alpha = 50.0 / k as f32;
+    let beta = 0.01;
+    let iterations = 15;
+
+    let config = SaberLdaConfig::builder()
+        .n_topics(k)
+        .n_iterations(iterations)
+        .n_chunks(2)
+        .seed(4)
+        .build()?;
+    let saber = SaberLda::new(config, &corpus)?;
+
+    let mut systems: Vec<Box<dyn LdaTrainer>> = vec![
+        Box::new(saber),
+        Box::new(DenseGibbsLda::new(&corpus, k, alpha, beta, 4, DeviceSpec::gtx_1080())),
+        Box::new(EscaCpuLda::new(&corpus, k, alpha, beta, 4)),
+        Box::new(FTreeLda::new(&corpus, k, alpha, beta, 4)),
+        Box::new(WarpLdaMh::new(&corpus, k, alpha, beta, 4)),
+    ];
+
+    println!("corpus: {}", saberlda::corpus::stats::CorpusStats::of(&corpus));
+    println!("{iterations} iterations each, K = {k}\n");
+    println!(
+        "{:<34} {:>14} {:>18}",
+        "system", "time (model s)", "final held-out LL"
+    );
+    let mut rows = Vec::new();
+    for system in systems.iter_mut() {
+        let mut elapsed = 0.0;
+        for _ in 0..iterations {
+            elapsed += system.step().seconds;
+        }
+        let ll = evaluator.log_likelihood(system.word_topic_prob(), system.alpha());
+        println!("{:<34} {:>14.3} {:>18.4}", system.name(), elapsed, ll);
+        rows.push((system.name(), elapsed, ll));
+    }
+
+    let saber_time = rows[0].1;
+    println!("\nspeedups over SaberLDA's modelled time:");
+    for (name, time, _) in rows.iter().skip(1) {
+        println!("  {name:<34} {:>6.1}x slower", time / saber_time);
+    }
+    Ok(())
+}

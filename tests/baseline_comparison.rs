@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: SaberLDA versus the baseline systems on a
+//! shared corpus and evaluator (the Fig. 11 pipeline at miniature scale).
+
+use saberlda::corpus::synthetic::SyntheticSpec;
+use saberlda::{
+    DenseGibbsLda, DeviceSpec, EscaCpuLda, FTreeLda, HeldOutEvaluator, LdaTrainer, SaberLda,
+    SaberLdaConfig, WarpLdaMh,
+};
+
+fn corpus() -> saberlda::Corpus {
+    SyntheticSpec {
+        n_docs: 150,
+        vocab_size: 300,
+        mean_doc_len: 45.0,
+        n_topics: 6,
+        ..SyntheticSpec::default()
+    }
+    .generate(21)
+}
+
+fn all_systems(corpus: &saberlda::Corpus, k: usize) -> Vec<Box<dyn LdaTrainer>> {
+    let alpha = 0.2f32;
+    let beta = 0.01f32;
+    let config = SaberLdaConfig::builder()
+        .n_topics(k)
+        .alpha(alpha)
+        .n_iterations(10)
+        .n_chunks(2)
+        .seed(6)
+        .build()
+        .unwrap();
+    vec![
+        Box::new(SaberLda::new(config, corpus).unwrap()),
+        Box::new(DenseGibbsLda::new(corpus, k, alpha, beta, 6, DeviceSpec::gtx_1080())),
+        Box::new(EscaCpuLda::new(corpus, k, alpha, beta, 6)),
+        Box::new(FTreeLda::new(corpus, k, alpha, beta, 6)),
+        Box::new(WarpLdaMh::new(corpus, k, alpha, beta, 6)),
+    ]
+}
+
+#[test]
+fn every_system_improves_held_out_likelihood() {
+    let corpus = corpus();
+    let evaluator = HeldOutEvaluator::new(&corpus, 3).unwrap();
+    for mut system in all_systems(&corpus, 6) {
+        let before = evaluator.log_likelihood(system.word_topic_prob(), system.alpha());
+        for _ in 0..8 {
+            system.step();
+        }
+        let after = evaluator.log_likelihood(system.word_topic_prob(), system.alpha());
+        assert!(
+            after > before,
+            "{} did not improve held-out likelihood ({before:.4} -> {after:.4})",
+            system.name()
+        );
+    }
+}
+
+#[test]
+fn modelled_iteration_times_preserve_the_papers_ordering() {
+    // The qualitative Fig. 11 ordering at K = 1000:
+    // SaberLDA (GPU, sparse) is faster per unit of modelled time than the
+    // dense GPU baseline and than the sparsity-aware CPU systems.
+    // A corpus with a realistic tokens-per-word ratio (T/V ≈ 100) so that the
+    // per-word B̂ staging cost is amortised, as it is on the paper's corpora.
+    let corpus = SyntheticSpec {
+        n_docs: 500,
+        vocab_size: 300,
+        mean_doc_len: 80.0,
+        n_topics: 10,
+        ..SyntheticSpec::default()
+    }
+    .generate(30);
+    let k = 1000;
+    let mut times = std::collections::HashMap::new();
+    for mut system in all_systems(&corpus, k) {
+        let mut total = 0.0;
+        for _ in 0..2 {
+            total += system.step().seconds;
+        }
+        times.insert(system.name(), total);
+    }
+    let saber = times
+        .iter()
+        .find(|(name, _)| name.contains("SaberLDA"))
+        .map(|(_, &t)| t)
+        .unwrap();
+    for (name, &t) in &times {
+        if name.contains("SaberLDA") || name.contains("WarpLDA") {
+            continue;
+        }
+        assert!(
+            t > saber,
+            "{name} ({t:.5}s) should be slower per iteration than SaberLDA ({saber:.5}s)"
+        );
+    }
+    // The dense O(K) GPU baseline should be the slowest of all at K = 1000.
+    let dense = times
+        .iter()
+        .find(|(name, _)| name.contains("BIDMach"))
+        .map(|(_, &t)| t)
+        .unwrap();
+    assert!(
+        dense > 2.0 * saber,
+        "dense baseline ({dense:.5}s) should be several times slower than SaberLDA ({saber:.5}s)"
+    );
+}
+
+#[test]
+fn systems_expose_consistent_model_shapes() {
+    let corpus = corpus();
+    for system in all_systems(&corpus, 6) {
+        let bhat = system.word_topic_prob();
+        assert_eq!(bhat.rows(), corpus.vocab_size(), "{}", system.name());
+        assert_eq!(bhat.cols(), 6, "{}", system.name());
+        assert_eq!(system.n_topics(), 6);
+        for k in 0..6 {
+            let s: f32 = (0..bhat.rows()).map(|v| bhat[(v, k)]).sum();
+            assert!((s - 1.0).abs() < 1e-3, "{}: column {k} sums to {s}", system.name());
+        }
+    }
+}

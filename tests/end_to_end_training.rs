@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: end-to-end training through the public API.
+
+use saberlda::corpus::presets::DatasetPreset;
+use saberlda::corpus::synthetic::SyntheticSpec;
+use saberlda::{HeldOutEvaluator, LdaTrainer, OptLevel, SaberLda, SaberLdaConfig};
+
+fn small_corpus(seed: u64) -> saberlda::Corpus {
+    SyntheticSpec {
+        n_docs: 150,
+        vocab_size: 400,
+        mean_doc_len: 50.0,
+        n_topics: 8,
+        ..SyntheticSpec::default()
+    }
+    .generate(seed)
+}
+
+#[test]
+fn every_optimisation_level_trains_to_the_same_token_counts() {
+    let corpus = small_corpus(1);
+    for level in OptLevel::ALL {
+        let config = SaberLdaConfig::builder()
+            .n_topics(16)
+            .n_iterations(3)
+            .n_chunks(2)
+            .seed(9)
+            .opt_level(level)
+            .build()
+            .unwrap();
+        let mut lda = SaberLda::new(config, &corpus).unwrap();
+        let report = lda.train();
+        assert_eq!(report.iterations.len(), 3, "{level}");
+        assert_eq!(
+            lda.model().word_topic().total(),
+            corpus.n_tokens(),
+            "level {level} lost tokens"
+        );
+        assert!(report.total_seconds() > 0.0);
+    }
+}
+
+#[test]
+fn held_out_likelihood_improves_and_beats_the_uniform_bound() {
+    let corpus = small_corpus(2);
+    let evaluator = HeldOutEvaluator::new(&corpus, 7).unwrap();
+    let config = SaberLdaConfig::builder()
+        .n_topics(8)
+        .alpha(0.15)
+        .n_iterations(15)
+        .n_chunks(2)
+        .seed(3)
+        .build()
+        .unwrap();
+    let mut lda = SaberLda::new(config, &corpus).unwrap();
+    let report = lda.train_with_eval(&evaluator, 2);
+    let curve = report.convergence_curve();
+    assert!(curve.len() >= 5);
+    let first = curve.first().unwrap().1;
+    let last = curve.last().unwrap().1;
+    assert!(last > first, "likelihood did not improve: {first} -> {last}");
+    // Better than assigning every word uniform probability.
+    let uniform = (1.0 / corpus.vocab_size() as f64).ln();
+    assert!(last > uniform, "final LL {last} below uniform bound {uniform}");
+}
+
+#[test]
+fn training_is_reproducible_across_chunk_counts_in_token_totals() {
+    // Different chunkings must still conserve tokens and produce valid models.
+    let corpus = small_corpus(3);
+    for chunks in [1usize, 2, 5] {
+        let config = SaberLdaConfig::builder()
+            .n_topics(12)
+            .n_iterations(2)
+            .n_chunks(chunks)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut lda = SaberLda::new(config, &corpus).unwrap();
+        lda.train();
+        assert_eq!(lda.model().word_topic().total(), corpus.n_tokens());
+        assert!(lda.n_chunks() <= chunks.max(1));
+        // B̂ columns remain normalised through chunked training.
+        let bhat = lda.model().word_topic_prob();
+        for k in 0..12 {
+            let s: f32 = (0..corpus.vocab_size()).map(|v| bhat[(v, k)]).sum();
+            assert!((s - 1.0).abs() < 1e-3, "chunks={chunks} column {k} sums to {s}");
+        }
+    }
+}
+
+#[test]
+fn saberlda_recovers_planted_topics_better_than_random_init() {
+    // Generate a corpus with strong planted structure and check the trained
+    // model assigns co-occurring words to the same topic more than chance.
+    let spec = SyntheticSpec {
+        n_docs: 200,
+        vocab_size: 300,
+        mean_doc_len: 60.0,
+        n_topics: 5,
+        doc_topic_alpha: 0.03,
+        topic_word_beta: 0.01,
+        ..SyntheticSpec::default()
+    };
+    let (corpus, planted) = spec.generate_with_model(8);
+    let config = SaberLdaConfig::builder()
+        .n_topics(5)
+        .alpha(0.1)
+        .n_iterations(25)
+        .seed(2)
+        .build()
+        .unwrap();
+    let mut lda = SaberLda::new(config, &corpus).unwrap();
+    lda.train();
+
+    // For each planted topic, find its top words and check the trained model
+    // concentrates them in one trained topic (purity above chance = 1/K).
+    let mut purities = Vec::new();
+    for phi in &planted.topic_word {
+        let mut idx: Vec<usize> = (0..phi.len()).collect();
+        idx.sort_by(|&a, &b| phi[b].partial_cmp(&phi[a]).unwrap());
+        let top_words = &idx[..20];
+        let mut votes = vec![0usize; 5];
+        for &w in top_words {
+            let row = lda.model().word_topic_prob().row(w);
+            let best = (0..5).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap()).unwrap();
+            votes[best] += 1;
+        }
+        purities.push(*votes.iter().max().unwrap() as f64 / top_words.len() as f64);
+    }
+    let mean_purity: f64 = purities.iter().sum::<f64>() / purities.len() as f64;
+    assert!(
+        mean_purity > 0.45,
+        "planted-topic purity {mean_purity:.2} barely above chance (0.2)"
+    );
+}
+
+#[test]
+fn preset_corpora_train_through_the_trait_object_interface() {
+    let corpus = DatasetPreset::PubMed.synthetic_spec(100_000).generate(4);
+    let config = SaberLdaConfig::builder()
+        .n_topics(32)
+        .n_iterations(2)
+        .n_chunks(2)
+        .seed(0)
+        .build()
+        .unwrap();
+    let mut lda = SaberLda::new(config, &corpus).unwrap();
+    let trainer: &mut dyn LdaTrainer = &mut lda;
+    let out = trainer.step();
+    assert_eq!(out.tokens, corpus.n_tokens());
+    assert!(out.seconds > 0.0);
+    assert!(trainer.name().contains("SaberLDA"));
+}

@@ -1,0 +1,123 @@
+//! Cross-crate property-based tests on the public API.
+
+use proptest::prelude::*;
+use saberlda::core::config::TokenOrder;
+use saberlda::core::count::{rebuild_doc_topic, rebuild_reference};
+use saberlda::core::layout::build_chunks;
+use saberlda::core::trees::{TopicSampler, WordSampler};
+use saberlda::core::{CountRebuild, PreprocessKind};
+use saberlda::corpus::synthetic::SyntheticSpec;
+use saberlda::gpu::MemoryTracker;
+use saberlda::{SaberLda, SaberLdaConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The PDOW layout is a permutation of the corpus: token multisets per
+    /// document are preserved no matter how many chunks are used.
+    #[test]
+    fn pdow_layout_preserves_per_document_word_multisets(
+        n_docs in 5usize..40,
+        n_chunks in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let corpus = SyntheticSpec {
+            n_docs,
+            vocab_size: 60,
+            mean_doc_len: 12.0,
+            n_topics: 4,
+            ..SyntheticSpec::default()
+        }
+        .generate(seed);
+        let chunks = build_chunks(&corpus, n_chunks, TokenOrder::WordMajor, true);
+        for chunk in &chunks {
+            for local_d in 0..chunk.n_docs {
+                let global_d = chunk.doc_start + local_d;
+                let mut expected: Vec<u32> = corpus.document(global_d).words().to_vec();
+                expected.sort_unstable();
+                let mut got: Vec<u32> = chunk
+                    .word_ids
+                    .iter()
+                    .zip(chunk.local_doc_ids.iter())
+                    .filter(|(_, &d)| d as usize == local_d)
+                    .map(|(&w, _)| w)
+                    .collect();
+                got.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+
+    /// SSC and the naive sort produce identical document-topic matrices, and
+    /// both match the dense reference, for random corpora and topic counts.
+    #[test]
+    fn count_rebuilds_agree(seed in 0u64..500, k in 2usize..24) {
+        let corpus = SyntheticSpec {
+            n_docs: 25,
+            vocab_size: 50,
+            mean_doc_len: 15.0,
+            n_topics: 3,
+            ..SyntheticSpec::default()
+        }
+        .generate(seed);
+        let mut chunks = build_chunks(&corpus, 2, TokenOrder::WordMajor, true);
+        let mut rng = rand::thread_rng();
+        for chunk in &mut chunks {
+            chunk.randomize_topics(k, &mut rng);
+            let mut t1 = MemoryTracker::new(1 << 18);
+            let mut t2 = MemoryTracker::new(1 << 18);
+            let ssc = rebuild_doc_topic(chunk, k, CountRebuild::Ssc, &mut t1);
+            let naive = rebuild_doc_topic(chunk, k, CountRebuild::NaiveSort, &mut t2);
+            let reference = rebuild_reference(chunk, k);
+            prop_assert_eq!(&ssc, &naive);
+            prop_assert_eq!(&ssc, &reference);
+        }
+    }
+
+    /// Every pre-processed sampling structure samples only positive-weight
+    /// topics and agrees with the weights' support.
+    #[test]
+    fn samplers_never_select_zero_weight_topics(
+        weights in proptest::collection::vec(0.0f32..3.0, 2..120),
+        u in 0.0f32..1.0,
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        for kind in [PreprocessKind::WaryTree, PreprocessKind::AliasTable, PreprocessKind::FenwickTree] {
+            let sampler = WordSampler::build(kind, &weights);
+            let k = sampler.sample_with(u);
+            prop_assert!(k < weights.len());
+            prop_assert!(weights[k] > 0.0, "{kind:?} sampled zero-weight topic {k}");
+        }
+    }
+
+    /// Training never loses or duplicates tokens, for any chunking, ordering
+    /// and small topic count.
+    #[test]
+    fn training_conserves_tokens(
+        n_chunks in 1usize..4,
+        k in 2usize..12,
+        seed in 0u64..100,
+    ) {
+        let corpus = SyntheticSpec {
+            n_docs: 30,
+            vocab_size: 80,
+            mean_doc_len: 20.0,
+            n_topics: 4,
+            ..SyntheticSpec::default()
+        }
+        .generate(seed);
+        let config = SaberLdaConfig::builder()
+            .n_topics(k)
+            .n_iterations(2)
+            .n_chunks(n_chunks)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let mut lda = SaberLda::new(config, &corpus).unwrap();
+        lda.train();
+        prop_assert_eq!(lda.model().word_topic().total(), corpus.n_tokens());
+        // Column sums of B equal per-topic token counts, and their total is T.
+        let totals: u64 = lda.model().topic_totals().iter().sum();
+        prop_assert_eq!(totals, corpus.n_tokens());
+    }
+}
