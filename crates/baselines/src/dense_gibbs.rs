@@ -30,7 +30,14 @@ impl DenseGibbsLda {
     /// # Panics
     ///
     /// Panics if `n_topics == 0` or the corpus is empty.
-    pub fn new(corpus: &Corpus, n_topics: usize, alpha: f32, beta: f32, seed: u64, device: DeviceSpec) -> Self {
+    pub fn new(
+        corpus: &Corpus,
+        n_topics: usize,
+        alpha: f32,
+        beta: f32,
+        seed: u64,
+        device: DeviceSpec,
+    ) -> Self {
         DenseGibbsLda {
             state: BaselineState::new(corpus, n_topics, alpha, beta, seed),
             cost: CostModel::new(device.clone()),
@@ -158,7 +165,14 @@ mod tests {
         assert!(small.fits_in_memory());
         // A PubMed-scale dense A at K=5000 cannot fit in 8 GB (the paper's
         // BIDMach out-of-memory failure). Emulate by shrinking the device.
-        let big = DenseGibbsLda::new(&corpus, 4096, 0.1, 0.01, 1, DeviceSpec::toy(4 * 1024 * 1024));
+        let big = DenseGibbsLda::new(
+            &corpus,
+            4096,
+            0.1,
+            0.01,
+            1,
+            DeviceSpec::toy(4 * 1024 * 1024),
+        );
         assert!(!big.fits_in_memory());
         assert!(big.required_device_bytes() > small.required_device_bytes());
     }

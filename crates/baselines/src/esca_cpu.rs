@@ -48,6 +48,7 @@ impl EscaCpuLda {
     }
 
     /// Internal constructor shared with the F+LDA baseline.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_structure(
         corpus: &Corpus,
         n_topics: usize,
@@ -75,7 +76,8 @@ impl EscaCpuLda {
         KernelStats {
             global_read_bytes: t * kd_bytes + t * 8,
             global_write_bytes: t * 4 + v * k * 4,
-            warp_instructions: t * ((mean_kd.ceil() as u64).max(1) + self.extra_instructions_per_token)
+            warp_instructions: t
+                * ((mean_kd.ceil() as u64).max(1) + self.extra_instructions_per_token)
                 + v * k,
             ..KernelStats::default()
         }
@@ -134,7 +136,10 @@ impl LdaTrainer for EscaCpuLda {
         self.state.m_step();
 
         IterationOutcome {
-            seconds: self.cost.kernel_time(&self.iteration_stats(mean_kd)).total_seconds,
+            seconds: self
+                .cost
+                .kernel_time(&self.iteration_stats(mean_kd))
+                .total_seconds,
             tokens: self.state.n_tokens(),
         }
     }

@@ -81,8 +81,14 @@ mod tests {
         let mut esca = crate::EscaCpuLda::new(&corpus, 128, 0.1, 0.01, 1);
         let t_ftree = ftree.step().seconds;
         let t_esca = esca.step().seconds;
-        assert!(t_ftree >= t_esca, "F+LDA ({t_ftree}) should not be faster than ESCA ({t_esca})");
-        assert!(t_ftree < 3.0 * t_esca, "F+LDA should be in the same ballpark");
+        assert!(
+            t_ftree >= t_esca,
+            "F+LDA ({t_ftree}) should not be faster than ESCA ({t_esca})"
+        );
+        assert!(
+            t_ftree < 3.0 * t_esca,
+            "F+LDA should be in the same ballpark"
+        );
         assert!(ftree.name().contains("F+LDA"));
         assert_eq!(ftree.n_topics(), 128);
     }

@@ -66,7 +66,6 @@ impl WarpLdaMh {
             ..KernelStats::default()
         }
     }
-
 }
 
 impl LdaTrainer for WarpLdaMh {

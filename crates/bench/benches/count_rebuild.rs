@@ -35,7 +35,12 @@ fn bench_rebuild(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive_sort", k), chunk, |b, chunk| {
             b.iter(|| {
                 let mut tracker = MemoryTracker::new(1 << 21);
-                black_box(rebuild_doc_topic(chunk, k, CountRebuild::NaiveSort, &mut tracker))
+                black_box(rebuild_doc_topic(
+                    chunk,
+                    k,
+                    CountRebuild::NaiveSort,
+                    &mut tracker,
+                ))
             })
         });
     }

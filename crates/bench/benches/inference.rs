@@ -1,0 +1,122 @@
+//! Serving bench: single-request fold-in latency and batched server
+//! throughput (tokens/s), across the two snapshot sampler kinds (§3.2.4's
+//! build-vs-query trade-off, applied to inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_core::model::LdaModel;
+use saber_serve::{
+    FoldInParams, InferRequest, InferenceSnapshot, ServeConfig, SnapshotSampler, TopicServer,
+};
+use std::hint::black_box;
+
+const VOCAB: usize = 2_000;
+const K: usize = 256;
+
+/// A loosely structured model: each word has mass in a handful of topics.
+fn bench_model() -> LdaModel {
+    let mut model = LdaModel::new(VOCAB, K, 50.0 / K as f32, 0.01).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for v in 0..VOCAB {
+        for _ in 0..4 {
+            let k = rng.gen_range(0..K);
+            model.word_topic_mut()[(v, k)] += rng.gen_range(1u32..20);
+        }
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn docs(n: usize, len: usize) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(0..VOCAB) as u32).collect())
+        .collect()
+}
+
+fn bench_single_request(c: &mut Criterion) {
+    let model = bench_model();
+    let doc = &docs(1, 64)[0];
+    let mut group = c.benchmark_group("inference_single");
+    group.sample_size(15);
+    for kind in [SnapshotSampler::WaryTree, SnapshotSampler::AliasTable] {
+        let snapshot = InferenceSnapshot::from_model(&model, kind);
+        group.bench_with_input(
+            BenchmarkId::new("fold_in_64_tokens", format!("{kind:?}")),
+            doc,
+            |b, doc| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(snapshot.infer_topics(doc, seed, FoldInParams::default()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_build(c: &mut Criterion) {
+    let model = bench_model();
+    let mut group = c.benchmark_group("inference_snapshot_build");
+    group.sample_size(10);
+    for kind in [SnapshotSampler::WaryTree, SnapshotSampler::AliasTable] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| black_box(InferenceSnapshot::from_model(&model, kind)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_throughput(c: &mut Criterion) {
+    let model = bench_model();
+    let requests: Vec<InferRequest> = docs(64, 64)
+        .into_iter()
+        .enumerate()
+        .map(|(i, words)| InferRequest {
+            words,
+            seed: i as u64,
+        })
+        .collect();
+    let tokens_per_round: usize = requests.iter().map(|r| r.words.len()).sum();
+
+    let mut group = c.benchmark_group("inference_batched");
+    group.sample_size(10);
+    for kind in [SnapshotSampler::WaryTree, SnapshotSampler::AliasTable] {
+        let server = TopicServer::start(
+            InferenceSnapshot::from_model(&model, kind),
+            ServeConfig {
+                n_workers: 4,
+                max_batch: 16,
+                sampler: kind,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        group.bench_function(format!("{kind:?}_64_docs_x_64_tokens_4_workers"), |b| {
+            b.iter(|| {
+                let responses = server.infer_batch(requests.clone()).unwrap();
+                black_box(responses.len())
+            })
+        });
+        let stats = server.stats();
+        println!(
+            "  [{kind:?}] {} requests in {} micro-batches (mean batch {:.1}); {} tokens per round",
+            stats.requests,
+            stats.batches,
+            stats.mean_batch_size(),
+            tokens_per_round
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_request,
+    bench_snapshot_build,
+    bench_batched_throughput
+);
+criterion_main!(benches);

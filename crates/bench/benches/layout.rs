@@ -44,7 +44,10 @@ fn bench_kernel_traffic(c: &mut Criterion) {
     let k = 128usize;
     let mut group = c.benchmark_group("layout_kernel");
     group.sample_size(10);
-    for (label, order) in [("pdow", TokenOrder::WordMajor), ("doc_major", TokenOrder::DocMajor)] {
+    for (label, order) in [
+        ("pdow", TokenOrder::WordMajor),
+        ("doc_major", TokenOrder::DocMajor),
+    ] {
         let config = SaberLdaConfig::builder()
             .n_topics(k)
             .token_order(order)
@@ -54,7 +57,10 @@ fn bench_kernel_traffic(c: &mut Criterion) {
         chunks[0].randomize_topics(k, &mut StdRng::seed_from_u64(3));
         let mut model = LdaModel::new(corpus.vocab_size(), k, config.alpha, config.beta).unwrap();
         model.rebuild_from_assignments(
-            chunks[0].iter_tokens().map(|(w, _, t)| (w, t)).collect::<Vec<_>>(),
+            chunks[0]
+                .iter_tokens()
+                .map(|(w, _, t)| (w, t))
+                .collect::<Vec<_>>(),
         );
         let samplers: Vec<WordSampler> = (0..corpus.vocab_size())
             .map(|v| WordSampler::build(PreprocessKind::WaryTree, model.word_topic_prob().row(v)))
@@ -65,7 +71,15 @@ fn bench_kernel_traffic(c: &mut Criterion) {
                 let mut chunk = chunks[0].clone();
                 let mut tracker = MemoryTracker::new(1 << 21);
                 let mut rng = StdRng::seed_from_u64(4);
-                sample_chunk(&mut chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng);
+                sample_chunk(
+                    &mut chunk,
+                    &a,
+                    &model,
+                    &samplers,
+                    &config,
+                    &mut tracker,
+                    &mut rng,
+                );
                 black_box(tracker.stats().dram_bytes())
             })
         });

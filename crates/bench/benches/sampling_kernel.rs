@@ -30,9 +30,21 @@ fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("sampling_kernel");
     group.sample_size(10);
     for (label, kernel, order) in [
-        ("warp_word_major", KernelKind::WarpBased, TokenOrder::WordMajor),
-        ("thread_word_major", KernelKind::ThreadBased, TokenOrder::WordMajor),
-        ("warp_doc_major", KernelKind::WarpBased, TokenOrder::DocMajor),
+        (
+            "warp_word_major",
+            KernelKind::WarpBased,
+            TokenOrder::WordMajor,
+        ),
+        (
+            "thread_word_major",
+            KernelKind::ThreadBased,
+            TokenOrder::WordMajor,
+        ),
+        (
+            "warp_doc_major",
+            KernelKind::WarpBased,
+            TokenOrder::DocMajor,
+        ),
     ] {
         let config = SaberLdaConfig::builder()
             .n_topics(k)
@@ -61,7 +73,13 @@ fn bench_kernel(c: &mut Criterion) {
                 let mut tracker = MemoryTracker::new(1 << 21);
                 let mut rng = StdRng::seed_from_u64(2);
                 black_box(sample_chunk(
-                    &mut chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng,
+                    &mut chunk,
+                    &a,
+                    &model,
+                    &samplers,
+                    &config,
+                    &mut tracker,
+                    &mut rng,
                 ))
             })
         });
@@ -77,10 +95,18 @@ fn bench_prefix_search(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("prefix_search");
     group.bench_function("warp_vectorised", |b| {
-        b.iter(|| xs.iter().map(|&x| warp_find_prefix_position(&probs, x)).sum::<usize>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| warp_find_prefix_position(&probs, x))
+                .sum::<usize>()
+        })
     });
     group.bench_function("scalar_binary_search", |b| {
-        b.iter(|| xs.iter().map(|&x| find_in_prefix_sum(&prefix, x)).sum::<usize>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| find_in_prefix_sum(&prefix, x))
+                .sum::<usize>()
+        })
     });
     group.finish();
 }

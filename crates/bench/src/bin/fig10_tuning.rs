@@ -13,8 +13,18 @@ use saber_corpus::presets::DatasetPreset;
 
 const TOPIC_COUNTS: [usize; 3] = [1000, 3000, 5000];
 
-fn throughput(corpus: &saber_corpus::Corpus, k: usize, iters: usize, configure: impl Fn(saber_core::config::SaberLdaConfigBuilder) -> saber_core::config::SaberLdaConfigBuilder) -> f64 {
-    let builder = SaberLdaConfig::builder().n_topics(k).n_iterations(iters).seed(11);
+fn throughput(
+    corpus: &saber_corpus::Corpus,
+    k: usize,
+    iters: usize,
+    configure: impl Fn(
+        saber_core::config::SaberLdaConfigBuilder,
+    ) -> saber_core::config::SaberLdaConfigBuilder,
+) -> f64 {
+    let builder = SaberLdaConfig::builder()
+        .n_topics(k)
+        .n_iterations(iters)
+        .seed(11);
     let config = configure(builder).build().expect("valid config");
     let mut lda = SaberLda::new(config, corpus).expect("non-empty corpus");
     lda.train().mean_throughput_mtokens_per_s()
@@ -35,7 +45,10 @@ fn main() {
                 .map(|&p| {
                     format!(
                         "{:.1}",
-                        throughput(&corpus, k, iters, |b| b.n_chunks(p).n_workers(1).async_streams(false))
+                        throughput(&corpus, k, iters, |b| b
+                            .n_chunks(p)
+                            .n_workers(1)
+                            .async_streams(false))
                     )
                 })
                 .collect();
@@ -53,7 +66,10 @@ fn main() {
                 .map(|&w| {
                     format!(
                         "{:.1}",
-                        throughput(&corpus, k, iters, |b| b.n_chunks(10).n_workers(w).async_streams(w > 1))
+                        throughput(&corpus, k, iters, |b| b
+                            .n_chunks(10)
+                            .n_workers(w)
+                            .async_streams(w > 1))
                     )
                 })
                 .collect();
@@ -77,6 +93,8 @@ fn main() {
                 .collect();
             println!("| K={k} | {} |", cells.join(" | "));
         }
-        println!("\nExpected shape: a broad optimum around 256 threads per block, as in the paper.\n");
+        println!(
+            "\nExpected shape: a broad optimum around 256 threads per block, as in the paper.\n"
+        );
     }
 }

@@ -38,7 +38,14 @@ fn run_dataset(preset: DatasetPreset, args: &BenchArgs) {
         .expect("config");
     let mut systems: Vec<Box<dyn LdaTrainer>> = vec![
         Box::new(SaberLda::new(saber_config, &corpus).expect("corpus")),
-        Box::new(DenseGibbsLda::new(&corpus, k, alpha, beta, 1, DeviceSpec::gtx_1080())),
+        Box::new(DenseGibbsLda::new(
+            &corpus,
+            k,
+            alpha,
+            beta,
+            1,
+            DeviceSpec::gtx_1080(),
+        )),
         Box::new(EscaCpuLda::new(&corpus, k, alpha, beta, 1)),
         Box::new(FTreeLda::new(&corpus, k, alpha, beta, 1)),
         Box::new(WarpLdaMh::new(&corpus, k, alpha, beta, 1)),

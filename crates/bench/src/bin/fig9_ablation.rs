@@ -18,7 +18,12 @@ fn main() {
     println!("G0: doc-sorted + alias table + naive count, synchronous");
     println!("G1: + PDOW   G2: + W-ary tree   G3: + SSC   G4: + async workers\n");
     print_header(&[
-        "level", "sampling (s)", "A update (s)", "preprocessing (s)", "transfer (s)", "total (s)",
+        "level",
+        "sampling (s)",
+        "A update (s)",
+        "preprocessing (s)",
+        "transfer (s)",
+        "total (s)",
         "speedup vs G0",
     ]);
 

@@ -20,12 +20,24 @@ fn main() {
     println!("  SaberLDA            D=19.4M K=10K  V=100K  T=7.1B\n");
 
     println!("Recomputed capacity on an 8 GB GTX 1080 (dense-resident vs. streaming):\n");
-    print_header(&["dataset", "D", "T", "V", "max K (dense resident)", "max K (SaberLDA streaming)"]);
+    print_header(&[
+        "dataset",
+        "D",
+        "T",
+        "V",
+        "max K (dense resident)",
+        "max K (SaberLDA streaming)",
+    ]);
     let gpu = DeviceSpec::gtx_1080();
     let titan = DeviceSpec::titan_x_maxwell();
     for preset in DatasetPreset::ALL {
         let stats = preset.paper_stats();
-        let est = MemoryEstimator::for_corpus_shape(stats.n_docs, stats.n_tokens, stats.vocab_size, 10_000);
+        let est = MemoryEstimator::for_corpus_shape(
+            stats.n_docs,
+            stats.n_tokens,
+            stats.vocab_size,
+            10_000,
+        );
         let dense = est.max_topics_dense_resident(&gpu);
         let streaming = est.max_topics_streaming(&gpu, 64);
         println!(

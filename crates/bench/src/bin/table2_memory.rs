@@ -17,7 +17,13 @@ fn main() {
 
     println!("# Table 2 — memory consumption, PubMed shape (V=141k, T=738M, D=8.2M)\n");
     println!("Paper's values: B,B̂ = 0.108/1.08/10.8 GB; L = 8.65 GB; A dense = 3.2/32/320 GB; A sparse = 5.8 GB\n");
-    print_header(&["K", "word-topic B,B̂ (dense)", "token list L", "doc-topic A (dense)", "doc-topic A (CSR)"]);
+    print_header(&[
+        "K",
+        "word-topic B,B̂ (dense)",
+        "token list L",
+        "doc-topic A (dense)",
+        "doc-topic A (CSR)",
+    ]);
     for k in [100usize, 1_000, 10_000] {
         let e = est.estimate(k);
         println!(
@@ -33,7 +39,10 @@ fn main() {
     println!();
     for k in [1_000usize, 5_000] {
         match est.min_chunks_for_device(k, &gpu, 64) {
-            Some(p) => println!("K = {k}: fits on the {} when streamed in >= {p} chunks", gpu.name),
+            Some(p) => println!(
+                "K = {k}: fits on the {} when streamed in >= {p} chunks",
+                gpu.name
+            ),
             None => println!("K = {k}: does not fit on the {} at any chunking", gpu.name),
         }
     }

@@ -19,7 +19,14 @@ fn main() {
     }
 
     println!("\nSynthetic stand-ins generated for this reproduction's benchmarks:");
-    print_header(&["dataset (scaled)", "D", "T", "V", "T/D", "top-1% token share"]);
+    print_header(&[
+        "dataset (scaled)",
+        "D",
+        "T",
+        "V",
+        "T/D",
+        "top-1% token share",
+    ]);
     for preset in DatasetPreset::ALL {
         let corpus = bench_corpus(preset, &args, 7);
         let s = CorpusStats::of(&corpus);

@@ -11,7 +11,9 @@ fn main() {
     let corpus = bench_corpus(DatasetPreset::NyTimes, &args, 3);
     let iters = args.iters.unwrap_or(10);
     let k = 1000;
-    println!("# Table 4 — memory bandwidth utilisation (NYTimes-like, K = {k}, {iters} iterations)\n");
+    println!(
+        "# Table 4 — memory bandwidth utilisation (NYTimes-like, K = {k}, {iters} iterations)\n"
+    );
     println!("Paper's values: global 144 GB/s (50%), L2 203 GB/s (30%), L1 894 GB/s (20%), shared 458 GB/s (20%)\n");
 
     let mut lda = saber_trainer(&corpus, k, iters, 2);

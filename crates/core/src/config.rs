@@ -202,7 +202,7 @@ impl SaberLdaConfig {
             });
         }
         if self.threads_per_block < 32
-            || self.threads_per_block % 32 != 0
+            || !self.threads_per_block.is_multiple_of(32)
             || self.threads_per_block > self.device.max_threads_per_block
         {
             return Err(SaberError::InvalidConfig {
@@ -410,8 +410,14 @@ mod tests {
         assert!(SaberLdaConfig::builder().n_topics(0).build().is_err());
         assert!(SaberLdaConfig::builder().n_topics(40_000).build().is_err());
         assert!(SaberLdaConfig::builder().beta(0.0).build().is_err());
-        assert!(SaberLdaConfig::builder().threads_per_block(100).build().is_err());
-        assert!(SaberLdaConfig::builder().threads_per_block(2048).build().is_err());
+        assert!(SaberLdaConfig::builder()
+            .threads_per_block(100)
+            .build()
+            .is_err());
+        assert!(SaberLdaConfig::builder()
+            .threads_per_block(2048)
+            .build()
+            .is_err());
         assert!(SaberLdaConfig::builder().n_chunks(0).build().is_err());
     }
 

@@ -71,7 +71,13 @@ fn rebuild_ssc(chunk: &Chunk, n_topics: usize, tracker: &mut MemoryTracker) -> C
             map.doc_topic + (offsets[d] * 8) as u64,
             8 * counts.len() as u64,
         );
-        builder.push_row_unchecked(counts.keys.iter().copied().zip(counts.counts.iter().copied()));
+        builder.push_row_unchecked(
+            counts
+                .keys
+                .iter()
+                .copied()
+                .zip(counts.counts.iter().copied()),
+        );
     }
     builder.build()
 }
@@ -220,7 +226,10 @@ mod tests {
         // The paper reports an 89% reduction in A-update time from SSC
         // (Fig. 9, G2→G3); the DRAM traffic ratio is the driver.
         let ratio = t_ssc.stats().dram_bytes() as f64 / t_naive.stats().dram_bytes() as f64;
-        assert!(ratio < 0.35, "SSC/naive DRAM ratio {ratio} not small enough");
+        assert!(
+            ratio < 0.35,
+            "SSC/naive DRAM ratio {ratio} not small enough"
+        );
     }
 
     #[test]

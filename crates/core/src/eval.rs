@@ -102,42 +102,16 @@ impl HeldOutEvaluator {
 
 /// Estimates a document's topic proportions `θ_d` from its observed tokens by
 /// a few soft-EM iterations against fixed topic–word distributions.
-fn fold_in_document(words: &[u32], bhat: &DenseMatrix<f32>, alpha: f32, iterations: usize) -> Vec<f64> {
-    let k = bhat.cols();
-    let mut theta = vec![1.0f64 / k as f64; k];
-    if words.is_empty() {
-        return theta;
-    }
-    let alpha = alpha as f64;
-    let mut counts = vec![0.0f64; k];
-    for _ in 0..iterations {
-        for c in &mut counts {
-            *c = 0.0;
-        }
-        for &v in words {
-            let row = bhat.row(v as usize);
-            let mut resp: Vec<f64> = theta
-                .iter()
-                .zip(row.iter())
-                .map(|(&t, &b)| t * b as f64)
-                .collect();
-            let z: f64 = resp.iter().sum();
-            if z <= 0.0 {
-                continue;
-            }
-            for r in &mut resp {
-                *r /= z;
-            }
-            for (c, r) in counts.iter_mut().zip(resp.iter()) {
-                *c += r;
-            }
-        }
-        let denom = words.len() as f64 + k as f64 * alpha;
-        for (t, &c) in theta.iter_mut().zip(counts.iter()) {
-            *t = (c + alpha) / denom;
-        }
-    }
-    theta
+///
+/// Thin wrapper over the shared implementation in [`crate::infer`], which
+/// the serving subsystem uses as well.
+fn fold_in_document(
+    words: &[u32],
+    bhat: &DenseMatrix<f32>,
+    alpha: f32,
+    iterations: usize,
+) -> Vec<f64> {
+    crate::infer::fold_in_em(words, bhat, alpha, iterations)
 }
 
 /// Log-likelihood of a corpus under a *known* document–topic/topic–word
@@ -179,7 +153,11 @@ mod tests {
         let mut b = DenseMatrix::<f32>::zeros(vocab, k);
         for topic in 0..k {
             for v in 0..vocab {
-                b[(v, topic)] = if v % k == topic { 0.9 / (vocab / k) as f32 } else { 0.1 / (vocab - vocab / k) as f32 };
+                b[(v, topic)] = if v % k == topic {
+                    0.9 / (vocab / k) as f32
+                } else {
+                    0.1 / (vocab - vocab / k) as f32
+                };
             }
         }
         b

@@ -1,0 +1,376 @@
+//! Fold-in inference for unseen documents, shared by evaluation and serving.
+//!
+//! Two estimators of a document's topic proportions `θ_d` against fixed
+//! topic–word distributions `B̂` live here:
+//!
+//! * [`fold_in_em`] — the dense soft-EM fold-in historically private to
+//!   [`crate::eval`]. Every word touches all `K` topics, cost `O(N_d · K)`
+//!   per iteration. Exact responsibilities, no sampling noise; used for
+//!   held-out likelihood so the paper's convergence targets stay comparable.
+//! * [`fold_in_esca`] — the sparsity-aware collapsed-Gibbs fold-in used by
+//!   the serving subsystem (`saber-serve`). Each token is resampled with the
+//!   ESCA decomposition of Alg. 2 via [`crate::sampling::sample_token`]:
+//!   `p(k) ∝ A_dk·B̂_vk + α·B̂_vk`, where the first sub-problem only touches
+//!   the `K_d` topics present in the document (`O(K_d)` per token) and the
+//!   second is answered by the pre-processed per-word structures of
+//!   [`crate::trees`]. This is the same cost profile that makes training
+//!   sparsity-aware, applied to inference.
+//!
+//! Both return a dense `θ` of length `K` summing to 1.
+
+use rand::Rng;
+use saber_sparse::{DenseMatrix, SparseRowView};
+
+use crate::sampling::{sample_token, SampleScratch};
+use crate::trees::TopicSampler;
+
+/// Estimates `θ_d` from observed words by soft-EM iterations against fixed
+/// topic–word distributions `bhat` (`V × K`, columns normalised).
+///
+/// Returns the uniform distribution when `words` is empty.
+///
+/// # Panics
+///
+/// Panics if a word id in `words` is out of range of `bhat`.
+pub fn fold_in_em(
+    words: &[u32],
+    bhat: &DenseMatrix<f32>,
+    alpha: f32,
+    iterations: usize,
+) -> Vec<f64> {
+    let k = bhat.cols();
+    let mut theta = vec![1.0f64 / k as f64; k];
+    if words.is_empty() {
+        return theta;
+    }
+    let alpha = alpha as f64;
+    let mut counts = vec![0.0f64; k];
+    for _ in 0..iterations {
+        counts.fill(0.0);
+        for &v in words {
+            let row = bhat.row(v as usize);
+            let mut resp: Vec<f64> = theta
+                .iter()
+                .zip(row.iter())
+                .map(|(&t, &b)| t * b as f64)
+                .collect();
+            let z: f64 = resp.iter().sum();
+            if z <= 0.0 {
+                continue;
+            }
+            for r in &mut resp {
+                *r /= z;
+            }
+            for (c, r) in counts.iter_mut().zip(resp.iter()) {
+                *c += r;
+            }
+        }
+        let denom = words.len() as f64 + k as f64 * alpha;
+        for (t, &c) in theta.iter_mut().zip(counts.iter()) {
+            *t = (c + alpha) / denom;
+        }
+    }
+    theta
+}
+
+/// A document's topic counts kept sparse, so fold-in sampling touches only
+/// the `K_d` topics the document currently uses.
+///
+/// Backed by parallel index/value vectors with indices kept **sorted**, so
+/// [`SparseDocTopics::as_view`] honours the full [`SparseRowView`] contract
+/// (its `get` binary-searches). Increments and decrements are `O(K_d)`,
+/// which beats any tree for the short documents inference sees.
+#[derive(Debug, Clone, Default)]
+pub struct SparseDocTopics {
+    indices: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl SparseDocTopics {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        SparseDocTopics::default()
+    }
+
+    /// Number of distinct topics currently present (`K_d`).
+    pub fn n_distinct(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// View compatible with the sparsity-aware sampler.
+    pub fn as_view(&self) -> SparseRowView<'_, u32> {
+        SparseRowView::new(&self.indices, &self.values)
+    }
+
+    /// Adds one count of `topic`.
+    pub fn add(&mut self, topic: u32) {
+        match self.indices.binary_search(&topic) {
+            Ok(i) => self.values[i] += 1,
+            Err(i) => {
+                self.indices.insert(i, topic);
+                self.values.insert(i, 1);
+            }
+        }
+    }
+
+    /// Removes one count of `topic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topic` has no counts.
+    pub fn remove(&mut self, topic: u32) {
+        let Ok(i) = self.indices.binary_search(&topic) else {
+            panic!("removing topic {topic} with zero count");
+        };
+        self.values[i] -= 1;
+        if self.values[i] == 0 {
+            self.indices.remove(i);
+            self.values.remove(i);
+        }
+    }
+
+    /// Accumulates the counts into a dense vector.
+    pub fn accumulate_into(&self, dense: &mut [f64]) {
+        for (&t, &c) in self.indices.iter().zip(self.values.iter()) {
+            dense[t as usize] += c as f64;
+        }
+    }
+}
+
+/// Estimates `θ_d` by sparsity-aware collapsed Gibbs fold-in (the ESCA
+/// decomposition applied to inference).
+///
+/// * `words` — the document's word ids;
+/// * `bhat` — topic–word probabilities (`V × K`, columns normalised);
+/// * `samplers` — one pre-processed structure per word for
+///   `p₂(k) ∝ B̂_vk` (any [`TopicSampler`], e.g. `WordSampler` rows built by
+///   a serving snapshot);
+/// * `alpha` — document–topic smoothing;
+/// * `burn_in` — sweeps discarded before measuring;
+/// * `n_samples` — sweeps averaged into the estimate (at least 1 is used);
+/// * `rng` — sampling is deterministic given the RNG state.
+///
+/// Returns the uniform distribution when `words` is empty. Per-token cost is
+/// `O(K_d)` plus one query of the word's pre-processed structure, never
+/// `O(K)`.
+///
+/// # Panics
+///
+/// Panics if a word id is out of range of `bhat` or `samplers`.
+pub fn fold_in_esca<R, S>(
+    words: &[u32],
+    bhat: &DenseMatrix<f32>,
+    samplers: &[S],
+    alpha: f32,
+    burn_in: usize,
+    n_samples: usize,
+    rng: &mut R,
+) -> Vec<f64>
+where
+    R: Rng + ?Sized,
+    S: TopicSampler,
+{
+    let k = bhat.cols();
+    if words.is_empty() {
+        return vec![1.0f64 / k as f64; k];
+    }
+    let n_samples = n_samples.max(1);
+
+    // Initialise each token from its word's dense distribution p₂(k) ∝ B̂_vk:
+    // a data-driven start that needs no document statistics.
+    let mut counts = SparseDocTopics::new();
+    let mut assignments: Vec<u32> = words
+        .iter()
+        .map(|&v| {
+            let u: f32 = rng.gen_range(0.0..1.0);
+            let z = samplers[v as usize].sample_with(u) as u32;
+            counts.add(z);
+            z
+        })
+        .collect();
+
+    let mut scratch = SampleScratch::new();
+    let mut acc = vec![0.0f64; k];
+    for sweep in 0..burn_in + n_samples {
+        for (i, &v) in words.iter().enumerate() {
+            counts.remove(assignments[i]);
+            let z = sample_token(
+                counts.as_view(),
+                bhat.row(v as usize),
+                alpha,
+                &samplers[v as usize],
+                &mut scratch,
+                rng,
+            );
+            counts.add(z);
+            assignments[i] = z;
+        }
+        if sweep >= burn_in {
+            counts.accumulate_into(&mut acc);
+        }
+    }
+
+    // Posterior mean over the measured sweeps, α-smoothed and normalised:
+    // each sweep's counts sum to the document length, so the smoothed
+    // average divides through exactly.
+    let alpha = alpha as f64;
+    let denom = words.len() as f64 + k as f64 * alpha;
+    for a in &mut acc {
+        *a = (*a / n_samples as f64 + alpha) / denom;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PreprocessKind;
+    use crate::trees::WordSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// `B̂` whose columns are (almost) point masses on disjoint words.
+    fn planted_bhat(vocab: usize, k: usize) -> DenseMatrix<f32> {
+        let mut b = DenseMatrix::<f32>::zeros(vocab, k);
+        for topic in 0..k {
+            for v in 0..vocab {
+                b[(v, topic)] = if v % k == topic {
+                    0.9 / (vocab / k) as f32
+                } else {
+                    0.1 / (vocab - vocab / k) as f32
+                };
+            }
+        }
+        b
+    }
+
+    fn samplers_for(bhat: &DenseMatrix<f32>, kind: PreprocessKind) -> Vec<WordSampler> {
+        (0..bhat.rows())
+            .map(|v| WordSampler::build(kind, bhat.row(v)))
+            .collect()
+    }
+
+    #[test]
+    fn em_fold_in_recovers_dominant_topic() {
+        let bhat = planted_bhat(10, 2);
+        let theta = fold_in_em(&[0, 2, 4, 6, 8, 0, 2], &bhat, 0.05, 10);
+        assert!(theta[0] > 0.8, "theta = {theta:?}");
+        let s: f64 = theta.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn em_fold_in_of_empty_document_is_uniform() {
+        let bhat = planted_bhat(10, 2);
+        let theta = fold_in_em(&[], &bhat, 0.1, 5);
+        assert!((theta[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn esca_fold_in_recovers_dominant_topic_with_both_sampler_kinds() {
+        let bhat = planted_bhat(12, 3);
+        for kind in [PreprocessKind::WaryTree, PreprocessKind::AliasTable] {
+            let samplers = samplers_for(&bhat, kind);
+            let mut rng = StdRng::seed_from_u64(11);
+            // Words ≡ 1 (mod 3): planted topic 1.
+            let theta = fold_in_esca(
+                &[1, 4, 7, 10, 1, 4, 7],
+                &bhat,
+                &samplers,
+                0.05,
+                5,
+                10,
+                &mut rng,
+            );
+            let argmax = theta
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax, 1, "{kind:?}: theta = {theta:?}");
+            let s: f64 = theta.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn esca_fold_in_is_deterministic_for_a_seed() {
+        let bhat = planted_bhat(12, 3);
+        let samplers = samplers_for(&bhat, PreprocessKind::WaryTree);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            fold_in_esca(&[0, 3, 6, 9, 1], &bhat, &samplers, 0.1, 3, 4, &mut rng)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn esca_fold_in_of_empty_document_is_uniform() {
+        let bhat = planted_bhat(6, 2);
+        let samplers = samplers_for(&bhat, PreprocessKind::WaryTree);
+        let mut rng = StdRng::seed_from_u64(0);
+        let theta = fold_in_esca(&[], &bhat, &samplers, 0.1, 2, 2, &mut rng);
+        assert_eq!(theta, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn esca_and_em_fold_in_broadly_agree() {
+        let bhat = planted_bhat(20, 4);
+        let samplers = samplers_for(&bhat, PreprocessKind::WaryTree);
+        let words: Vec<u32> = vec![2, 6, 10, 14, 18, 2, 6, 10];
+        let em = fold_in_em(&words, &bhat, 0.05, 10);
+        let mut rng = StdRng::seed_from_u64(42);
+        let esca = fold_in_esca(&words, &bhat, &samplers, 0.05, 10, 40, &mut rng);
+        for k in 0..4 {
+            assert!(
+                (em[k] - esca[k]).abs() < 0.12,
+                "topic {k}: em {:.3} vs esca {:.3}",
+                em[k],
+                esca[k]
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_doc_topics_tracks_counts() {
+        let mut c = SparseDocTopics::new();
+        c.add(3);
+        c.add(3);
+        c.add(7);
+        assert_eq!(c.n_distinct(), 2);
+        assert_eq!(c.as_view().get(3), Some(2));
+        c.remove(3);
+        c.remove(3);
+        assert_eq!(c.n_distinct(), 1);
+        assert_eq!(c.as_view().get(3), None);
+        let mut dense = vec![0.0f64; 8];
+        c.accumulate_into(&mut dense);
+        assert_eq!(dense[7], 1.0);
+    }
+
+    #[test]
+    fn sparse_doc_topics_view_stays_sorted_under_churn() {
+        // Out-of-order inserts and removals must keep the view's indices
+        // sorted, because SparseRowView::get binary-searches them.
+        let mut c = SparseDocTopics::new();
+        for &t in &[5u32, 9, 3, 7, 3, 1, 9, 0] {
+            c.add(t);
+        }
+        c.remove(9);
+        c.remove(3);
+        let view = c.as_view();
+        assert!(view.indices().windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(view.get(3), Some(1));
+        assert_eq!(view.get(9), Some(1));
+        assert_eq!(view.get(0), Some(1));
+        assert_eq!(view.get(4), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero count")]
+    fn sparse_doc_topics_rejects_underflow() {
+        SparseDocTopics::new().remove(0);
+    }
+}

@@ -75,18 +75,18 @@ pub fn sample_chunk(
         chunk.n_docs
     );
     match (config.kernel, chunk.order) {
-        (KernelKind::WarpBased, TokenOrder::WordMajor) => {
-            sample_word_major(chunk, doc_topic, model, samplers, config, tracker, rng, false)
-        }
-        (KernelKind::ThreadBased, TokenOrder::WordMajor) => {
-            sample_word_major(chunk, doc_topic, model, samplers, config, tracker, rng, true)
-        }
-        (KernelKind::WarpBased, TokenOrder::DocMajor) => {
-            sample_doc_major(chunk, doc_topic, model, samplers, config, tracker, rng, false)
-        }
-        (KernelKind::ThreadBased, TokenOrder::DocMajor) => {
-            sample_doc_major(chunk, doc_topic, model, samplers, config, tracker, rng, true)
-        }
+        (KernelKind::WarpBased, TokenOrder::WordMajor) => sample_word_major(
+            chunk, doc_topic, model, samplers, config, tracker, rng, false,
+        ),
+        (KernelKind::ThreadBased, TokenOrder::WordMajor) => sample_word_major(
+            chunk, doc_topic, model, samplers, config, tracker, rng, true,
+        ),
+        (KernelKind::WarpBased, TokenOrder::DocMajor) => sample_doc_major(
+            chunk, doc_topic, model, samplers, config, tracker, rng, false,
+        ),
+        (KernelKind::ThreadBased, TokenOrder::DocMajor) => sample_doc_major(
+            chunk, doc_topic, model, samplers, config, tracker, rng, true,
+        ),
     }
 }
 
@@ -144,8 +144,7 @@ fn sample_word_major(
             // tree query otherwise; we charge the average of the two weighted
             // by nnz presence, keeping the model deterministic.
             if nnz > 0 {
-                tracker
-                    .instructions(product_iters * (PREFIX_SUM_INSTRUCTIONS + VOTE_INSTRUCTIONS));
+                tracker.instructions(product_iters * (PREFIX_SUM_INSTRUCTIONS + VOTE_INSTRUCTIONS));
             }
             tracker.shared_read(sampler.query_shared_bytes());
             tracker.instructions(sampler.query_instructions());
@@ -160,7 +159,8 @@ fn sample_word_major(
             }
 
             // Draw the new topic (statistically identical across mappings).
-            let new_topic = sample_token(doc_row, bhat_row, config.alpha, sampler, &mut scratch, rng);
+            let new_topic =
+                sample_token(doc_row, bhat_row, config.alpha, sampler, &mut scratch, rng);
             chunk.topics[t] = new_topic;
             processed += 1;
         }
@@ -172,7 +172,10 @@ fn sample_word_major(
         }
 
         // Write the segment's updated topics back (contiguous, coalesced).
-        tracker.global_write(map.token_list + (seg.start * 4) as u64, (seg.len() * 4) as u64);
+        tracker.global_write(
+            map.token_list + (seg.start * 4) as u64,
+            (seg.len() * 4) as u64,
+        );
     }
     processed
 }
@@ -229,8 +232,7 @@ fn sample_doc_major(
                 product_iters * PRODUCT_INSTRUCTIONS + REDUCE_INSTRUCTIONS + BRANCH_INSTRUCTIONS,
             );
             if nnz > 0 {
-                tracker
-                    .instructions(product_iters * (PREFIX_SUM_INSTRUCTIONS + VOTE_INSTRUCTIONS));
+                tracker.instructions(product_iters * (PREFIX_SUM_INSTRUCTIONS + VOTE_INSTRUCTIONS));
             }
             // The pre-processed structure lives in global memory here (there is
             // no per-word staging in doc-major order).
@@ -246,7 +248,8 @@ fn sample_doc_major(
                 }
             }
 
-            let new_topic = sample_token(doc_row, bhat_row, config.alpha, sampler, &mut scratch, rng);
+            let new_topic =
+                sample_token(doc_row, bhat_row, config.alpha, sampler, &mut scratch, rng);
             chunk.topics[t] = new_topic;
             processed += 1;
         }
@@ -257,7 +260,10 @@ fn sample_doc_major(
             tracker.wait(pending_waits);
         }
 
-        tracker.global_write(map.token_list + (seg.start * 4) as u64, (seg.len() * 4) as u64);
+        tracker.global_write(
+            map.token_list + (seg.start * 4) as u64,
+            (seg.len() * 4) as u64,
+        );
     }
     processed
 }
@@ -304,7 +310,10 @@ mod tests {
     use saber_corpus::synthetic::SyntheticSpec;
     use saber_sparse::prefix::{find_in_prefix_sum_linear, inclusive_prefix_sum};
 
-    fn setup(order: TokenOrder, kernel: KernelKind) -> (Vec<Chunk>, LdaModel, Vec<WordSampler>, SaberLdaConfig) {
+    fn setup(
+        order: TokenOrder,
+        kernel: KernelKind,
+    ) -> (Vec<Chunk>, LdaModel, Vec<WordSampler>, SaberLdaConfig) {
         let corpus = SyntheticSpec::small_test().generate(11);
         let k = 8usize;
         let config = SaberLdaConfig::builder()
@@ -348,8 +357,19 @@ mod tests {
             for chunk in &mut chunks {
                 let a = rebuild_reference(chunk, model.n_topics());
                 let mut tracker = MemoryTracker::new(1 << 20);
-                total += sample_chunk(chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng);
-                assert!(chunk.topics.iter().all(|&t| (t as usize) < model.n_topics()));
+                total += sample_chunk(
+                    chunk,
+                    &a,
+                    &model,
+                    &samplers,
+                    &config,
+                    &mut tracker,
+                    &mut rng,
+                );
+                assert!(chunk
+                    .topics
+                    .iter()
+                    .all(|&t| (t as usize) < model.n_topics()));
                 assert!(tracker.stats().dram_bytes() > 0);
             }
             let expected: u64 = chunks.iter().map(|c| c.n_tokens() as u64).sum();
@@ -370,12 +390,28 @@ mod tests {
         let mut wm_tracker = MemoryTracker::new(1 << 21);
         for chunk in &mut wm_chunks {
             let a = rebuild_reference(chunk, model.n_topics());
-            sample_chunk(chunk, &a, &model, &samplers, &wm_config, &mut wm_tracker, &mut rng);
+            sample_chunk(
+                chunk,
+                &a,
+                &model,
+                &samplers,
+                &wm_config,
+                &mut wm_tracker,
+                &mut rng,
+            );
         }
         let mut dm_tracker = MemoryTracker::new(1 << 21);
         for chunk in &mut dm_chunks {
             let a = rebuild_reference(chunk, dm_model.n_topics());
-            sample_chunk(chunk, &a, &dm_model, &dm_samplers, &dm_config, &mut dm_tracker, &mut rng);
+            sample_chunk(
+                chunk,
+                &a,
+                &dm_model,
+                &dm_samplers,
+                &dm_config,
+                &mut dm_tracker,
+                &mut rng,
+            );
         }
         let wm = wm_tracker.stats().dram_bytes() + wm_tracker.stats().l2_hit_bytes;
         let dm = dm_tracker.stats().dram_bytes() + dm_tracker.stats().l2_hit_bytes;
@@ -387,22 +423,40 @@ mod tests {
 
     #[test]
     fn thread_based_kernel_pays_waiting_and_divergence() {
-        let (mut chunks, model, samplers, config) = setup(TokenOrder::WordMajor, KernelKind::ThreadBased);
+        let (mut chunks, model, samplers, config) =
+            setup(TokenOrder::WordMajor, KernelKind::ThreadBased);
         let mut rng = StdRng::seed_from_u64(4);
         let mut tracker = MemoryTracker::new(1 << 20);
         for chunk in &mut chunks {
             let a = rebuild_reference(chunk, model.n_topics());
-            sample_chunk(chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng);
+            sample_chunk(
+                chunk,
+                &a,
+                &model,
+                &samplers,
+                &config,
+                &mut tracker,
+                &mut rng,
+            );
         }
         assert!(tracker.stats().wait_iterations > 0);
         assert!(tracker.stats().divergent_branches > 0);
 
         // The warp-based kernel pays neither.
-        let (mut chunks, model, samplers, config) = setup(TokenOrder::WordMajor, KernelKind::WarpBased);
+        let (mut chunks, model, samplers, config) =
+            setup(TokenOrder::WordMajor, KernelKind::WarpBased);
         let mut tracker = MemoryTracker::new(1 << 20);
         for chunk in &mut chunks {
             let a = rebuild_reference(chunk, model.n_topics());
-            sample_chunk(chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng);
+            sample_chunk(
+                chunk,
+                &a,
+                &model,
+                &samplers,
+                &config,
+                &mut tracker,
+                &mut rng,
+            );
         }
         assert_eq!(tracker.stats().wait_iterations, 0);
         assert_eq!(tracker.stats().divergent_branches, 0);
@@ -413,7 +467,8 @@ mod tests {
         // After a few E/M rounds on a tiny planted corpus the fraction of
         // tokens agreeing with their document's majority topic should rise
         // (the sampler is pulling topics together within documents).
-        let (mut chunks, mut model, _, config) = setup(TokenOrder::WordMajor, KernelKind::WarpBased);
+        let (mut chunks, mut model, _, config) =
+            setup(TokenOrder::WordMajor, KernelKind::WarpBased);
         let mut rng = StdRng::seed_from_u64(9);
         let n_topics = model.n_topics();
         let purity = move |chunks: &[Chunk]| -> f64 {
@@ -441,12 +496,22 @@ mod tests {
         let before = purity(&chunks);
         for _ in 0..5 {
             let samplers: Vec<WordSampler> = (0..model.vocab_size())
-                .map(|v| WordSampler::build(PreprocessKind::WaryTree, model.word_topic_prob().row(v)))
+                .map(|v| {
+                    WordSampler::build(PreprocessKind::WaryTree, model.word_topic_prob().row(v))
+                })
                 .collect();
             for chunk in &mut chunks {
                 let a = rebuild_reference(chunk, model.n_topics());
                 let mut tracker = MemoryTracker::new(1 << 20);
-                sample_chunk(chunk, &a, &model, &samplers, &config, &mut tracker, &mut rng);
+                sample_chunk(
+                    chunk,
+                    &a,
+                    &model,
+                    &samplers,
+                    &config,
+                    &mut tracker,
+                    &mut rng,
+                );
             }
             model.rebuild_from_assignments(
                 chunks
@@ -464,7 +529,9 @@ mod tests {
 
     #[test]
     fn warp_prefix_search_matches_scalar_search() {
-        let probs = vec![0.3f32, 0.0, 1.2, 0.7, 2.0, 0.1, 0.9, 0.4, 1.5, 0.6, 0.05, 3.0];
+        let probs = vec![
+            0.3f32, 0.0, 1.2, 0.7, 2.0, 0.1, 0.9, 0.4, 1.5, 0.6, 0.05, 3.0,
+        ];
         let prefix = inclusive_prefix_sum(&probs);
         let total: f32 = probs.iter().sum();
         for i in 0..200 {

@@ -209,7 +209,11 @@ fn build_chunk(
         while j < word_ids.len() && key_of(j) == key {
             j += 1;
         }
-        segments.push(Segment { key, start: i, end: j });
+        segments.push(Segment {
+            key,
+            start: i,
+            end: j,
+        });
         i = j;
     }
 
@@ -306,7 +310,10 @@ mod tests {
             .collect();
         let max = *sizes.iter().max().unwrap() as f64;
         let min = *sizes.iter().min().unwrap() as f64;
-        assert!(max / min < 1.6, "chunk token counts too imbalanced: {sizes:?}");
+        assert!(
+            max / min < 1.6,
+            "chunk token counts too imbalanced: {sizes:?}"
+        );
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!   matrix ([`count`]);
 //! * the **streaming trainer** that ties the above together with multi-worker
 //!   transfer/compute overlap ([`trainer`]), per-phase time accounting
-//!   ([`report`]), held-out likelihood evaluation ([`eval`]) and the memory
-//!   estimator behind Tables 1 and 2 ([`memory`]).
+//!   ([`report`]), held-out likelihood evaluation ([`eval`]), shared fold-in
+//!   inference for unseen documents ([`infer`]) and the memory estimator
+//!   behind Tables 1 and 2 ([`memory`]).
 //!
 //! # Quick start
 //!
@@ -45,6 +46,7 @@
 pub mod config;
 pub mod count;
 pub mod eval;
+pub mod infer;
 pub mod kernel;
 pub mod layout;
 pub mod memory;
@@ -140,7 +142,7 @@ mod tests {
         };
         assert!(e.to_string().contains("zero topics"));
         assert!(e.source().is_none());
-        let e: SaberError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: SaberError = std::io::Error::other("x").into();
         assert!(e.source().is_some());
     }
 

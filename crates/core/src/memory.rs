@@ -102,7 +102,8 @@ impl MemoryEstimator {
     pub fn max_topics_dense_resident(&self, device: &DeviceSpec) -> usize {
         let mut best = 0usize;
         for k in [
-            16, 32, 64, 100, 128, 200, 256, 500, 512, 1000, 2000, 3000, 5000, 10_000, 20_000, 32_768,
+            16, 32, 64, 100, 128, 200, 256, 500, 512, 1000, 2000, 3000, 5000, 10_000, 20_000,
+            32_768,
         ] {
             let e = self.estimate(k);
             let total = e.word_topic_dense_bytes + e.token_list_bytes + e.doc_topic_dense_bytes;
@@ -127,6 +128,34 @@ impl MemoryEstimator {
         }
         best
     }
+}
+
+/// Estimated resident footprint of a *serving* snapshot: the normalised `B̂`
+/// (`V · K · 4` bytes, counts are not needed at inference time) plus the
+/// per-word pre-processed sampling structures of [`crate::trees`]:
+///
+/// * W-ary tree — interior prefix levels of branching 32 on top of the `K`
+///   leaf weights, `≈ K · 32/31` floats per word;
+/// * alias table — one probability and one alias index per topic,
+///   8 bytes per `(word, topic)` pair;
+/// * Fenwick tree — `K` partial sums, 4 bytes per pair.
+///
+/// `saber-serve` uses this to size snapshots before publication, the same
+/// way the Table 2 estimator sizes training structures.
+pub fn snapshot_bytes(
+    vocab_size: u64,
+    n_topics: usize,
+    preprocess: crate::config::PreprocessKind,
+) -> u64 {
+    use crate::config::PreprocessKind;
+    let k = n_topics as u64;
+    let bhat = vocab_size * k * 4;
+    let per_word = match preprocess {
+        PreprocessKind::WaryTree => k * 4 + (k * 4) / 31,
+        PreprocessKind::AliasTable => k * 8,
+        PreprocessKind::FenwickTree => k * 4,
+    };
+    bhat + vocab_size * per_word
 }
 
 /// Formats a byte count the way Table 2 does (GB with two decimals, or MB for
@@ -235,6 +264,23 @@ mod tests {
         assert!(est.mean_doc_topics > 1.0 && est.mean_doc_topics <= 50.0);
         let est_small_k = MemoryEstimator::for_corpus_shape(1000, 50_000, 5_000, 4);
         assert!(est_small_k.mean_doc_topics <= 2.0);
+    }
+
+    #[test]
+    fn snapshot_bytes_orders_sampler_kinds_sensibly() {
+        use crate::config::PreprocessKind;
+        let v = 141_000u64;
+        let k = 1000usize;
+        let wary = snapshot_bytes(v, k, PreprocessKind::WaryTree);
+        let alias = snapshot_bytes(v, k, PreprocessKind::AliasTable);
+        let fenwick = snapshot_bytes(v, k, PreprocessKind::FenwickTree);
+        // All are B̂ plus at least one f32 per (word, topic).
+        let bhat = v * k as u64 * 4;
+        assert!(fenwick >= 2 * bhat);
+        // Alias tables store 8 bytes per pair, the W-ary tree ~4.13.
+        assert!(alias > wary && wary > fenwick);
+        // The whole snapshot stays within a small multiple of B̂.
+        assert!(alias <= 3 * bhat);
     }
 
     #[test]

@@ -151,12 +151,7 @@ impl LdaModel {
     /// Panics if `k >= n_topics`.
     pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
         assert!(k < self.n_topics, "topic {k} out of range");
-        let mut scored: Vec<(u32, f32)> = (0..self.vocab_size)
-            .map(|v| (v as u32, self.word_topic_prob[(v, k)]))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(n);
-        scored
+        top_words_of_column(&self.word_topic_prob, k, n)
     }
 
     /// The probability of word `v` under topic `k` (`B̂_vk`).
@@ -173,6 +168,39 @@ impl LdaModel {
     pub fn dense_matrices_bytes(&self) -> u64 {
         (self.word_topic.memory_bytes() + self.word_topic_prob.memory_bytes()) as u64
     }
+
+    /// An owned copy of `B̂` as of the last [`LdaModel::refresh_probabilities`]
+    /// call — the immutable export a serving snapshot is built from, detached
+    /// from the (still-training) model.
+    pub fn snapshot_probabilities(&self) -> DenseMatrix<f32> {
+        self.word_topic_prob.clone()
+    }
+}
+
+/// The `n` highest-weight rows of column `k` of `matrix`, as `(row id,
+/// weight)` pairs in decreasing order — the top-words query shared by
+/// [`LdaModel`] and serving snapshots. Uses a partial select so only the
+/// returned prefix is fully sorted.
+///
+/// # Panics
+///
+/// Panics if `k` is out of column range.
+pub fn top_words_of_column(matrix: &DenseMatrix<f32>, k: usize, n: usize) -> Vec<(u32, f32)> {
+    let n = n.min(matrix.rows());
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(u32, f32)> = (0..matrix.rows())
+        .map(|v| (v as u32, matrix[(v, k)]))
+        .collect();
+    let descending =
+        |a: &(u32, f32), b: &(u32, f32)| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal);
+    if n < scored.len() {
+        scored.select_nth_unstable_by(n - 1, descending);
+        scored.truncate(n);
+    }
+    scored.sort_by(descending);
+    scored
 }
 
 #[cfg(test)]
@@ -235,6 +263,7 @@ mod tests {
         assert_eq!(top[1].0, 1);
         assert!(top[0].1 > top[1].1);
         assert_eq!(m.top_words(0, 100).len(), 5);
+        assert!(m.top_words(0, 0).is_empty());
     }
 
     #[test]

@@ -153,7 +153,7 @@ mod tests {
                 a_update: 0.1,
                 preprocessing: 0.05,
                 transfer: 0.02,
-                },
+            },
             tokens: 1_000_000,
             wall_seconds: 0.0,
             sampling_dram_bytes: 0,

@@ -123,7 +123,11 @@ pub fn sample_token_dense<R: Rng + ?Sized>(
 
 /// Computes the exact conditional distribution `p(k) ∝ (A_dk + α)·B̂_vk`
 /// (normalised). Used by tests to compare the samplers against ground truth.
-pub fn exact_conditional(doc_row: SparseRowView<'_, u32>, bhat_row: &[f32], alpha: f32) -> Vec<f64> {
+pub fn exact_conditional(
+    doc_row: SparseRowView<'_, u32>,
+    bhat_row: &[f32],
+    alpha: f32,
+) -> Vec<f64> {
     let mut dense = vec![0.0f64; bhat_row.len()];
     for (k, &c) in doc_row.iter() {
         dense[k as usize] = c as f64;
@@ -232,7 +236,10 @@ mod tests {
                 sample_token(doc.as_view(), &bhat, 1e-4, &tree, &mut scratch, &mut rng) == 2
             })
             .count();
-        assert!(hits > 1950, "only {hits}/2000 samples hit the dominant topic");
+        assert!(
+            hits > 1950,
+            "only {hits}/2000 samples hit the dominant topic"
+        );
     }
 
     #[test]

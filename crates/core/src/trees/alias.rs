@@ -102,7 +102,10 @@ impl TopicSampler for AliasTable {
 
     fn sample_with(&self, u: f32) -> usize {
         assert!((0.0..1.0).contains(&u), "u must be in [0, 1), got {u}");
-        assert!(self.total > 0.0, "cannot sample from an all-zero distribution");
+        assert!(
+            self.total > 0.0,
+            "cannot sample from an all-zero distribution"
+        );
         // Split one uniform into a slot choice and an accept/alias choice.
         let scaled = u * self.len() as f32;
         let slot = (scaled as usize).min(self.len() - 1);
@@ -140,7 +143,10 @@ mod tests {
     fn table_is_well_formed() {
         let t = AliasTable::new(&[0.1, 0.2, 0.3, 0.4]);
         assert_eq!(t.len(), 4);
-        assert!(t.probabilities().iter().all(|&p| (0.0..=1.0 + 1e-5).contains(&p)));
+        assert!(t
+            .probabilities()
+            .iter()
+            .all(|&p| (0.0..=1.0 + 1e-5).contains(&p)));
         assert!(t.aliases().iter().all(|&a| (a as usize) < 4));
     }
 

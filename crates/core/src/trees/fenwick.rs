@@ -37,7 +37,10 @@ impl FenwickTree {
     /// Panics if `weights` is empty or contains a negative or non-finite
     /// value.
     pub fn new(weights: &[f32]) -> Self {
-        assert!(!weights.is_empty(), "Fenwick tree needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "Fenwick tree needs at least one weight"
+        );
         assert!(
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be non-negative and finite"
@@ -97,7 +100,10 @@ impl TopicSampler for FenwickTree {
 
     fn sample_with(&self, u: f32) -> usize {
         assert!((0.0..1.0).contains(&u), "u must be in [0, 1), got {u}");
-        assert!(self.total > 0.0, "cannot sample from an all-zero distribution");
+        assert!(
+            self.total > 0.0,
+            "cannot sample from an all-zero distribution"
+        );
         let x = (u as f64 * self.total as f64).max(f64::MIN_POSITIVE);
         self.descend(x)
     }
@@ -175,7 +181,7 @@ mod tests {
 
     #[test]
     fn cost_model_scales_logarithmically() {
-        let small = FenwickTree::new(&vec![1.0f32; 16]);
+        let small = FenwickTree::new(&[1.0f32; 16]);
         let large = FenwickTree::new(&vec![1.0f32; 4096]);
         assert!(large.query_instructions() > small.query_instructions());
         assert!(large.query_instructions() <= 2 * 13);

@@ -118,7 +118,10 @@ impl TopicSampler for WaryTree {
 
     fn sample_with(&self, u: f32) -> usize {
         assert!((0.0..1.0).contains(&u), "u must be in [0, 1), got {u}");
-        assert!(self.total > 0.0, "cannot sample from an all-zero distribution");
+        assert!(
+            self.total > 0.0,
+            "cannot sample from an all-zero distribution"
+        );
         // Strictly positive target so that zero-weight prefix plateaus are
         // never selected.
         let x = (u * self.total).max(f32::MIN_POSITIVE);

@@ -96,7 +96,10 @@ impl Corpus {
         for d in &docs {
             for &w in d.words() {
                 if w as usize >= vocab_size {
-                    return Err(CorpusError::WordOutOfRange { word: w, vocab_size });
+                    return Err(CorpusError::WordOutOfRange {
+                        word: w,
+                        vocab_size,
+                    });
                 }
             }
             n_tokens += d.len() as u64;

@@ -24,6 +24,11 @@ pub enum CorpusError {
         /// Human-readable description.
         detail: String,
     },
+    /// A raw token is not in the vocabulary (strict encoding policy).
+    OutOfVocabulary {
+        /// The unknown word.
+        word: String,
+    },
     /// An I/O error while reading a corpus file.
     Io(std::io::Error),
     /// The requested configuration is invalid (e.g. zero documents).
@@ -37,13 +42,19 @@ impl fmt::Display for CorpusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CorpusError::WordOutOfRange { word, vocab_size } => {
-                write!(f, "word id {word} out of range for vocabulary of {vocab_size}")
+                write!(
+                    f,
+                    "word id {word} out of range for vocabulary of {vocab_size}"
+                )
             }
             CorpusError::DocOutOfRange { doc, n_docs } => {
                 write!(f, "document id {doc} out of range for {n_docs} documents")
             }
             CorpusError::ParseError { line, detail } => {
                 write!(f, "parse error at line {line}: {detail}")
+            }
+            CorpusError::OutOfVocabulary { word } => {
+                write!(f, "out-of-vocabulary word {word:?}")
             }
             CorpusError::Io(e) => write!(f, "i/o error: {e}"),
             CorpusError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),

@@ -42,7 +42,7 @@ mod vocab;
 pub use corpus::{Corpus, Document};
 pub use error::CorpusError;
 pub use token::{Token, TokenList};
-pub use vocab::Vocabulary;
+pub use vocab::{EncodedDocument, OovPolicy, Vocabulary};
 
 /// Result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, CorpusError>;

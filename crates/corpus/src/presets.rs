@@ -28,8 +28,11 @@ pub enum DatasetPreset {
 
 impl DatasetPreset {
     /// All presets, in the order Table 3 lists them.
-    pub const ALL: [DatasetPreset; 3] =
-        [DatasetPreset::NyTimes, DatasetPreset::PubMed, DatasetPreset::ClueWeb];
+    pub const ALL: [DatasetPreset; 3] = [
+        DatasetPreset::NyTimes,
+        DatasetPreset::PubMed,
+        DatasetPreset::ClueWeb,
+    ];
 
     /// The dataset's name as printed in the paper.
     pub fn name(self) -> &'static str {
@@ -78,7 +81,7 @@ impl DatasetPreset {
     pub fn synthetic_spec(self, scale: u64) -> SyntheticSpec {
         assert!(scale > 0, "scale must be positive");
         let stats = self.paper_stats();
-        let n_docs = ((stats.n_docs as u64 / scale).max(50)) as usize;
+        let n_docs = ((stats.n_docs / scale).max(50)) as usize;
         let vocab_scale = (scale as f64).sqrt();
         let vocab_size = ((stats.vocab_size as f64 / vocab_scale).max(200.0)) as usize;
         SyntheticSpec {

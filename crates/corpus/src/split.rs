@@ -42,8 +42,8 @@ pub fn train_test_split(corpus: &Corpus, test_fraction: f64, seed: u64) -> Resul
     let mut order: Vec<usize> = (0..corpus.n_docs()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-    let n_test = ((corpus.n_docs() as f64 * test_fraction).round() as usize)
-        .clamp(1, corpus.n_docs() - 1);
+    let n_test =
+        ((corpus.n_docs() as f64 * test_fraction).round() as usize).clamp(1, corpus.n_docs() - 1);
     let (test_ids, train_ids) = order.split_at(n_test);
     let mut train_ids = train_ids.to_vec();
     let mut test_ids = test_ids.to_vec();
@@ -132,8 +132,10 @@ mod tests {
         assert_eq!(a.test.n_tokens(), b.test.n_tokens());
         let c = train_test_split(&corpus, 0.2, 4).unwrap();
         // Different seed should (almost surely) select different documents.
-        assert!(a.test.document(0).words() != c.test.document(0).words()
-            || a.test.n_tokens() != c.test.n_tokens());
+        assert!(
+            a.test.document(0).words() != c.test.document(0).words()
+                || a.test.n_tokens() != c.test.n_tokens()
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl CorpusStats {
             vocab_size: corpus.vocab_size(),
             used_vocab,
             tokens_per_doc: corpus.mean_doc_len(),
-            max_doc_len: corpus.documents().iter().map(|d| d.len()).max().unwrap_or(0),
+            max_doc_len: corpus
+                .documents()
+                .iter()
+                .map(|d| d.len())
+                .max()
+                .unwrap_or(0),
             top1pct_token_share: if total == 0 {
                 0.0
             } else {

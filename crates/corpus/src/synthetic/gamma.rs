@@ -60,7 +60,11 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 ///
 /// Panics if `dim == 0` or `alpha <= 0`.
-pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(rng: &mut R, dim: usize, alpha: f64) -> Vec<f64> {
+pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(
+    rng: &mut R,
+    dim: usize,
+    alpha: f64,
+) -> Vec<f64> {
     assert!(dim > 0, "dirichlet dimension must be positive");
     sample_dirichlet(rng, &vec![alpha; dim])
 }
@@ -71,7 +75,10 @@ pub fn sample_symmetric_dirichlet<R: Rng + ?Sized>(rng: &mut R, dim: usize, alph
 ///
 /// Panics if `alphas` is empty or contains a non-positive entry.
 pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alphas: &[f64]) -> Vec<f64> {
-    assert!(!alphas.is_empty(), "dirichlet needs at least one concentration");
+    assert!(
+        !alphas.is_empty(),
+        "dirichlet needs at least one concentration"
+    );
     let mut draws: Vec<f64> = alphas.iter().map(|&a| sample_gamma(rng, a)).collect();
     let sum: f64 = draws.iter().sum();
     if sum <= 0.0 || !sum.is_finite() {

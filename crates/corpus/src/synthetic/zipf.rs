@@ -78,7 +78,9 @@ impl ZipfSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.gen_range(0.0..total);
-        self.cumulative.partition_point(|&c| c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.len() - 1)
     }
 
     /// The normalised probability of every rank, useful as a base measure for
@@ -121,12 +123,12 @@ mod tests {
         let z = ZipfSampler::new(20, 1.0);
         let mut rng = StdRng::seed_from_u64(13);
         let n = 100_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..20 {
-            let emp = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             let exp = z.probability(r);
             assert!(
                 (emp - exp).abs() < 0.01,

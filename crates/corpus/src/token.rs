@@ -72,7 +72,10 @@ impl TokenList {
         }
         for &w in &word_ids {
             if w as usize >= vocab_size {
-                return Err(CorpusError::WordOutOfRange { word: w, vocab_size });
+                return Err(CorpusError::WordOutOfRange {
+                    word: w,
+                    vocab_size,
+                });
             }
         }
         Ok(TokenList {
@@ -213,7 +216,14 @@ mod tests {
         assert_eq!(tl.len(), 6);
         assert!(!tl.is_empty());
         let t = tl.token(3);
-        assert_eq!(t, Token { doc: 1, word: 3, topic: 0 });
+        assert_eq!(
+            t,
+            Token {
+                doc: 1,
+                word: 3,
+                topic: 0
+            }
+        );
         assert_eq!(tl.iter().count(), 6);
     }
 

@@ -63,7 +63,7 @@ pub fn read_bag_of_words<R: Read>(reader: R) -> Result<Corpus> {
             });
         }
         let w = (word - 1) as u32;
-        docs[doc - 1].extend(std::iter::repeat(w).take(count));
+        docs[doc - 1].extend(std::iter::repeat_n(w, count));
     }
 
     Corpus::from_documents(vocab_size, docs.into_iter().map(Document::new).collect())
@@ -96,10 +96,14 @@ pub fn read_vocab<R: Read>(reader: R) -> Result<Vocabulary> {
 
 /// Serialises a corpus back to the UCI bag-of-words format (used by tests and
 /// by the dataset-exporter example).
-pub fn write_bag_of_words<W: std::io::Write>(corpus: &Corpus, mut writer: W) -> std::io::Result<()> {
+pub fn write_bag_of_words<W: std::io::Write>(
+    corpus: &Corpus,
+    mut writer: W,
+) -> std::io::Result<()> {
     // Count (doc, word) multiplicities.
     let mut nnz = 0usize;
-    let mut per_doc: Vec<std::collections::BTreeMap<u32, u32>> = Vec::with_capacity(corpus.n_docs());
+    let mut per_doc: Vec<std::collections::BTreeMap<u32, u32>> =
+        Vec::with_capacity(corpus.n_docs());
     for doc in corpus.documents() {
         let mut counts = std::collections::BTreeMap::new();
         for &w in doc.words() {

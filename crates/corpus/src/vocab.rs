@@ -1,6 +1,44 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::CorpusError;
+
+/// What to do with words a trained model's vocabulary does not contain.
+///
+/// Serving sees raw text, and raw text contains words that were not in the
+/// training corpus; inference can only reason about in-vocabulary tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OovPolicy {
+    /// Drop unknown words and report how many were dropped (the usual
+    /// serving behaviour).
+    #[default]
+    Skip,
+    /// Fail the whole document on the first unknown word (strict ingestion
+    /// pipelines).
+    Fail,
+}
+
+/// A raw-token document mapped onto vocabulary ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EncodedDocument {
+    /// In-vocabulary word ids, in input order.
+    pub ids: Vec<u32>,
+    /// Number of input tokens dropped as out-of-vocabulary.
+    pub n_oov: usize,
+}
+
+impl EncodedDocument {
+    /// Fraction of input tokens that were out-of-vocabulary.
+    pub fn oov_rate(&self) -> f64 {
+        let total = self.ids.len() + self.n_oov;
+        if total == 0 {
+            0.0
+        } else {
+            self.n_oov as f64 / total as f64
+        }
+    }
+}
+
 /// A bidirectional mapping between word strings and dense word ids.
 ///
 /// Word ids are assigned in insertion order, starting at 0. The paper's
@@ -97,6 +135,50 @@ impl Vocabulary {
     pub fn synthetic(n: usize) -> Self {
         Vocabulary::from_words((0..n).map(|i| format!("w{i:05}")))
     }
+
+    /// Maps a raw-token document onto word ids without mutating the
+    /// vocabulary, applying `policy` to unknown words. This is the ingestion
+    /// path of the serving subsystem: a trained model's vocabulary is fixed,
+    /// so unseen words can only be skipped or rejected.
+    ///
+    /// # Errors
+    ///
+    /// With [`OovPolicy::Fail`], returns [`CorpusError::OutOfVocabulary`]
+    /// naming the first unknown word.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use saber_corpus::{OovPolicy, Vocabulary};
+    ///
+    /// let vocab = Vocabulary::from_words(["topic", "model"]);
+    /// let doc = vocab.encode(["topic", "zebra", "model"], OovPolicy::Skip).unwrap();
+    /// assert_eq!(doc.ids, vec![0, 1]);
+    /// assert_eq!(doc.n_oov, 1);
+    /// assert!(vocab.encode(["zebra"], OovPolicy::Fail).is_err());
+    /// ```
+    pub fn encode<I, S>(&self, tokens: I, policy: OovPolicy) -> crate::Result<EncodedDocument>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut doc = EncodedDocument::default();
+        for token in tokens {
+            let token = token.as_ref();
+            match self.ids.get(token) {
+                Some(&id) => doc.ids.push(id),
+                None => match policy {
+                    OovPolicy::Skip => doc.n_oov += 1,
+                    OovPolicy::Fail => {
+                        return Err(CorpusError::OutOfVocabulary {
+                            word: token.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+        Ok(doc)
+    }
 }
 
 impl FromIterator<String> for Vocabulary {
@@ -140,6 +222,29 @@ mod tests {
         let v = Vocabulary::from_words(["x", "y"]);
         let pairs: Vec<(u32, &str)> = v.iter().collect();
         assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn encode_skips_or_fails_on_oov() {
+        let v = Vocabulary::from_words(["a", "b", "c"]);
+        let doc = v.encode(["c", "x", "a", "y"], OovPolicy::Skip).unwrap();
+        assert_eq!(doc.ids, vec![2, 0]);
+        assert_eq!(doc.n_oov, 2);
+        assert!((doc.oov_rate() - 0.5).abs() < 1e-12);
+
+        let err = v.encode(["a", "zebra"], OovPolicy::Fail).unwrap_err();
+        assert!(err.to_string().contains("zebra"), "error was: {err}");
+        assert!(v.encode(["b", "a"], OovPolicy::Fail).is_ok());
+    }
+
+    #[test]
+    fn encode_empty_document() {
+        let v = Vocabulary::from_words(["a"]);
+        let doc = v
+            .encode(std::iter::empty::<&str>(), OovPolicy::Skip)
+            .unwrap();
+        assert!(doc.ids.is_empty());
+        assert_eq!(doc.oov_rate(), 0.0);
     }
 
     #[test]

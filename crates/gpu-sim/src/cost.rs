@@ -186,8 +186,6 @@ mod tests {
         let mut slow = base;
         slow.wait_iterations = 10_000_000;
         slow.divergent_branches = 5_000_000;
-        assert!(
-            model.kernel_time(&slow).alu_seconds > 2.0 * model.kernel_time(&base).alu_seconds
-        );
+        assert!(model.kernel_time(&slow).alu_seconds > 2.0 * model.kernel_time(&base).alu_seconds);
     }
 }

@@ -32,7 +32,10 @@ impl L2Cache {
     /// Panics if `capacity_bytes` is smaller than one line or
     /// `associativity == 0`.
     pub fn new(capacity_bytes: u64, associativity: usize) -> Self {
-        assert!(capacity_bytes >= CACHE_LINE_BYTES, "cache smaller than a line");
+        assert!(
+            capacity_bytes >= CACHE_LINE_BYTES,
+            "cache smaller than a line"
+        );
         assert!(associativity > 0, "associativity must be positive");
         let n_lines = (capacity_bytes / CACHE_LINE_BYTES) as usize;
         let n_sets = (n_lines / associativity).max(1);
@@ -317,7 +320,13 @@ mod tests {
     #[test]
     fn address_map_bases_are_distinct() {
         let m = AddressMap::default();
-        let bases = [m.token_list, m.doc_topic, m.word_topic, m.word_topic_prob, m.trees];
+        let bases = [
+            m.token_list,
+            m.doc_topic,
+            m.word_topic,
+            m.word_topic_prob,
+            m.trees,
+        ];
         for i in 0..bases.len() {
             for j in 0..i {
                 assert_ne!(bases[i], bases[j]);

@@ -58,8 +58,9 @@ impl ScheduleOutcome {
 /// Panics if `n_executors == 0`.
 pub fn dynamic_schedule(work_items: &[u64], n_executors: usize) -> ScheduleOutcome {
     assert!(n_executors > 0, "need at least one executor");
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
-        (0..n_executors).map(|i| std::cmp::Reverse((0u64, i))).collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = (0..n_executors)
+        .map(|i| std::cmp::Reverse((0u64, i)))
+        .collect();
     let mut per_executor = vec![0u64; n_executors];
     for &w in work_items {
         let std::cmp::Reverse((load, idx)) = heap.pop().expect("heap never empty");
@@ -78,7 +79,10 @@ pub fn dynamic_schedule(work_items: &[u64], n_executors: usize) -> ScheduleOutco
 /// Sorts work items by descending size before scheduling — the paper's
 /// "words with most tokens are executed first" heuristic (§3.4). Returns the
 /// permutation applied and the schedule outcome.
-pub fn dynamic_schedule_sorted(work_items: &[u64], n_executors: usize) -> (Vec<usize>, ScheduleOutcome) {
+pub fn dynamic_schedule_sorted(
+    work_items: &[u64],
+    n_executors: usize,
+) -> (Vec<usize>, ScheduleOutcome) {
     let mut order: Vec<usize> = (0..work_items.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(work_items[i]));
     let sorted: Vec<u64> = order.iter().map(|&i| work_items[i]).collect();

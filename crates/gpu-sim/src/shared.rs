@@ -58,7 +58,10 @@ impl SharedMemory {
     /// Panics if more bytes are freed than are currently allocated (a
     /// book-keeping bug in the caller).
     pub fn free(&mut self, bytes: u64) {
-        assert!(bytes <= self.used, "freeing more shared memory than allocated");
+        assert!(
+            bytes <= self.used,
+            "freeing more shared memory than allocated"
+        );
         self.used -= bytes;
     }
 

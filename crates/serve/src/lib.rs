@@ -1,0 +1,139 @@
+//! Batched online topic inference over trained SaberLDA models.
+//!
+//! Training (the subject of the paper, reproduced in `saber-core`) produces
+//! a topic–word matrix; *using* it means answering "what is this document
+//! about?" quickly, concurrently, and against a model that keeps improving.
+//! This crate turns an [`LdaModel`](saber_core::LdaModel) into that service:
+//!
+//! * [`InferenceSnapshot`] — an immutable export of the model: normalised
+//!   `B̂` plus one pre-processed per-word sampling structure
+//!   ([`SnapshotSampler`]: W-ary tree or alias table, the same §3.2.4
+//!   trade-off the paper studies for training). Sized ahead of publication
+//!   by the core memory estimator.
+//! * [`SnapshotCell`] — hot model swap: a trainer publishes refreshed
+//!   snapshots between iterations while serving continues; in-flight
+//!   requests keep the snapshot they started with, workers pick up the new
+//!   one at their next micro-batch with a single atomic check on the fast
+//!   path.
+//! * [`TopicServer`] — a pool of worker threads behind a bounded queue that
+//!   coalesces requests into micro-batches. Inference is the sparsity-aware
+//!   ESCA fold-in of [`saber_core::infer`] (`O(K_d)` per token, not
+//!   `O(K)`), and every request carries its own seed, so answers are
+//!   bit-reproducible regardless of batching, scheduling or concurrency.
+//! * Query API: [`TopicServer::infer_topics`], [`TopicServer::infer_raw`]
+//!   (raw tokens + [`OovPolicy`](saber_corpus::OovPolicy)),
+//!   [`TopicServer::top_words`], and document similarity in topic space
+//!   ([`similarity`]).
+//!
+//! # Example
+//!
+//! ```
+//! use saber_core::LdaModel;
+//! use saber_serve::{ServeConfig, TopicServer};
+//!
+//! // A toy "trained" model: word v belongs to topic v % 2.
+//! let mut model = LdaModel::new(10, 2, 0.1, 0.01).unwrap();
+//! for v in 0..10 {
+//!     model.word_topic_mut()[(v, v % 2)] = 20;
+//! }
+//! model.refresh_probabilities();
+//!
+//! let server = TopicServer::from_model(&model, ServeConfig::default()).unwrap();
+//! let response = server.infer_topics(vec![0, 2, 4, 6, 0, 2], 7).unwrap();
+//! assert_eq!(response.dominant_topic(), 0);
+//! assert_eq!(response.snapshot_version, 1);
+//! ```
+//!
+//! `examples/serve_demo.rs` at the workspace root walks through the full
+//! train → publish → concurrent-inference → hot-swap loop.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod server;
+pub mod similarity;
+pub mod snapshot;
+pub mod swap;
+
+pub use server::{InferRequest, InferResponse, ServeConfig, ServeStats, TopicServer};
+pub use snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
+pub use swap::SnapshotCell;
+
+/// Errors produced by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The configuration is inconsistent or out of supported range.
+    InvalidConfig {
+        /// Human readable description.
+        detail: String,
+    },
+    /// The worker pool has shut down; no further requests are accepted.
+    Closed,
+    /// The bounded request queue is full (fail-fast admission control).
+    Overloaded,
+    /// A request carried a word id outside the served vocabulary.
+    BadRequest {
+        /// Human readable description.
+        detail: String,
+    },
+    /// Raw-token encoding failed (e.g. out-of-vocabulary word under
+    /// [`saber_corpus::OovPolicy::Fail`]).
+    Corpus(saber_corpus::CorpusError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            ServeError::Closed => write!(f, "serving worker pool has shut down"),
+            ServeError::Overloaded => write!(f, "request queue is full"),
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<saber_corpus::CorpusError> for ServeError {
+    fn from(e: saber_corpus::CorpusError) -> Self {
+        ServeError::Corpus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        use std::error::Error;
+        let e = ServeError::InvalidConfig {
+            detail: "zero workers".into(),
+        };
+        assert!(e.to_string().contains("zero workers"));
+        assert!(e.source().is_none());
+        assert!(ServeError::Closed.to_string().contains("shut down"));
+        assert!(ServeError::Overloaded.to_string().contains("full"));
+        let e: ServeError = saber_corpus::CorpusError::ParseError {
+            line: 0,
+            detail: "oov".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+        assert_send_sync::<TopicServer>();
+    }
+}

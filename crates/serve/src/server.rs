@@ -1,0 +1,601 @@
+//! The batched, multi-threaded topic-inference server.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use saber_core::model::LdaModel;
+use saber_corpus::{OovPolicy, Vocabulary};
+
+use crate::snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
+use crate::swap::SnapshotCell;
+use crate::ServeError;
+
+/// Configuration of a [`TopicServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker threads draining the request queue (≥ 1).
+    pub n_workers: usize,
+    /// Upper bound on the number of requests a worker coalesces into one
+    /// micro-batch (≥ 1). A batch loads the snapshot once and amortises
+    /// queue synchronisation across its requests.
+    pub max_batch: usize,
+    /// Capacity of the bounded request queue; submissions block (or fail,
+    /// for [`TopicServer::try_infer_topics`]) when it is full.
+    pub queue_depth: usize,
+    /// Fold-in quality knobs applied to every request.
+    pub fold_in: FoldInParams,
+    /// Sampling structure used by [`TopicServer::publish_model`].
+    pub sampler: SnapshotSampler,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_workers: 4,
+            max_batch: 16,
+            queue_depth: 256,
+            fold_in: FoldInParams::default(),
+            sampler: SnapshotSampler::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.n_workers == 0 || self.max_batch == 0 || self.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig {
+                detail: "n_workers, max_batch and queue_depth must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One inference request: a document as vocabulary word ids plus the seed
+/// that makes its answer reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// Word ids of the document (unordered bag of words).
+    pub words: Vec<u32>,
+    /// Per-request RNG seed. Equal seeds on equal words against an equal
+    /// snapshot give bit-identical responses, regardless of batching or
+    /// which worker serves them.
+    pub seed: u64,
+}
+
+/// The answer to an [`InferRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Topic distribution `θ` of the document (length `K`, sums to 1).
+    pub theta: Vec<f32>,
+    /// Version of the snapshot that served the request.
+    pub snapshot_version: u64,
+    /// Input tokens dropped as out-of-vocabulary: unknown raw tokens on the
+    /// [`TopicServer::infer_raw`] path, plus word ids a snapshot swap made
+    /// unservable between admission and execution (only possible when a
+    /// published snapshot shrank the vocabulary).
+    pub n_oov: usize,
+}
+
+impl InferResponse {
+    /// The most probable topic.
+    pub fn dominant_topic(&self) -> usize {
+        self.theta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+}
+
+/// Cumulative serving counters (all monotonic).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    tokens: AtomicU64,
+    batches: AtomicU64,
+    swaps_observed: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Tokens folded in across all requests.
+    pub tokens: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Times a worker observed a newer snapshot at batch start.
+    pub swaps_observed: u64,
+}
+
+impl ServeStats {
+    /// Mean requests per micro-batch (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Job {
+    words: Vec<u32>,
+    seed: u64,
+    reply: SyncSender<InferResponse>,
+}
+
+/// A multi-threaded topic-inference server over hot-swappable snapshots.
+///
+/// Requests enter a bounded queue; each of the `n_workers` threads pops one
+/// request, opportunistically drains up to `max_batch - 1` more, loads the
+/// current [`InferenceSnapshot`] once for the whole micro-batch and answers
+/// every request with the sparsity-aware fold-in sampler. Because each
+/// request carries its own seed, results are reproducible no matter how
+/// requests were batched.
+///
+/// A trainer (or anything holding the server handle) can
+/// [`TopicServer::publish`] a refreshed snapshot at any time; workers pick
+/// it up at their next batch without pausing the queue.
+///
+/// Dropping the server joins all workers after in-flight requests drain.
+pub struct TopicServer {
+    cell: Arc<SnapshotCell>,
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Arc<Counters>,
+    config: ServeConfig,
+    /// Vocabulary size of the latest published snapshot, cached so request
+    /// admission never touches the snapshot cell's lock. All snapshots of
+    /// one server come from the same model family, so the bound is stable;
+    /// the worker tolerates a stale bound by dropping unservable ids.
+    vocab_bound: AtomicUsize,
+    /// Serialises [`TopicServer::publish`] so `vocab_bound` and the cell
+    /// swap cannot interleave across concurrent publishers (which could
+    /// otherwise leave the bound permanently out of step with the served
+    /// snapshot).
+    publish_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for TopicServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopicServer")
+            .field("config", &self.config)
+            .field("snapshot_version", &self.cell.version())
+            .field("n_workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl TopicServer {
+    /// Starts a server over `initial` (published as version 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero workers, batch size or
+    /// queue depth.
+    pub fn start(initial: InferenceSnapshot, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let cell = Arc::new(SnapshotCell::new(initial));
+        let (tx, rx) = sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let counters = Arc::new(Counters::default());
+        let workers = (0..config.n_workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let cell = Arc::clone(&cell);
+                let counters = Arc::clone(&counters);
+                let fold_in = config.fold_in;
+                let max_batch = config.max_batch;
+                std::thread::Builder::new()
+                    .name(format!("saber-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &cell, &counters, fold_in, max_batch))
+                    .expect("failed to spawn serving worker")
+            })
+            .collect();
+        let vocab_bound = AtomicUsize::new(cell.load().vocab_size());
+        Ok(TopicServer {
+            cell,
+            queue: Some(tx),
+            workers,
+            counters,
+            config,
+            vocab_bound,
+            publish_lock: Mutex::new(()),
+        })
+    }
+
+    /// Trains nothing, serves everything: shorthand for
+    /// [`InferenceSnapshot::from_model`] + [`TopicServer::start`].
+    pub fn from_model(model: &LdaModel, config: ServeConfig) -> Result<Self, ServeError> {
+        TopicServer::start(InferenceSnapshot::from_model(model, config.sampler), config)
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Publishes a new snapshot; returns its version. In-flight batches
+    /// finish on the snapshot they started with.
+    pub fn publish(&self, snapshot: InferenceSnapshot) -> u64 {
+        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        self.vocab_bound
+            .store(snapshot.vocab_size(), Ordering::Relaxed);
+        self.cell.publish(snapshot)
+    }
+
+    /// Exports and publishes the current state of `model` using the
+    /// configured sampler kind; returns the new version. This is the hook a
+    /// training loop calls between iterations.
+    pub fn publish_model(&self, model: &LdaModel) -> u64 {
+        self.publish(InferenceSnapshot::from_model(model, self.config.sampler))
+    }
+
+    /// The currently served snapshot.
+    pub fn snapshot(&self) -> Arc<InferenceSnapshot> {
+        self.cell.load()
+    }
+
+    /// Current snapshot version (increments on every publish).
+    pub fn snapshot_version(&self) -> u64 {
+        self.cell.version()
+    }
+
+    /// Blockingly infers the topic distribution of one document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for word ids outside the served
+    /// vocabulary and [`ServeError::Closed`] if the worker pool has shut
+    /// down.
+    pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
+        let rx = self.submit(words, seed)?;
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Like [`TopicServer::infer_topics`] but fails fast with
+    /// [`ServeError::Overloaded`] instead of blocking when the queue is full
+    /// — the admission-control path for latency-sensitive callers.
+    pub fn try_infer_topics(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+    ) -> Result<InferResponse, ServeError> {
+        let (job, reply_rx) = self.make_job(words, seed)?;
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        match queue.try_send(job) {
+            Ok(()) => reply_rx.recv().map_err(|_| ServeError::Closed),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Submits a whole batch and waits for every answer, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Closed`] if the worker pool has shut down.
+    pub fn infer_batch(
+        &self,
+        requests: Vec<InferRequest>,
+    ) -> Result<Vec<InferResponse>, ServeError> {
+        let receivers: Vec<_> = requests
+            .into_iter()
+            .map(|r| self.submit(r.words, r.seed))
+            .collect::<Result<_, _>>()?;
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| ServeError::Closed))
+            .collect()
+    }
+
+    /// Encodes a raw-token document against `vocab` and infers its topics;
+    /// the response carries the out-of-vocabulary count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures ([`OovPolicy::Fail`]) and
+    /// [`ServeError::Closed`].
+    pub fn infer_raw<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        vocab: &Vocabulary,
+        policy: OovPolicy,
+        seed: u64,
+    ) -> Result<InferResponse, ServeError> {
+        let encoded = vocab.encode(tokens.iter().map(AsRef::as_ref), policy)?;
+        let mut response = self.infer_topics(encoded.ids, seed)?;
+        response.n_oov += encoded.n_oov;
+        Ok(response)
+    }
+
+    /// The `n` highest-probability words of topic `k` under the current
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
+        self.snapshot().top_words(k, n)
+    }
+
+    /// A point-in-time copy of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            tokens: self.counters.tokens.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            swaps_observed: self.counters.swaps_observed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the queue and joins all workers. Called automatically on drop;
+    /// explicit shutdown lets callers observe completion.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    /// Rejects word ids the served vocabulary cannot contain. Checked at
+    /// submission so a malformed request surfaces as an error to its caller
+    /// instead of panicking a worker. Reads the cached bound — admission
+    /// must not contend on the snapshot cell.
+    fn validate_words(&self, words: &[u32]) -> Result<(), ServeError> {
+        let vocab_size = self.vocab_bound.load(Ordering::Relaxed);
+        match words.iter().find(|&&w| w as usize >= vocab_size) {
+            None => Ok(()),
+            Some(&w) => Err(ServeError::BadRequest {
+                detail: format!("word id {w} out of vocabulary range (V = {vocab_size})"),
+            }),
+        }
+    }
+
+    /// Validates a request and pairs it with its capacity-1 reply channel.
+    fn make_job(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+    ) -> Result<(Job, Receiver<InferResponse>), ServeError> {
+        self.validate_words(&words)?;
+        let (reply_tx, reply_rx) = sync_channel(1);
+        Ok((
+            Job {
+                words,
+                seed,
+                reply: reply_tx,
+            },
+            reply_rx,
+        ))
+    }
+
+    fn submit(&self, words: Vec<u32>, seed: u64) -> Result<Receiver<InferResponse>, ServeError> {
+        let (job, reply_rx) = self.make_job(words, seed)?;
+        self.queue
+            .as_ref()
+            .ok_or(ServeError::Closed)?
+            .send(job)
+            .map_err(|_| ServeError::Closed)?;
+        Ok(reply_rx)
+    }
+
+    fn shutdown_in_place(&mut self) {
+        // Dropping the sender ends `recv` with an error once the queue is
+        // empty; workers then exit their loops.
+        self.queue = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for TopicServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    cell: &SnapshotCell,
+    counters: &Counters,
+    fold_in: FoldInParams,
+    max_batch: usize,
+) {
+    let mut snapshot = cell.load();
+    let mut batch = Vec::with_capacity(max_batch);
+    loop {
+        // Take one job (blocking), then opportunistically drain more up to
+        // the batch cap. Holding the queue lock while blocked parks this
+        // worker and lets siblings wake in turn; submissions never take it.
+        {
+            let guard = rx.lock().expect("serve queue poisoned");
+            match guard.recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => return,
+            }
+            while batch.len() < max_batch {
+                match guard.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // One snapshot load per micro-batch: requests in a batch see a
+        // consistent model, swaps are picked up at the next batch.
+        if cell.load_if_newer(&mut snapshot) {
+            counters.swaps_observed.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        for mut job in batch.drain(..) {
+            // Submission validated against the then-current snapshot; if a
+            // swap shrank the vocabulary since, drop the now-unservable ids
+            // (reported as OOV) rather than panicking the worker.
+            let vocab_size = snapshot.vocab_size() as u32;
+            let submitted = job.words.len();
+            job.words.retain(|&w| w < vocab_size);
+            let n_oov = submitted - job.words.len();
+
+            let theta = snapshot.infer_topics(&job.words, job.seed, fold_in);
+            counters.requests.fetch_add(1, Ordering::Relaxed);
+            counters
+                .tokens
+                .fetch_add(job.words.len() as u64, Ordering::Relaxed);
+            // A send only fails if the requester's receiver is gone (its
+            // thread panicked between submit and reply); nothing to do.
+            let _ = job.reply.send(InferResponse {
+                theta,
+                snapshot_version: snapshot.version(),
+                n_oov,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::planted_model;
+    use saber_core::model::LdaModel;
+
+    fn small_server(n_workers: usize) -> TopicServer {
+        TopicServer::from_model(
+            &planted_model(12, 3),
+            ServeConfig {
+                n_workers,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_configuration() {
+        let snap = InferenceSnapshot::from_model(&planted_model(6, 2), SnapshotSampler::WaryTree);
+        let bad = ServeConfig {
+            n_workers: 0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            TopicServer::start(snap, bad),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn serves_single_requests() {
+        let server = small_server(2);
+        let response = server.infer_topics(vec![0, 3, 6, 9, 0, 3], 42).unwrap();
+        assert_eq!(response.dominant_topic(), 0);
+        assert_eq!(response.snapshot_version, 1);
+        assert_eq!(response.n_oov, 0);
+        let sum: f32 = response.theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_answers_preserve_order_and_seeds() {
+        let server = small_server(3);
+        let requests: Vec<InferRequest> = (0..20)
+            .map(|i| InferRequest {
+                words: vec![(i % 12) as u32; 6],
+                seed: i as u64,
+            })
+            .collect();
+        let a = server.infer_batch(requests.clone()).unwrap();
+        let b = server.infer_batch(requests).unwrap();
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.theta, y.theta, "same seed must give same answer");
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, 40);
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_batch_size() >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn raw_token_path_reports_oov() {
+        let server = small_server(2);
+        let vocab = saber_corpus::Vocabulary::synthetic(12);
+        let response = server
+            .infer_raw(
+                &["w00000", "nope", "w00003", "w00006"],
+                &vocab,
+                OovPolicy::Skip,
+                1,
+            )
+            .unwrap();
+        assert_eq!(response.n_oov, 1);
+        assert_eq!(response.dominant_topic(), 0);
+        assert!(matches!(
+            server.infer_raw(&["nope"], &vocab, OovPolicy::Fail, 1),
+            Err(ServeError::Corpus(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn publish_model_is_visible_to_later_requests() {
+        let server = small_server(2);
+        assert_eq!(server.snapshot_version(), 1);
+        // New model: words planted shifted by one topic.
+        let mut model = LdaModel::new(12, 3, 0.05, 0.01).unwrap();
+        for v in 0..12 {
+            model.word_topic_mut()[(v, (v + 1) % 3)] = 50;
+        }
+        model.refresh_probabilities();
+        let v2 = server.publish_model(&model);
+        assert_eq!(v2, 2);
+        let response = server.infer_topics(vec![0, 3, 6, 9, 0, 3], 42).unwrap();
+        assert_eq!(response.snapshot_version, 2);
+        assert_eq!(response.dominant_topic(), 1, "swap must retarget topic");
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_word_ids_are_rejected_not_fatal() {
+        let server = small_server(2);
+        // A poison request must error out without killing a worker…
+        match server.infer_topics(vec![0, 99_999], 1) {
+            Err(ServeError::BadRequest { detail }) => {
+                assert!(detail.contains("99999"), "detail was: {detail}")
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert!(matches!(
+            server.try_infer_topics(vec![12], 1),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // …and the pool keeps serving afterwards.
+        for seed in 0..8 {
+            let response = server.infer_topics(vec![0, 3, 6, 9], seed).unwrap();
+            assert_eq!(response.dominant_topic(), 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn empty_document_gets_uniform_theta() {
+        let server = small_server(1);
+        let response = server.infer_topics(vec![], 0).unwrap();
+        for &t in &response.theta {
+            assert!((t - 1.0 / 3.0).abs() < 1e-6);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let server = small_server(4);
+        let _ = server.infer_topics(vec![1, 4, 7], 3).unwrap();
+        drop(server); // must not hang or panic
+    }
+}

@@ -1,0 +1,101 @@
+//! Document similarity in topic space.
+//!
+//! Once documents are reduced to topic distributions `θ`, similarity search
+//! is distance computation between points on the probability simplex. Two
+//! standard measures are provided: Hellinger distance (a proper metric on
+//! distributions, the usual choice for LDA embeddings) and cosine
+//! similarity (cheap, scale-insensitive).
+
+/// Hellinger distance between two topic distributions, in `[0, 1]`
+/// (0 = identical, 1 = disjoint support).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn hellinger_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "topic distributions differ in length");
+    let sum: f64 = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x.max(0.0) as f64).sqrt() - (y.max(0.0) as f64).sqrt();
+            d * d
+        })
+        .sum();
+    ((sum / 2.0).sqrt() as f32).min(1.0)
+}
+
+/// Cosine similarity between two topic distributions, in `[0, 1]` for
+/// non-negative inputs (1 = same direction). Returns 0 when either vector
+/// is all-zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "topic distributions differ in length");
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na.sqrt() * nb.sqrt())) as f32
+    }
+}
+
+/// Index and Hellinger distance of the candidate closest to `query`, or
+/// `None` when `candidates` is empty.
+pub fn most_similar(query: &[f32], candidates: &[Vec<f32>]) -> Option<(usize, f32)> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, hellinger_distance(query, c)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hellinger_basics() {
+        let a = [1.0f32, 0.0, 0.0];
+        let b = [0.0f32, 1.0, 0.0];
+        assert_eq!(hellinger_distance(&a, &a), 0.0);
+        assert!((hellinger_distance(&a, &b) - 1.0).abs() < 1e-6);
+        let c = [0.5f32, 0.5, 0.0];
+        let d = hellinger_distance(&a, &c);
+        assert!(d > 0.0 && d < 1.0);
+        // Symmetry.
+        assert_eq!(d, hellinger_distance(&c, &a));
+    }
+
+    #[test]
+    fn cosine_basics() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&a, &b), 0.0);
+        assert_eq!(cosine_similarity(&a, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn most_similar_picks_the_closest() {
+        let query = vec![0.9f32, 0.1];
+        let candidates = vec![vec![0.1f32, 0.9], vec![0.8f32, 0.2], vec![0.5f32, 0.5]];
+        let (idx, dist) = most_similar(&query, &candidates).unwrap();
+        assert_eq!(idx, 1);
+        assert!(dist < 0.2);
+        assert!(most_similar(&query, &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_lengths_panic() {
+        hellinger_distance(&[0.5, 0.5], &[1.0]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Immutable inference snapshots exported from a trained [`LdaModel`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saber_core::config::PreprocessKind;
+use saber_core::infer::fold_in_esca;
+use saber_core::memory::snapshot_bytes;
+use saber_core::model::LdaModel;
+use saber_core::trees::WordSampler;
+use saber_sparse::DenseMatrix;
+
+/// Which pre-processed per-word structure a snapshot builds for the dense
+/// sub-problem `p₂(k) ∝ B̂_vk`.
+///
+/// Serving exposes the same trade-off the paper studies for training
+/// (§3.2.4): the W-ary tree is cheap to build (snapshots are rebuilt on
+/// every publish) while the alias table answers queries in `O(1)`. Fenwick
+/// trees lose on both axes, so serving does not offer them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SnapshotSampler {
+    /// The paper's 32-ary sampling tree: `O(K)` build, `O(log₃₂ K)` query.
+    #[default]
+    WaryTree,
+    /// Walker's alias table: sequential `O(K)` build with a larger constant,
+    /// `O(1)` query — worth it for long-lived snapshots under heavy load.
+    AliasTable,
+}
+
+impl SnapshotSampler {
+    /// The corresponding training-side configuration value.
+    pub fn preprocess(self) -> PreprocessKind {
+        match self {
+            SnapshotSampler::WaryTree => PreprocessKind::WaryTree,
+            SnapshotSampler::AliasTable => PreprocessKind::AliasTable,
+        }
+    }
+}
+
+/// Fold-in quality knobs for serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldInParams {
+    /// Gibbs sweeps discarded before measuring.
+    pub burn_in: usize,
+    /// Gibbs sweeps averaged into the returned `θ`.
+    pub samples: usize,
+}
+
+impl Default for FoldInParams {
+    fn default() -> Self {
+        FoldInParams {
+            burn_in: 5,
+            samples: 8,
+        }
+    }
+}
+
+/// An immutable, self-contained view of a trained model, ready to serve
+/// topic inference: the normalised `B̂` plus one pre-processed sampling
+/// structure per word.
+///
+/// Snapshots are plain data — cheap to share behind an [`std::sync::Arc`],
+/// never mutated after construction, and independent of the trainer that
+/// produced them, so training can continue (or the model be dropped) while
+/// requests are in flight.
+#[derive(Debug, Clone)]
+pub struct InferenceSnapshot {
+    bhat: DenseMatrix<f32>,
+    samplers: Vec<WordSampler>,
+    alpha: f32,
+    sampler_kind: SnapshotSampler,
+    version: u64,
+}
+
+impl InferenceSnapshot {
+    /// Exports a snapshot from `model`, building one `kind` structure per
+    /// vocabulary word from the current `B̂`.
+    ///
+    /// The model's probabilities must be fresh (the trainer refreshes them
+    /// every iteration; call [`LdaModel::refresh_probabilities`] after manual
+    /// count edits).
+    pub fn from_model(model: &LdaModel, kind: SnapshotSampler) -> Self {
+        let bhat = model.snapshot_probabilities();
+        let samplers = (0..bhat.rows())
+            .map(|v| WordSampler::build(kind.preprocess(), bhat.row(v)))
+            .collect();
+        InferenceSnapshot {
+            bhat,
+            samplers,
+            alpha: model.alpha(),
+            sampler_kind: kind,
+            version: 0,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn n_topics(&self) -> usize {
+        self.bhat.cols()
+    }
+
+    /// Vocabulary size `V`.
+    pub fn vocab_size(&self) -> usize {
+        self.bhat.rows()
+    }
+
+    /// Document–topic smoothing α inherited from the model.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// The sampling structure this snapshot was built with.
+    pub fn sampler_kind(&self) -> SnapshotSampler {
+        self.sampler_kind
+    }
+
+    /// Publication version, assigned by [`crate::SnapshotCell::publish`];
+    /// 0 until the snapshot has been published.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    pub(crate) fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Estimated resident footprint in bytes, via the core memory estimator
+    /// ([`snapshot_bytes`]).
+    pub fn memory_bytes(&self) -> u64 {
+        snapshot_bytes(
+            self.vocab_size() as u64,
+            self.n_topics(),
+            self.sampler_kind.preprocess(),
+        )
+    }
+
+    /// Infers the topic distribution `θ` of an unseen document by
+    /// sparsity-aware ESCA fold-in (`O(K_d)` per token; see
+    /// [`saber_core::infer`]).
+    ///
+    /// Deterministic: equal `(words, seed, snapshot contents, params)` give
+    /// bit-identical results, independent of batching or the worker thread
+    /// that runs them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word id is out of vocabulary range.
+    pub fn infer_topics(&self, words: &[u32], seed: u64, params: FoldInParams) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        fold_in_esca(
+            words,
+            &self.bhat,
+            &self.samplers,
+            self.alpha,
+            params.burn_in,
+            params.samples,
+            &mut rng,
+        )
+        .into_iter()
+        .map(|p| p as f32)
+        .collect()
+    }
+
+    /// The `n` highest-probability words of topic `k`, as `(word id,
+    /// probability)` pairs in decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_topics`.
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
+        assert!(k < self.n_topics(), "topic {k} out of range");
+        saber_core::model::top_words_of_column(&self.bhat, k, n)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn planted_model(vocab: usize, k: usize) -> LdaModel {
+        let mut model = LdaModel::new(vocab, k, 0.05, 0.01).unwrap();
+        for v in 0..vocab {
+            model.word_topic_mut()[(v, v % k)] = 50;
+        }
+        model.refresh_probabilities();
+        model
+    }
+
+    #[test]
+    fn snapshot_reflects_model_dimensions() {
+        let model = planted_model(12, 3);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        assert_eq!(snap.n_topics(), 3);
+        assert_eq!(snap.vocab_size(), 12);
+        assert_eq!(snap.alpha(), 0.05);
+        assert_eq!(snap.version(), 0);
+        assert!(snap.memory_bytes() > (12 * 3 * 4) as u64);
+    }
+
+    #[test]
+    fn infer_recovers_planted_topic_for_both_sampler_kinds() {
+        let model = planted_model(12, 3);
+        for kind in [SnapshotSampler::WaryTree, SnapshotSampler::AliasTable] {
+            let snap = InferenceSnapshot::from_model(&model, kind);
+            let theta = snap.infer_topics(&[2, 5, 8, 11, 2, 5], 7, FoldInParams::default());
+            let argmax = theta
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(argmax, 2, "{kind:?}: theta = {theta:?}");
+        }
+    }
+
+    #[test]
+    fn infer_is_bit_identical_for_equal_seeds() {
+        let model = planted_model(20, 4);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let words = [1u32, 5, 9, 13, 17, 1];
+        let a = snap.infer_topics(&words, 99, FoldInParams::default());
+        let b = snap.infer_topics(&words, 99, FoldInParams::default());
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // A soft model (every word shared between two topics) exposes
+        // seed-dependent sampling noise; the planted one pins every token
+        // and converges identically for any seed.
+        let mut soft = LdaModel::new(20, 4, 0.5, 0.01).unwrap();
+        for v in 0..20 {
+            soft.word_topic_mut()[(v, v % 4)] = 3;
+            soft.word_topic_mut()[(v, (v + 1) % 4)] = 2;
+        }
+        soft.refresh_probabilities();
+        let soft_snap = InferenceSnapshot::from_model(&soft, SnapshotSampler::WaryTree);
+        let mixed = [1u32, 2, 5, 9, 6, 3, 0, 7];
+        let c = soft_snap.infer_topics(&mixed, 100, FoldInParams::default());
+        let d = soft_snap.infer_topics(&mixed, 101, FoldInParams::default());
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn top_words_follow_planted_structure() {
+        let model = planted_model(12, 3);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let top = snap.top_words(1, 4);
+        assert_eq!(top.len(), 4);
+        for (word, _) in top {
+            assert_eq!(word % 3, 1, "word {word} not planted in topic 1");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn top_words_rejects_bad_topic() {
+        let model = planted_model(6, 2);
+        InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree).top_words(2, 1);
+    }
+}

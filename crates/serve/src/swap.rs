@@ -1,0 +1,147 @@
+//! Hot model swap: publish refreshed snapshots while serving continues.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::InferenceSnapshot;
+
+/// A publication point for [`InferenceSnapshot`]s.
+///
+/// Readers take an `Arc` clone of the current snapshot and use it for as
+/// long as they like; [`SnapshotCell::publish`] swaps in a replacement
+/// without waiting for them. In-flight requests keep the snapshot they
+/// started with (the old `Arc` stays alive until its last reader drops it),
+/// so a running trainer can publish between iterations while serving
+/// continues uninterrupted.
+///
+/// The hot read path is wait-free in the common case: workers cache the
+/// `Arc` they already hold and re-read the cell only when the atomic
+/// version counter moves (see [`SnapshotCell::load_if_newer`]). The slow
+/// path takes a `Mutex` only long enough to clone an `Arc`.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: Mutex<Arc<InferenceSnapshot>>,
+    /// Monotonic publication counter; starts at 1 for the initial snapshot.
+    version: AtomicU64,
+}
+
+impl SnapshotCell {
+    /// Creates a cell serving `initial` as version 1.
+    pub fn new(mut initial: InferenceSnapshot) -> Self {
+        initial.set_version(1);
+        SnapshotCell {
+            current: Mutex::new(Arc::new(initial)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// Atomically replaces the served snapshot, assigning and returning the
+    /// next version number. Readers observe the swap on their next load; the
+    /// previous snapshot stays alive for requests already using it.
+    pub fn publish(&self, mut snapshot: InferenceSnapshot) -> u64 {
+        let mut slot = self.current.lock().expect("snapshot cell poisoned");
+        let version = self.version.load(Ordering::Acquire) + 1;
+        snapshot.set_version(version);
+        *slot = Arc::new(snapshot);
+        // Publish the version only after the slot holds the new snapshot, so
+        // `load_if_newer` can never see the new version with the old data.
+        self.version.store(version, Ordering::Release);
+        version
+    }
+
+    /// The currently served snapshot.
+    pub fn load(&self) -> Arc<InferenceSnapshot> {
+        Arc::clone(&self.current.lock().expect("snapshot cell poisoned"))
+    }
+
+    /// Refreshes `cached` only if a newer snapshot has been published:
+    /// a single atomic load when nothing changed. Returns `true` when the
+    /// cache was refreshed.
+    pub fn load_if_newer(&self, cached: &mut Arc<InferenceSnapshot>) -> bool {
+        if self.version.load(Ordering::Acquire) == cached.version() {
+            return false;
+        }
+        *cached = self.load();
+        true
+    }
+
+    /// The current publication version (1-based).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotSampler;
+    use saber_core::model::LdaModel;
+
+    fn tiny_snapshot() -> InferenceSnapshot {
+        let mut model = LdaModel::new(4, 2, 0.1, 0.01).unwrap();
+        model.word_topic_mut()[(0, 0)] = 3;
+        model.refresh_probabilities();
+        InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree)
+    }
+
+    #[test]
+    fn publish_bumps_version_and_swaps() {
+        let cell = SnapshotCell::new(tiny_snapshot());
+        assert_eq!(cell.version(), 1);
+        assert_eq!(cell.load().version(), 1);
+        let v2 = cell.publish(tiny_snapshot());
+        assert_eq!(v2, 2);
+        assert_eq!(cell.load().version(), 2);
+    }
+
+    #[test]
+    fn old_readers_keep_their_snapshot_across_a_swap() {
+        let cell = SnapshotCell::new(tiny_snapshot());
+        let held = cell.load();
+        cell.publish(tiny_snapshot());
+        assert_eq!(held.version(), 1, "in-flight reader must keep its snapshot");
+        assert_eq!(cell.load().version(), 2);
+    }
+
+    #[test]
+    fn load_if_newer_is_a_no_op_when_current() {
+        let cell = SnapshotCell::new(tiny_snapshot());
+        let mut cached = cell.load();
+        assert!(!cell.load_if_newer(&mut cached));
+        cell.publish(tiny_snapshot());
+        assert!(cell.load_if_newer(&mut cached));
+        assert_eq!(cached.version(), 2);
+        assert!(!cell.load_if_newer(&mut cached));
+    }
+
+    #[test]
+    fn concurrent_publish_and_load() {
+        let cell = Arc::new(SnapshotCell::new(tiny_snapshot()));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    cell.publish(tiny_snapshot());
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..200 {
+                        let v = cell.load().version();
+                        assert!(v >= last, "version went backwards: {last} -> {v}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.version(), 51);
+    }
+}

@@ -149,10 +149,7 @@ impl<T> CsrMatrix<T> {
             }
             if let Some(&last) = cols.last() {
                 if last as usize >= n_cols {
-                    return Err(SparseError::ColumnOutOfBounds {
-                        col: last,
-                        n_cols,
-                    });
+                    return Err(SparseError::ColumnOutOfBounds { col: last, n_cols });
                 }
             }
         }
@@ -201,7 +198,11 @@ impl<T> CsrMatrix<T> {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> SparseRowView<'_, T> {
-        assert!(r < self.n_rows, "row {r} out of bounds ({} rows)", self.n_rows);
+        assert!(
+            r < self.n_rows,
+            "row {r} out of bounds ({} rows)",
+            self.n_rows
+        );
         let (lo, hi) = (self.row_ptr[r], self.row_ptr[r + 1]);
         SparseRowView::new(&self.col_idx[lo..hi], &self.values[lo..hi])
     }
@@ -218,7 +219,10 @@ impl<T> CsrMatrix<T> {
 
     /// Iterator over all rows as [`SparseRowView`]s.
     pub fn iter_rows(&self) -> RowIter<'_, T> {
-        RowIter { matrix: self, row: 0 }
+        RowIter {
+            matrix: self,
+            row: 0,
+        }
     }
 
     /// The raw row-pointer array.
@@ -447,15 +451,11 @@ mod tests {
         // Bad row_ptr length.
         assert!(CsrMatrix::from_raw_parts(2, 3, vec![0, 1], vec![0], vec![1u32]).is_err());
         // Non-monotone row_ptr.
-        assert!(
-            CsrMatrix::from_raw_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1u32, 1]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(2, 3, vec![0, 2, 1], vec![0, 1], vec![1u32, 1]).is_err());
         // Column out of range.
         assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![5], vec![1u32]).is_err());
         // Unsorted row.
-        assert!(
-            CsrMatrix::from_raw_parts(1, 5, vec![0, 2], vec![3, 1], vec![1u32, 1]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 5, vec![0, 2], vec![3, 1], vec![1u32, 1]).is_err());
         // nnz mismatch.
         assert!(CsrMatrix::from_raw_parts(1, 5, vec![0, 2], vec![1], vec![1u32]).is_err());
     }

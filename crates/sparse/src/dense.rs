@@ -144,7 +144,9 @@ impl DenseMatrix<u32> {
     /// Sum of a column, as `u64` to avoid overflow on billion-token corpora.
     pub fn col_sum(&self, c: usize) -> u64 {
         assert!(c < self.cols, "column {c} out of bounds");
-        (0..self.rows).map(|r| u64::from(self.data[r * self.cols + c])).sum()
+        (0..self.rows)
+            .map(|r| u64::from(self.data[r * self.cols + c]))
+            .sum()
     }
 
     /// Sum of a row.

@@ -144,7 +144,10 @@ mod tests {
 
     #[test]
     fn integer_prefix_sums() {
-        assert_eq!(inclusive_prefix_sum_u32(&[0, 0, 1, 0, 1]), vec![0, 0, 1, 1, 2]);
+        assert_eq!(
+            inclusive_prefix_sum_u32(&[0, 0, 1, 0, 1]),
+            vec![0, 0, 1, 1, 2]
+        );
         assert_eq!(exclusive_prefix_sum_usize(&[3, 1, 4]), vec![0, 3, 4]);
         assert!(inclusive_prefix_sum_u32(&[]).is_empty());
     }

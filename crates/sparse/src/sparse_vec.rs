@@ -143,7 +143,7 @@ impl<T> SparseVec<T> {
     /// increasing order; this is checked in debug builds only.
     pub fn push(&mut self, index: u32, value: T) {
         debug_assert!(
-            self.indices.last().map_or(true, |&last| index > last),
+            self.indices.last().is_none_or(|&last| index > last),
             "indices must be pushed in strictly increasing order"
         );
         self.indices.push(index);

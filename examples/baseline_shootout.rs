@@ -34,13 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut systems: Vec<Box<dyn LdaTrainer>> = vec![
         Box::new(saber),
-        Box::new(DenseGibbsLda::new(&corpus, k, alpha, beta, 4, DeviceSpec::gtx_1080())),
+        Box::new(DenseGibbsLda::new(
+            &corpus,
+            k,
+            alpha,
+            beta,
+            4,
+            DeviceSpec::gtx_1080(),
+        )),
         Box::new(EscaCpuLda::new(&corpus, k, alpha, beta, 4)),
         Box::new(FTreeLda::new(&corpus, k, alpha, beta, 4)),
         Box::new(WarpLdaMh::new(&corpus, k, alpha, beta, 4)),
     ];
 
-    println!("corpus: {}", saberlda::corpus::stats::CorpusStats::of(&corpus));
+    println!(
+        "corpus: {}",
+        saberlda::corpus::stats::CorpusStats::of(&corpus)
+    );
     println!("{iterations} iterations each, K = {k}\n");
     println!(
         "{:<34} {:>14} {:>18}",

@@ -69,7 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Topic coherence proxy: top words should concentrate probability.
     let mass: f32 = (0..k.min(5))
-        .map(|topic| lda.model().top_words(topic, 10).iter().map(|&(_, p)| p).sum::<f32>())
+        .map(|topic| {
+            lda.model()
+                .top_words(topic, 10)
+                .iter()
+                .map(|&(_, p)| p)
+                .sum::<f32>()
+        })
         .sum::<f32>()
         / k.min(5) as f32;
     println!("mean probability mass of the top-10 words of the first 5 topics: {mass:.3}");

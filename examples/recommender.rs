@@ -62,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut counts = vec![0.0f64; k];
             for &item in history {
                 let row = bhat.row(item as usize);
-                let resp: Vec<f64> =
-                    theta.iter().zip(row.iter()).map(|(&t, &b)| t * b as f64).collect();
+                let resp: Vec<f64> = theta
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(&t, &b)| t * b as f64)
+                    .collect();
                 let z: f64 = resp.iter().sum();
                 if z > 0.0 {
                     for (c, r) in counts.iter_mut().zip(resp.iter()) {
@@ -82,12 +85,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|i| !seen.contains(i))
             .map(|item| {
                 let row = bhat.row(item as usize);
-                let s: f64 = theta.iter().zip(row.iter()).map(|(&t, &b)| t * b as f64).sum();
+                let s: f64 = theta
+                    .iter()
+                    .zip(row.iter())
+                    .map(|(&t, &b)| t * b as f64)
+                    .sum();
                 (item, s)
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        let top: Vec<String> = scored.iter().take(5).map(|&(i, _)| format!("item{i}")).collect();
+        let top: Vec<String> = scored
+            .iter()
+            .take(5)
+            .map(|&(i, _)| format!("item{i}"))
+            .collect();
         println!(
             "user {user}: {} interactions, dominant interest group {} → recommend {}",
             history.len(),

@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = saber.train();
         let saber_tp = report.mean_throughput_mtokens_per_s();
 
-        let mut dense = DenseGibbsLda::new(&corpus, k, 50.0 / k as f32, 0.01, 1, DeviceSpec::gtx_1080());
+        let mut dense =
+            DenseGibbsLda::new(&corpus, k, 50.0 / k as f32, 0.01, 1, DeviceSpec::gtx_1080());
         let mut dense_seconds = 0.0;
         let mut dense_tokens = 0u64;
         for _ in 0..2 {

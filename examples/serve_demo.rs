@@ -1,0 +1,157 @@
+//! Serving demo: train a model, stand up a `TopicServer`, answer concurrent
+//! inference traffic, and hot-swap in a refreshed model mid-stream.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use std::sync::Arc;
+
+use saberlda::corpus::synthetic::SyntheticSpec;
+use saberlda::corpus::OovPolicy;
+use saberlda::serve::similarity::hellinger_distance;
+use saberlda::serve::{ServeConfig, SnapshotSampler, TopicServer};
+use saberlda::{SaberLda, SaberLdaConfig, Vocabulary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const K: usize = 8;
+
+    // 1. Train a first model version on a synthetic corpus with planted
+    //    topics (stand-in for a real corpus; see `saberlda::corpus::uci`).
+    let corpus = SyntheticSpec {
+        n_docs: 400,
+        vocab_size: 800,
+        mean_doc_len: 60.0,
+        n_topics: K,
+        attach_vocabulary: true,
+        ..SyntheticSpec::default()
+    }
+    .generate(11);
+    let config = SaberLdaConfig::builder()
+        .n_topics(K)
+        .n_iterations(10)
+        .seed(3)
+        .build()?;
+    let mut lda = SaberLda::new(config, &corpus)?;
+    lda.train();
+    println!(
+        "trained v1: {} docs, {} tokens, K = {K}",
+        corpus.n_docs(),
+        corpus.n_tokens()
+    );
+
+    // 2. Publish it to a serving pool: 4 workers, micro-batches of up to 16
+    //    requests, W-ary-tree snapshots (cheap to rebuild on every publish).
+    let serve_config = ServeConfig {
+        n_workers: 4,
+        max_batch: 16,
+        sampler: SnapshotSampler::WaryTree,
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(TopicServer::from_model(lda.model(), serve_config)?);
+    let snapshot = server.snapshot();
+    println!(
+        "published snapshot v{} (~{:.0} KB resident)",
+        snapshot.version(),
+        snapshot.memory_bytes() as f64 / 1024.0
+    );
+
+    // 3. Concurrent inference: 4 client threads fire batches of requests
+    //    built from training documents. Each request carries its own seed,
+    //    so any client can replay any answer bit-for-bit.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let server = Arc::clone(&server);
+            let words: Vec<Vec<u32>> = (0..50)
+                .map(|i| {
+                    corpus
+                        .document((c * 50 + i) % corpus.n_docs())
+                        .words()
+                        .to_vec()
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                for (i, doc) in words.into_iter().enumerate() {
+                    let seed = (c * 1000 + i) as u64;
+                    let response = server.infer_topics(doc, seed).expect("serving failed");
+                    assert_eq!(response.theta.len(), K);
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let served: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let stats = server.stats();
+    println!(
+        "served {served} concurrent requests in {} micro-batches (mean batch size {:.1}, {} tokens)",
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.tokens
+    );
+
+    // 4. Deterministic replay: same words + same seed = bit-identical θ.
+    let doc = corpus.document(0).words().to_vec();
+    let a = server.infer_topics(doc.clone(), 42)?;
+    let b = server.infer_topics(doc, 42)?;
+    assert_eq!(a.theta, b.theta);
+    println!("replay check: request with seed 42 is bit-identical on retry");
+
+    // 5. Hot swap: keep training the same trainer, publish the refreshed
+    //    model. Serving never pauses; later responses report the new
+    //    snapshot version.
+    for _ in 0..5 {
+        lda.iterate();
+    }
+    let v2 = server.publish_model(lda.model());
+    let doc = corpus.document(1).words().to_vec();
+    let after = server.infer_topics(doc.clone(), 7)?;
+    println!(
+        "hot-swapped to snapshot v{v2}; next answer served from v{}",
+        after.snapshot_version
+    );
+
+    // 6. The query API beyond raw θ: top words per topic, raw-token
+    //    documents with OOV handling, and similarity in topic space.
+    let fallback = Vocabulary::synthetic(corpus.vocab_size());
+    let vocab = corpus.vocabulary().unwrap_or(&fallback);
+    for k in 0..3 {
+        let words: Vec<String> = server
+            .top_words(k, 6)
+            .into_iter()
+            .map(|(w, _)| vocab.word(w).unwrap_or("?").to_string())
+            .collect();
+        println!("topic {k}: {}", words.join(" "));
+    }
+
+    let raw: Vec<String> = corpus
+        .document(2)
+        .words()
+        .iter()
+        .take(12)
+        .map(|&w| vocab.word(w).unwrap_or("?").to_string())
+        .chain(["notaword".to_string()])
+        .collect();
+    let raw_response = server.infer_raw(&raw, vocab, OovPolicy::Skip, 9)?;
+    println!(
+        "raw-token inference: dominant topic {}, {} OOV token(s) skipped",
+        raw_response.dominant_topic(),
+        raw_response.n_oov
+    );
+
+    let x = server.infer_topics(corpus.document(3).words().to_vec(), 1)?;
+    let y = server.infer_topics(corpus.document(4).words().to_vec(), 1)?;
+    println!(
+        "doc 3 vs doc 4 Hellinger distance in topic space: {:.3}",
+        hellinger_distance(&x.theta, &y.theta)
+    );
+
+    Arc::try_unwrap(server)
+        .expect("all clients joined")
+        .shutdown();
+    println!("server drained and shut down cleanly");
+    Ok(())
+}

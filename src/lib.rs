@@ -12,7 +12,9 @@
 //! * [`core`] — the SaberLDA trainer, kernels, W-ary tree, SSC, evaluation
 //!   ([`saber_core`]);
 //! * [`baselines`] — the comparison systems of the paper's Fig. 11
-//!   ([`saber_baselines`]).
+//!   ([`saber_baselines`]);
+//! * [`serve`] — batched online topic inference with hot-swappable model
+//!   snapshots ([`saber_serve`]).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -60,13 +62,19 @@ pub use saber_core as core;
 /// Baseline systems: [`saber_baselines`] re-exported.
 pub use saber_baselines as baselines;
 
+/// Online serving: [`saber_serve`] re-exported.
+pub use saber_serve as serve;
+
 pub use saber_baselines::{DenseGibbsLda, EscaCpuLda, FTreeLda, WarpLdaMh};
 pub use saber_core::{
     HeldOutEvaluator, IterationStats, LdaModel, LdaTrainer, OptLevel, PhaseTimes, SaberLda,
     SaberLdaConfig, TrainingReport,
 };
-pub use saber_corpus::{Corpus, Document, TokenList, Vocabulary};
+pub use saber_corpus::{Corpus, Document, OovPolicy, TokenList, Vocabulary};
 pub use saber_gpu_sim::DeviceSpec;
+pub use saber_serve::{
+    InferRequest, InferResponse, InferenceSnapshot, ServeConfig, SnapshotSampler, TopicServer,
+};
 
 #[cfg(test)]
 mod tests {

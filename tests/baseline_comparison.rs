@@ -31,7 +31,14 @@ fn all_systems(corpus: &saberlda::Corpus, k: usize) -> Vec<Box<dyn LdaTrainer>> 
         .unwrap();
     vec![
         Box::new(SaberLda::new(config, corpus).unwrap()),
-        Box::new(DenseGibbsLda::new(corpus, k, alpha, beta, 6, DeviceSpec::gtx_1080())),
+        Box::new(DenseGibbsLda::new(
+            corpus,
+            k,
+            alpha,
+            beta,
+            6,
+            DeviceSpec::gtx_1080(),
+        )),
         Box::new(EscaCpuLda::new(corpus, k, alpha, beta, 6)),
         Box::new(FTreeLda::new(corpus, k, alpha, beta, 6)),
         Box::new(WarpLdaMh::new(corpus, k, alpha, beta, 6)),
@@ -116,7 +123,11 @@ fn systems_expose_consistent_model_shapes() {
         assert_eq!(system.n_topics(), 6);
         for k in 0..6 {
             let s: f32 = (0..bhat.rows()).map(|v| bhat[(v, k)]).sum();
-            assert!((s - 1.0).abs() < 1e-3, "{}: column {k} sums to {s}", system.name());
+            assert!(
+                (s - 1.0).abs() < 1e-3,
+                "{}: column {k} sums to {s}",
+                system.name()
+            );
         }
     }
 }

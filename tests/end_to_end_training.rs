@@ -57,10 +57,16 @@ fn held_out_likelihood_improves_and_beats_the_uniform_bound() {
     assert!(curve.len() >= 5);
     let first = curve.first().unwrap().1;
     let last = curve.last().unwrap().1;
-    assert!(last > first, "likelihood did not improve: {first} -> {last}");
+    assert!(
+        last > first,
+        "likelihood did not improve: {first} -> {last}"
+    );
     // Better than assigning every word uniform probability.
     let uniform = (1.0 / corpus.vocab_size() as f64).ln();
-    assert!(last > uniform, "final LL {last} below uniform bound {uniform}");
+    assert!(
+        last > uniform,
+        "final LL {last} below uniform bound {uniform}"
+    );
 }
 
 #[test]
@@ -83,7 +89,10 @@ fn training_is_reproducible_across_chunk_counts_in_token_totals() {
         let bhat = lda.model().word_topic_prob();
         for k in 0..12 {
             let s: f32 = (0..corpus.vocab_size()).map(|v| bhat[(v, k)]).sum();
-            assert!((s - 1.0).abs() < 1e-3, "chunks={chunks} column {k} sums to {s}");
+            assert!(
+                (s - 1.0).abs() < 1e-3,
+                "chunks={chunks} column {k} sums to {s}"
+            );
         }
     }
 }
@@ -119,10 +128,12 @@ fn saberlda_recovers_planted_topics_better_than_random_init() {
         let mut idx: Vec<usize> = (0..phi.len()).collect();
         idx.sort_by(|&a, &b| phi[b].partial_cmp(&phi[a]).unwrap());
         let top_words = &idx[..20];
-        let mut votes = vec![0usize; 5];
+        let mut votes = [0usize; 5];
         for &w in top_words {
             let row = lda.model().word_topic_prob().row(w);
-            let best = (0..5).max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap()).unwrap();
+            let best = (0..5)
+                .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                .unwrap();
             votes[best] += 1;
         }
         purities.push(*votes.iter().max().unwrap() as f64 / top_words.len() as f64);
