@@ -1,0 +1,161 @@
+//! Listener overhead: the same inference measured three ways — directly on
+//! `TopicServer`, over HTTP on a persistent (keep-alive) connection, and
+//! over HTTP with a fresh connection per request — plus a `/healthz` round
+//! trip as the pure-transport floor. The deltas between the columns are the
+//! wire-protocol cost (parse + JSON encode) and the TCP setup cost.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_core::model::LdaModel;
+use saber_serve::http::{HttpConfig, HttpServer};
+use saber_serve::{ServeConfig, TopicServer};
+use std::hint::black_box;
+
+const VOCAB: usize = 2_000;
+const K: usize = 64;
+const DOC_LEN: usize = 32;
+
+fn bench_model() -> LdaModel {
+    let mut model = LdaModel::new(VOCAB, K, 50.0 / K as f32, 0.01).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for v in 0..VOCAB {
+        for _ in 0..4 {
+            let k = rng.gen_range(0..K);
+            model.word_topic_mut()[(v, k)] += rng.gen_range(1u32..20);
+        }
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn doc() -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..DOC_LEN)
+        .map(|_| rng.gen_range(0..VOCAB) as u32)
+        .collect()
+}
+
+fn infer_payload(words: &[u32], seed: u64) -> String {
+    format!(
+        "{{\"words\":[{}],\"seed\":{seed}}}",
+        words
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    )
+}
+
+/// Reads one keep-alive response off `reader` (headers + content-length
+/// body), returning the body length as a liveness check.
+fn read_keep_alive_response(reader: &mut BufReader<TcpStream>) -> usize {
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    assert!(status.contains("200"), "unexpected response: {status}");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    content_length
+}
+
+fn one_shot_request(addr: SocketAddr, raw: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response.len()
+}
+
+fn bench_http_overhead(c: &mut Criterion) {
+    let model = bench_model();
+    let server = Arc::new(TopicServer::from_model(&model, ServeConfig::default()).unwrap());
+    let front = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&server),
+        None,
+        HttpConfig::default(),
+    )
+    .unwrap();
+    let addr = front.local_addr();
+    let words = doc();
+
+    let mut group = c.benchmark_group("http_overhead");
+    group.sample_size(15);
+
+    // Baseline: the same request straight into the worker pool.
+    group.bench_function("direct_infer_32_tokens", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(server.infer_topics(words.clone(), seed).unwrap())
+        });
+    });
+
+    // The same request over one persistent HTTP connection.
+    group.bench_function("http_keep_alive_infer_32_tokens", |b| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let payload = infer_payload(&words, seed);
+            let raw = format!(
+                "POST /infer HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            );
+            stream.write_all(raw.as_bytes()).unwrap();
+            black_box(read_keep_alive_response(&mut reader))
+        });
+    });
+
+    // Fresh TCP connection per request: adds connect + teardown + a spawn.
+    group.bench_function("http_fresh_connection_infer_32_tokens", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let payload = infer_payload(&words, seed);
+            let raw = format!(
+                "POST /infer HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+                payload.len()
+            );
+            black_box(one_shot_request(addr, &raw))
+        });
+    });
+
+    // Transport floor: no inference at all.
+    group.bench_function("http_keep_alive_healthz", |b| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        b.iter(|| {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: b\r\n\r\n")
+                .unwrap();
+            black_box(read_keep_alive_response(&mut reader))
+        });
+    });
+
+    group.finish();
+    front.shutdown();
+    Arc::try_unwrap(server).unwrap().shutdown();
+}
+
+criterion_group!(benches, bench_http_overhead);
+criterion_main!(benches);

@@ -18,7 +18,9 @@
 //!   transfer/compute overlap ([`trainer`]), per-phase time accounting
 //!   ([`report`]), held-out likelihood evaluation ([`eval`]), shared fold-in
 //!   inference for unseen documents ([`infer`]) and the memory estimator
-//!   behind Tables 1 and 2 ([`memory`]).
+//!   behind Tables 1 and 2 ([`memory`]);
+//! * a small dependency-free **JSON codec** ([`json`]) backing the
+//!   `saber-serve` HTTP wire protocol (the build has no crates.io access).
 //!
 //! # Quick start
 //!
@@ -47,6 +49,7 @@ pub mod config;
 pub mod count;
 pub mod eval;
 pub mod infer;
+pub mod json;
 pub mod kernel;
 pub mod layout;
 pub mod memory;

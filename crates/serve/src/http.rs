@@ -1,0 +1,988 @@
+//! A hand-rolled HTTP/1.1 front-end for [`TopicServer`], over `std::net`.
+//!
+//! The build environment has no crates.io access, so there is no tokio or
+//! hyper here: a blocking [`std::net::TcpListener`], one OS thread per live
+//! connection (capped by [`HttpConfig::max_connections`]), persistent
+//! connections with explicit read/write timeouts, and a small HTTP/1.1
+//! parser that understands exactly what this service needs. What makes it
+//! production-shaped is the *failure* behaviour, which maps the serving
+//! layer's fail-fast admission control onto HTTP status codes:
+//!
+//! | Condition | Response |
+//! |---|---|
+//! | request queue full ([`ServeError::Overloaded`]) | `429 Too Many Requests` |
+//! | reply missed [`HttpConfig::request_deadline`] | `503 Service Unavailable` |
+//! | connection cap reached | `503 Service Unavailable` |
+//! | worker pool shut down | `503 Service Unavailable` |
+//! | malformed body / unknown word id / OOV under `fail` | `400 Bad Request` |
+//! | socket idle past the read timeout | connection closed (`408` mid-request) |
+//!
+//! Under overload the listener therefore *degrades* — some requests are
+//! refused quickly with a retryable status — instead of queueing without
+//! bound and taking every client's latency with it.
+//!
+//! Every endpoint's service time is recorded into a lock-free
+//! [`LatencyHistogram`], and `GET /stats` reports p50/p95/p99 per endpoint
+//! alongside the [`TopicServer`] counters. The wire formats live in
+//! [`crate::wire`] and are documented in `docs/SERVING.md`; the endpoints:
+//!
+//! * `POST /infer` — topic inference for word-id or raw-token documents,
+//!   deterministic per seed (`X-Saber-Seed` header or `"seed"` body member).
+//! * `GET /top-words?topic=K&n=N` — highest-probability words of a topic.
+//! * `GET /similar?a=1,2&b=3,4` — Hellinger/cosine similarity of two docs.
+//! * `GET /stats` — counters plus latency percentiles.
+//! * `GET /healthz` — liveness plus the served snapshot version.
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//! use saber_core::LdaModel;
+//! use saber_serve::http::{HttpConfig, HttpServer};
+//! use saber_serve::{ServeConfig, TopicServer};
+//!
+//! let mut model = LdaModel::new(10, 2, 0.1, 0.01).unwrap();
+//! for v in 0..10 {
+//!     model.word_topic_mut()[(v, v % 2)] = 20;
+//! }
+//! model.refresh_probabilities();
+//! let server = Arc::new(TopicServer::from_model(&model, ServeConfig::default()).unwrap());
+//!
+//! // Port 0 = OS-assigned; `local_addr` reports what was bound.
+//! let http = HttpServer::bind("127.0.0.1:0", server, None, HttpConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(http.local_addr()).unwrap();
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+//! http.shutdown();
+//! ```
+
+use std::io::{BufReader, ErrorKind, Read, Write};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use saber_core::json::JsonValue;
+use saber_corpus::Vocabulary;
+
+use crate::server::TopicServer;
+use crate::similarity::{cosine_similarity, hellinger_distance};
+use crate::stats::{HistogramSnapshot, LatencyHistogram};
+use crate::wire::{self, InferBody};
+use crate::ServeError;
+
+/// Transport configuration of an [`HttpServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// Read patience, applied twice: as the per-`read` socket timeout (an
+    /// idle keep-alive connection closes after this much silence) and as
+    /// the total budget for reading one request, started at its first byte
+    /// (a client trickling bytes to hold the connection — slowloris — is
+    /// cut off with `408` once the budget is spent, instead of resetting
+    /// the clock on every byte).
+    pub read_timeout: Duration,
+    /// Socket write timeout; a client that stops draining its receive
+    /// window has its connection dropped after this long.
+    pub write_timeout: Duration,
+    /// End-to-end deadline for one `/infer` (or `/similar`) inference: the
+    /// request is admitted fail-fast and its reply awaited at most this
+    /// long before answering `503`.
+    pub request_deadline: Duration,
+    /// Maximum concurrently served connections; excess connections receive
+    /// an immediate `503` and are closed.
+    pub max_connections: usize,
+    /// Largest accepted request body (`413` above it).
+    pub max_body_bytes: usize,
+    /// Seed used when a request carries neither an `X-Saber-Seed` header
+    /// nor a `"seed"` body member. A fixed default keeps even seedless
+    /// traffic deterministic.
+    pub default_seed: u64,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(2),
+            max_connections: 64,
+            max_body_bytes: 1 << 20,
+            default_seed: 0,
+        }
+    }
+}
+
+/// Point-in-time HTTP-layer statistics (the transport-side complement of
+/// [`crate::ServeStats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpStats {
+    /// Requests parsed and routed (any status).
+    pub requests: u64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: u64,
+    /// Connections currently being served.
+    pub active_connections: usize,
+    /// Latency histogram of `POST /infer` (parse → response written).
+    pub infer: HistogramSnapshot,
+    /// Latency histogram of `GET /top-words`.
+    pub top_words: HistogramSnapshot,
+    /// Latency histogram of `GET /similar`.
+    pub similar: HistogramSnapshot,
+    /// Latency histogram of `GET /stats`.
+    pub stats: HistogramSnapshot,
+    /// Latency histogram of `GET /healthz`.
+    pub healthz: HistogramSnapshot,
+}
+
+#[derive(Debug, Default)]
+struct EndpointHistograms {
+    infer: LatencyHistogram,
+    top_words: LatencyHistogram,
+    similar: LatencyHistogram,
+    stats: LatencyHistogram,
+    healthz: LatencyHistogram,
+}
+
+#[derive(Debug)]
+struct HttpState {
+    topic_server: Arc<TopicServer>,
+    vocab: Option<Vocabulary>,
+    config: HttpConfig,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    endpoints: EndpointHistograms,
+}
+
+/// The HTTP front-end: an accept loop plus one thread per live connection.
+///
+/// Binding takes an `Arc<TopicServer>` rather than owning the server, so
+/// the same worker pool can simultaneously serve in-process callers (and a
+/// training loop can keep publishing snapshots through its own handle).
+/// Dropping the `HttpServer` — or calling [`HttpServer::shutdown`] for an
+/// observable join — stops accepting, wakes the accept loop, and joins all
+/// connection threads.
+#[derive(Debug)]
+pub struct HttpServer {
+    state: Arc<HttpState>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// accepting connections for `topic_server`. A `vocab` enables the
+    /// raw-token `/infer` path and token names in `/top-words`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        topic_server: Arc<TopicServer>,
+        vocab: Option<Vocabulary>,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(HttpState {
+            topic_server,
+            vocab,
+            config,
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            endpoints: EndpointHistograms::default(),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("saber-http-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_state))?;
+        Ok(HttpServer {
+            state,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the HTTP-layer statistics.
+    pub fn stats(&self) -> HttpStats {
+        HttpStats {
+            requests: self.state.requests.load(Ordering::Relaxed),
+            errors: self.state.errors.load(Ordering::Relaxed),
+            active_connections: self.state.active_connections.load(Ordering::Relaxed),
+            infer: self.state.endpoints.infer.snapshot(),
+            top_words: self.state.endpoints.top_words.snapshot(),
+            similar: self.state.endpoints.similar.snapshot(),
+            stats: self.state.endpoints.stats.snapshot(),
+            healthz: self.state.endpoints.healthz.snapshot(),
+        }
+    }
+
+    /// Stops accepting, closes listening, and joins every connection
+    /// thread. In-flight requests finish (their responses are written);
+    /// idle keep-alive connections close within the read timeout. Called
+    /// automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection so it observes
+        // the flag without waiting for external traffic — but only while
+        // there is still a thread to wake (`shutdown` followed by `Drop`
+        // must not poke the released port, which another process may have
+        // rebound by then). A wildcard bind (0.0.0.0 / ::) is not
+        // connectable on every platform; aim the wake-up at loopback on
+        // the bound port instead.
+        if let Some(handle) = self.accept_thread.take() {
+            let mut wake_addr = self.local_addr;
+            if wake_addr.ip().is_unspecified() {
+                wake_addr.set_ip(match wake_addr {
+                    SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                });
+            }
+            let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<HttpState>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Transient (ECONNABORTED) and persistent (EMFILE) accept
+                // errors alike: back off instead of spinning a core, giving
+                // connection threads a chance to finish and free fds.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        connections.retain(|handle| !handle.is_finished());
+        // Admission control at the transport layer: over the cap, answer
+        // 503 inline (cheap) instead of spawning a thread.
+        if state.active_connections.load(Ordering::Relaxed) >= state.config.max_connections {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+            let body = wire::encode_error(503, "connection limit reached").to_string();
+            let _ = write_response(&stream, 503, &body, false, &[]);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        state.active_connections.fetch_add(1, Ordering::Relaxed);
+        let conn_state = Arc::clone(state);
+        let spawned = std::thread::Builder::new()
+            .name("saber-http-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_state);
+                conn_state
+                    .active_connections
+                    .fetch_sub(1, Ordering::Relaxed);
+            });
+        match spawned {
+            Ok(handle) => connections.push(handle),
+            Err(_) => {
+                state.active_connections.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    query: Vec<(String, String)>,
+    /// Header names lowercased at parse time.
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+impl Request {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request off the socket stopped.
+enum ReadOutcome {
+    Request(Request),
+    /// Clean close (EOF before any request byte) or idle timeout: close
+    /// silently.
+    Closed,
+    /// A malformed or over-limit request: answer `status` and close.
+    Reject(u16, String),
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<HttpState>) {
+    let _ = stream.set_read_timeout(Some(state.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_request(&mut reader, &stream, &state.config) {
+            ReadOutcome::Request(r) => r,
+            ReadOutcome::Closed => return,
+            ReadOutcome::Reject(status, detail) => {
+                state.requests.fetch_add(1, Ordering::Relaxed);
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                let body = wire::encode_error(status, &detail).to_string();
+                let _ = write_response(&stream, status, &body, false, &[]);
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let (status, body, endpoint) = route(&request, state);
+        if status >= 400 {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let extra: &[(&str, &str)] = if status == 429 {
+            &[("Retry-After", "1")]
+        } else {
+            &[]
+        };
+        let write_ok = write_response(&stream, status, &body, keep_alive, extra).is_ok();
+        if let Some(endpoint) = endpoint {
+            endpoint_histogram(state, endpoint).record(started.elapsed());
+        }
+        if !keep_alive || !write_ok {
+            return;
+        }
+    }
+}
+
+/// The service endpoints with per-endpoint latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Infer,
+    TopWords,
+    Similar,
+    Stats,
+    Healthz,
+}
+
+fn endpoint_histogram(state: &HttpState, endpoint: Endpoint) -> &LatencyHistogram {
+    match endpoint {
+        Endpoint::Infer => &state.endpoints.infer,
+        Endpoint::TopWords => &state.endpoints.top_words,
+        Endpoint::Similar => &state.endpoints.similar,
+        Endpoint::Stats => &state.endpoints.stats,
+        Endpoint::Healthz => &state.endpoints.healthz,
+    }
+}
+
+/// Dispatches one request; returns `(status, response body, endpoint for
+/// latency accounting)`.
+fn route(request: &Request, state: &HttpState) -> (u16, String, Option<Endpoint>) {
+    let handled = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (handle_healthz(state), Endpoint::Healthz),
+        ("GET", "/stats") => (handle_stats(state), Endpoint::Stats),
+        ("GET", "/top-words") => (handle_top_words(request, state), Endpoint::TopWords),
+        ("GET", "/similar") => (handle_similar(request, state), Endpoint::Similar),
+        ("POST", "/infer") => (handle_infer(request, state), Endpoint::Infer),
+        (_, "/healthz" | "/stats" | "/top-words" | "/similar") => {
+            let body = wire::encode_error(405, "use GET for this endpoint").to_string();
+            return (405, body, None);
+        }
+        (_, "/infer") => {
+            let body = wire::encode_error(405, "use POST /infer").to_string();
+            return (405, body, None);
+        }
+        _ => {
+            let body = wire::encode_error(404, "unknown path").to_string();
+            return (404, body, None);
+        }
+    };
+    let ((status, body), endpoint) = handled;
+    (status, body, Some(endpoint))
+}
+
+fn handle_healthz(state: &HttpState) -> (u16, String) {
+    let snapshot = state.topic_server.snapshot();
+    let body = JsonValue::object([
+        ("status", JsonValue::from("ok")),
+        (
+            "snapshot_version",
+            JsonValue::from(state.topic_server.snapshot_version()),
+        ),
+        ("n_topics", JsonValue::from(snapshot.n_topics())),
+        ("vocab_size", JsonValue::from(snapshot.vocab_size())),
+    ]);
+    (200, body.to_string())
+}
+
+fn handle_stats(state: &HttpState) -> (u16, String) {
+    let serve = state.topic_server.stats();
+    let body = JsonValue::object([
+        (
+            "server",
+            JsonValue::object([
+                ("requests", JsonValue::from(serve.requests)),
+                ("tokens", JsonValue::from(serve.tokens)),
+                ("batches", JsonValue::from(serve.batches)),
+                ("swaps_observed", JsonValue::from(serve.swaps_observed)),
+                (
+                    "mean_batch_size",
+                    JsonValue::Number(serve.mean_batch_size()),
+                ),
+                (
+                    "snapshot_version",
+                    JsonValue::from(state.topic_server.snapshot_version()),
+                ),
+                ("latency", wire::encode_histogram(&serve.latency)),
+            ]),
+        ),
+        (
+            "http",
+            JsonValue::object([
+                (
+                    "requests",
+                    JsonValue::from(state.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "errors",
+                    JsonValue::from(state.errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "active_connections",
+                    JsonValue::from(state.active_connections.load(Ordering::Relaxed)),
+                ),
+                (
+                    "endpoints",
+                    JsonValue::object([
+                        (
+                            "infer",
+                            wire::encode_histogram(&state.endpoints.infer.snapshot()),
+                        ),
+                        (
+                            "top_words",
+                            wire::encode_histogram(&state.endpoints.top_words.snapshot()),
+                        ),
+                        (
+                            "similar",
+                            wire::encode_histogram(&state.endpoints.similar.snapshot()),
+                        ),
+                        (
+                            "stats",
+                            wire::encode_histogram(&state.endpoints.stats.snapshot()),
+                        ),
+                        (
+                            "healthz",
+                            wire::encode_histogram(&state.endpoints.healthz.snapshot()),
+                        ),
+                    ]),
+                ),
+            ]),
+        ),
+    ]);
+    (200, body.to_string())
+}
+
+fn handle_top_words(request: &Request, state: &HttpState) -> (u16, String) {
+    let topic = match request.query_param("topic").map(str::parse::<usize>) {
+        Some(Ok(k)) => k,
+        _ => return error(400, "missing or invalid 'topic' query parameter"),
+    };
+    let n = match request.query_param("n").map(str::parse::<usize>) {
+        None => 10,
+        Some(Ok(n)) => n.min(1000),
+        Some(Err(_)) => return error(400, "invalid 'n' query parameter"),
+    };
+    let snapshot = state.topic_server.snapshot();
+    if topic >= snapshot.n_topics() {
+        return error(
+            400,
+            &format!("topic {topic} out of range (K = {})", snapshot.n_topics()),
+        );
+    }
+    let top = snapshot.top_words(topic, n);
+    let body = wire::encode_top_words(topic, &top, state.vocab.as_ref());
+    (200, body.to_string())
+}
+
+fn handle_similar(request: &Request, state: &HttpState) -> (u16, String) {
+    let parse = |name: &str| -> Result<Vec<u32>, String> {
+        match request.query_param(name) {
+            None => Err(format!("missing '{name}' query parameter")),
+            Some(raw) => {
+                wire::parse_id_list(raw).map_err(|e| format!("query parameter '{name}': {e}"))
+            }
+        }
+    };
+    let (doc_a, doc_b) = match (parse("a"), parse("b")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return error(400, &e),
+    };
+    let seed = match request.query_param("seed") {
+        None => state.config.default_seed,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => return error(400, "invalid 'seed' query parameter"),
+        },
+    };
+    // Both documents share the seed so `a == b` implies distance 0; halve
+    // the deadline since one HTTP request costs two inferences.
+    let deadline = state.config.request_deadline / 2;
+    let infer = |words: Vec<u32>| {
+        state
+            .topic_server
+            .infer_with_deadline(words, seed, deadline)
+    };
+    let (a, b) = match (infer(doc_a), infer(doc_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return serve_error(&e),
+    };
+    let hellinger = hellinger_distance(&a.theta, &b.theta);
+    let cosine = cosine_similarity(&a.theta, &b.theta);
+    let body = wire::encode_similar(&a, &b, hellinger, cosine, seed);
+    (200, body.to_string())
+}
+
+fn handle_infer(request: &Request, state: &HttpState) -> (u16, String) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error(400, "request body is not valid UTF-8"),
+    };
+    let decoded = match wire::decode_infer(text) {
+        Ok(decoded) => decoded,
+        Err(e) => return error(400, &e.detail),
+    };
+    // Replay rule: the X-Saber-Seed header wins over the body member, and
+    // the configured default keeps seedless traffic deterministic.
+    let seed = match request.header("x-saber-seed") {
+        Some(raw) => match raw.trim().parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => return error(400, "X-Saber-Seed must be an unsigned 64-bit integer"),
+        },
+        None => decoded.seed.unwrap_or(state.config.default_seed),
+    };
+    let deadline = state.config.request_deadline;
+    let result = match decoded.body {
+        InferBody::Words(words) => state
+            .topic_server
+            .infer_with_deadline(words, seed, deadline),
+        InferBody::Tokens { tokens, policy } => match state.vocab.as_ref() {
+            None => return error(400, "server has no vocabulary; send 'words' ids instead"),
+            Some(vocab) => state
+                .topic_server
+                .infer_raw_with_deadline(&tokens, vocab, policy, seed, deadline),
+        },
+    };
+    match result {
+        Ok(response) => (
+            200,
+            wire::encode_infer_response(&response, seed).to_string(),
+        ),
+        Err(e) => serve_error(&e),
+    }
+}
+
+fn error(status: u16, detail: &str) -> (u16, String) {
+    (status, wire::encode_error(status, detail).to_string())
+}
+
+/// Maps a [`ServeError`] onto the HTTP status table in the module docs.
+fn serve_error(e: &ServeError) -> (u16, String) {
+    let status = match e {
+        ServeError::Overloaded => 429,
+        ServeError::DeadlineExceeded | ServeError::Closed => 503,
+        ServeError::BadRequest { .. } | ServeError::Corpus(_) => 400,
+        ServeError::InvalidConfig { .. } => 500,
+    };
+    error(status, &e.to_string())
+}
+
+const MAX_HEADER_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stream: &TcpStream,
+    config: &HttpConfig,
+) -> ReadOutcome {
+    let max_body = config.max_body_bytes;
+    // The whole-request read budget starts at the request's first byte
+    // (`None` until then, so an idle keep-alive connection is governed
+    // only by the per-read socket timeout).
+    let mut deadline: Option<Instant> = None;
+    let mut line = String::new();
+    match read_line_bounded(reader, &mut line, config.read_timeout, &mut deadline) {
+        LineOutcome::Line => {}
+        LineOutcome::Eof => return ReadOutcome::Closed,
+        // Idle keep-alive connections time out *between* requests; that is
+        // a silent close, not a protocol error. Silence (or budget expiry)
+        // after the first byte is.
+        LineOutcome::Timeout | LineOutcome::Expired if deadline.is_some() => {
+            return ReadOutcome::Reject(408, "timed out reading request line".into())
+        }
+        LineOutcome::Timeout | LineOutcome::Expired => return ReadOutcome::Closed,
+        LineOutcome::TooLong => return ReadOutcome::Reject(431, "request line too long".into()),
+        LineOutcome::Error => return ReadOutcome::Closed,
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if !m.is_empty() && !t.is_empty() => {
+            (m.to_string(), t.to_string(), v.to_string())
+        }
+        _ => return ReadOutcome::Reject(400, "malformed request line".into()),
+    };
+    let http11 = match version.as_str() {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return ReadOutcome::Reject(505, format!("unsupported version {version}")),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        match read_line_bounded(reader, &mut line, config.read_timeout, &mut deadline) {
+            LineOutcome::Line => {}
+            LineOutcome::TooLong => return ReadOutcome::Reject(431, "header line too long".into()),
+            // EOF, per-read timeout or a spent request budget mid-request
+            // is a protocol failure, answer 408.
+            LineOutcome::Eof | LineOutcome::Timeout | LineOutcome::Expired => {
+                return ReadOutcome::Reject(408, "timed out reading headers".into())
+            }
+            LineOutcome::Error => return ReadOutcome::Closed,
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return ReadOutcome::Reject(431, "too many headers".into());
+        }
+        match trimmed.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => return ReadOutcome::Reject(400, "malformed header line".into()),
+        }
+    }
+
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return ReadOutcome::Reject(501, "transfer-encoding is not supported".into());
+    }
+    let content_length = match header("content-length") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Reject(400, "invalid content-length".into()),
+        },
+    };
+    if method == "POST" && header("content-length").is_none() {
+        return ReadOutcome::Reject(411, "POST requires content-length".into());
+    }
+    if content_length > max_body {
+        return ReadOutcome::Reject(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        );
+    }
+    // Clients (curl among them, for bodies over ~1 KB) may wait for the
+    // interim go-ahead before sending the body; without it they stall
+    // until their expect timer fires.
+    if content_length > 0
+        && header("expect").is_some_and(|v| v.to_ascii_lowercase().contains("100-continue"))
+    {
+        let mut out = stream;
+        if out.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err() {
+            return ReadOutcome::Closed;
+        }
+    }
+    // Read the body in bounded steps so a trickling client is cut off when
+    // the request budget expires (a single `read_exact` would reset the
+    // clock on every byte).
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return ReadOutcome::Reject(408, "timed out reading request body".into());
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return ReadOutcome::Reject(400, "connection closed mid-body".into()),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                return ReadOutcome::Reject(408, "timed out reading request body".into())
+            }
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+
+    // Persistent by default on 1.1; opt-in via the header on 1.0.
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => false,
+        Some(c) if c == "keep-alive" => true,
+        _ => http11,
+    };
+
+    let (path, query) = parse_target(&target);
+    ReadOutcome::Request(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+enum LineOutcome {
+    Line,
+    Eof,
+    Timeout,
+    /// The whole-request read budget ran out (slowloris defence).
+    Expired,
+    TooLong,
+    Error,
+}
+
+/// Reads one CRLF-terminated line with a length bound, classifying the
+/// failure modes the connection loop treats differently.
+///
+/// `deadline` is the shared whole-request budget: armed (`budget` from now)
+/// at the first byte read, checked on every subsequent byte so a client
+/// cannot hold the connection by trickling within the per-read timeout.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    budget: Duration,
+    deadline: &mut Option<Instant>,
+) -> LineOutcome {
+    let mut bytes = Vec::new();
+    loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return LineOutcome::Expired;
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return if bytes.is_empty() {
+                    LineOutcome::Eof
+                } else {
+                    LineOutcome::Error
+                }
+            }
+            Ok(_) => {
+                if deadline.is_none() {
+                    *deadline = Some(Instant::now() + budget);
+                }
+                if byte[0] == b'\n' {
+                    match String::from_utf8(std::mem::take(&mut bytes)) {
+                        Ok(text) => {
+                            line.push_str(&text);
+                            return LineOutcome::Line;
+                        }
+                        Err(_) => return LineOutcome::Error,
+                    }
+                }
+                bytes.push(byte[0]);
+                if bytes.len() > MAX_HEADER_LINE {
+                    return LineOutcome::TooLong;
+                }
+            }
+            Err(e) if is_timeout(&e) => return LineOutcome::Timeout,
+            Err(_) => return LineOutcome::Error,
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Splits a request target into its decoded path and query parameters.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+    (percent_decode(path), params)
+}
+
+/// Minimal percent-decoding (`%XX` and `+` → space); invalid escapes are
+/// passed through literally rather than failing the request.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    mut stream: &TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut response = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status_text(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%2Cb"), "a,b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("trunc%2"), "trunc%2");
+    }
+
+    #[test]
+    fn target_parsing() {
+        let (path, query) = parse_target("/similar?a=1,2&b=3&seed=7");
+        assert_eq!(path, "/similar");
+        assert_eq!(
+            query,
+            vec![
+                ("a".to_string(), "1,2".to_string()),
+                ("b".to_string(), "3".to_string()),
+                ("seed".to_string(), "7".to_string()),
+            ]
+        );
+        let (path, query) = parse_target("/healthz");
+        assert_eq!(path, "/healthz");
+        assert!(query.is_empty());
+    }
+
+    #[test]
+    fn status_texts_cover_the_mapped_codes() {
+        for status in [
+            200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503, 505,
+        ] {
+            assert_ne!(status_text(status), "Unknown", "{status}");
+        }
+    }
+
+    #[test]
+    fn serve_error_mapping() {
+        assert_eq!(serve_error(&ServeError::Overloaded).0, 429);
+        assert_eq!(serve_error(&ServeError::DeadlineExceeded).0, 503);
+        assert_eq!(serve_error(&ServeError::Closed).0, 503);
+        assert_eq!(
+            serve_error(&ServeError::BadRequest { detail: "x".into() }).0,
+            400
+        );
+    }
+}

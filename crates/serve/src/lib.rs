@@ -24,6 +24,12 @@
 //!   (raw tokens + [`OovPolicy`](saber_corpus::OovPolicy)),
 //!   [`TopicServer::top_words`], and document similarity in topic space
 //!   ([`similarity`]).
+//! * [`HttpServer`] — a hand-rolled HTTP/1.1 front-end
+//!   over `std::net` ([`http`], wire formats in [`wire`]) with read/write
+//!   timeouts, per-request deadlines, and queue-full backpressure surfaced
+//!   as `429`/`503` instead of unbounded waiting.
+//! * [`stats`] — lock-free log-bucketed latency histograms behind
+//!   [`ServeStats`] and the HTTP `/stats` endpoint's p50/p95/p99.
 //!
 //! # Example
 //!
@@ -45,18 +51,26 @@
 //! ```
 //!
 //! `examples/serve_demo.rs` at the workspace root walks through the full
-//! train → publish → concurrent-inference → hot-swap loop.
+//! train → publish → concurrent-inference → hot-swap loop;
+//! `examples/http_serve.rs` stands the same pipeline up behind the HTTP
+//! listener. The crate-level architecture notes live in
+//! `docs/ARCHITECTURE.md` and the wire protocol in `docs/SERVING.md`.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod http;
 pub mod server;
 pub mod similarity;
 pub mod snapshot;
+pub mod stats;
 pub mod swap;
+pub mod wire;
 
+pub use http::{HttpConfig, HttpServer, HttpStats};
 pub use server::{InferRequest, InferResponse, ServeConfig, ServeStats, TopicServer};
 pub use snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
+pub use stats::{HistogramSnapshot, LatencyHistogram};
 pub use swap::SnapshotCell;
 
 /// Errors produced by the serving subsystem.
@@ -71,6 +85,9 @@ pub enum ServeError {
     Closed,
     /// The bounded request queue is full (fail-fast admission control).
     Overloaded,
+    /// The request was admitted but no answer arrived within the caller's
+    /// deadline (see [`TopicServer::infer_with_deadline`]).
+    DeadlineExceeded,
     /// A request carried a word id outside the served vocabulary.
     BadRequest {
         /// Human readable description.
@@ -87,6 +104,7 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
             ServeError::Closed => write!(f, "serving worker pool has shut down"),
             ServeError::Overloaded => write!(f, "request queue is full"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
             ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
         }

@@ -1,14 +1,25 @@
 //! The batched, multi-threaded topic-inference server.
+//!
+//! [`TopicServer`] is the crate's execution engine: a bounded request queue
+//! drained by `n_workers` threads that coalesce waiting requests into
+//! micro-batches (one snapshot load per batch), with three admission paths
+//! — blocking ([`TopicServer::infer_topics`]), fail-fast
+//! ([`TopicServer::try_infer_topics`]) and deadline-bounded
+//! ([`TopicServer::infer_with_deadline`], the one the HTTP front-end maps
+//! to `429`/`503`). Workers time every request (queue wait + fold-in) into
+//! the lock-free histogram surfaced by [`ServeStats`].
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use saber_core::model::LdaModel;
 use saber_corpus::{OovPolicy, Vocabulary};
 
 use crate::snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
+use crate::stats::{HistogramSnapshot, LatencyHistogram};
 use crate::swap::SnapshotCell;
 use crate::ServeError;
 
@@ -98,10 +109,12 @@ struct Counters {
     tokens: AtomicU64,
     batches: AtomicU64,
     swaps_observed: AtomicU64,
+    /// Queue wait + fold-in time per request, recorded by workers.
+    latency: LatencyHistogram,
 }
 
 /// A point-in-time copy of the server's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests completed.
     pub requests: u64,
@@ -111,6 +124,12 @@ pub struct ServeStats {
     pub batches: u64,
     /// Times a worker observed a newer snapshot at batch start.
     pub swaps_observed: u64,
+    /// End-to-end request latency (submission to reply, i.e. queue wait plus
+    /// fold-in) as a log-bucketed histogram; see
+    /// [`HistogramSnapshot::p50`]/[`p95`](HistogramSnapshot::p95)/
+    /// [`p99`](HistogramSnapshot::p99) for tail-latency estimates in
+    /// microseconds.
+    pub latency: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -128,6 +147,9 @@ struct Job {
     words: Vec<u32>,
     seed: u64,
     reply: SyncSender<InferResponse>,
+    /// When the request was admitted, so workers can attribute queue wait to
+    /// the latency histogram.
+    enqueued: Instant,
 }
 
 /// A multi-threaded topic-inference server over hot-swappable snapshots.
@@ -276,6 +298,41 @@ impl TopicServer {
         }
     }
 
+    /// Fail-fast inference with a response deadline: rejects immediately
+    /// with [`ServeError::Overloaded`] when the queue is full, and gives up
+    /// with [`ServeError::DeadlineExceeded`] if no answer arrives within
+    /// `deadline`. This is the admission path the HTTP front-end uses to
+    /// turn overload into `429`/`503` instead of an unbounded hang.
+    ///
+    /// An abandoned request still completes on its worker (its reply channel
+    /// has capacity for the answer, so the worker never blocks on it) — the
+    /// deadline bounds the *caller's* wait, not the server's work.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for out-of-range word ids,
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::DeadlineExceeded`] on timeout and
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn infer_with_deadline(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: Duration,
+    ) -> Result<InferResponse, ServeError> {
+        let (job, reply_rx) = self.make_job(words, seed)?;
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        match queue.try_send(job) {
+            Ok(()) => match reply_rx.recv_timeout(deadline) {
+                Ok(response) => Ok(response),
+                Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+            },
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
     /// Submits a whole batch and waits for every answer, preserving order.
     ///
     /// # Errors
@@ -315,6 +372,28 @@ impl TopicServer {
         Ok(response)
     }
 
+    /// [`TopicServer::infer_raw`] with the fail-fast admission and deadline
+    /// semantics of [`TopicServer::infer_with_deadline`] — the raw-token
+    /// path the HTTP front-end serves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures ([`OovPolicy::Fail`]) plus everything
+    /// [`TopicServer::infer_with_deadline`] can return.
+    pub fn infer_raw_with_deadline<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        vocab: &Vocabulary,
+        policy: OovPolicy,
+        seed: u64,
+        deadline: Duration,
+    ) -> Result<InferResponse, ServeError> {
+        let encoded = vocab.encode(tokens.iter().map(AsRef::as_ref), policy)?;
+        let mut response = self.infer_with_deadline(encoded.ids, seed, deadline)?;
+        response.n_oov += encoded.n_oov;
+        Ok(response)
+    }
+
     /// The `n` highest-probability words of topic `k` under the current
     /// snapshot.
     ///
@@ -325,13 +404,14 @@ impl TopicServer {
         self.snapshot().top_words(k, n)
     }
 
-    /// A point-in-time copy of the serving counters.
+    /// A point-in-time copy of the serving counters and latency histogram.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             tokens: self.counters.tokens.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             swaps_observed: self.counters.swaps_observed.load(Ordering::Relaxed),
+            latency: self.counters.latency.snapshot(),
         }
     }
 
@@ -368,6 +448,7 @@ impl TopicServer {
                 words,
                 seed,
                 reply: reply_tx,
+                enqueued: Instant::now(),
             },
             reply_rx,
         ))
@@ -446,6 +527,7 @@ fn worker_loop(
             counters
                 .tokens
                 .fetch_add(job.words.len() as u64, Ordering::Relaxed);
+            counters.latency.record(job.enqueued.elapsed());
             // A send only fails if the requester's receiver is gone (its
             // thread panicked between submit and reply); nothing to do.
             let _ = job.reply.send(InferResponse {
@@ -518,6 +600,9 @@ mod tests {
         assert_eq!(stats.requests, 40);
         assert!(stats.batches >= 1);
         assert!(stats.mean_batch_size() >= 1.0);
+        assert_eq!(stats.latency.count(), 40, "every request must be timed");
+        let (p50, p99) = (stats.latency.p50().unwrap(), stats.latency.p99().unwrap());
+        assert!(p50 <= p99);
         server.shutdown();
     }
 
@@ -580,6 +665,49 @@ mod tests {
             assert_eq!(response.dominant_topic(), 0);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn deadline_and_overload_fail_fast_while_worker_is_busy() {
+        let server = Arc::new(
+            TopicServer::from_model(
+                &planted_model(12, 3),
+                ServeConfig {
+                    n_workers: 1,
+                    max_batch: 1,
+                    queue_depth: 1,
+                    fold_in: FoldInParams {
+                        burn_in: 50,
+                        samples: 50,
+                    },
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Park the single worker on a heavy request (10k tokens × 100
+        // sweeps), leaving the queue empty but the pool busy.
+        let heavy = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.infer_topics(vec![0; 10_000], 1))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        // Admitted to the (empty) queue but unserved within the deadline.
+        assert!(matches!(
+            server.infer_with_deadline(vec![0; 10_000], 2, Duration::from_millis(1)),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        // The abandoned job still occupies the depth-1 queue: fail fast.
+        assert!(matches!(
+            server.infer_with_deadline(vec![3], 3, Duration::from_millis(1)),
+            Err(ServeError::Overloaded)
+        ));
+        assert!(matches!(
+            server.try_infer_topics(vec![3], 3),
+            Err(ServeError::Overloaded)
+        ));
+        heavy.join().unwrap().unwrap();
+        Arc::try_unwrap(server).unwrap().shutdown();
     }
 
     #[test]

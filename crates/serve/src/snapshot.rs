@@ -1,4 +1,12 @@
 //! Immutable inference snapshots exported from a trained [`LdaModel`].
+//!
+//! A snapshot is everything inference needs and nothing the trainer can
+//! touch afterwards: the normalised topic–word matrix `B̂` plus one
+//! pre-processed per-word sampling structure ([`SnapshotSampler`] picks the
+//! W-ary tree / alias table trade-off of the paper's §3.2.4). Being plain
+//! immutable data, snapshots are shared behind `Arc` across worker threads
+//! and publications ([`crate::SnapshotCell`]) without synchronisation on
+//! the read path.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,346 @@
+//! Lock-free latency histograms and quantile snapshots.
+//!
+//! Serving a production workload means the *tail* matters more than the
+//! mean: a micro-batch scheduler that looks fine on average can still stall
+//! p99. This module provides the observability primitive behind
+//! [`ServeStats`](crate::ServeStats) and the HTTP front-end's `/stats`
+//! endpoint: a [`LatencyHistogram`] of atomically-updated log₂ buckets that
+//! threads record into without ever taking a lock, and an immutable
+//! [`HistogramSnapshot`] that turns the bucket counts into p50/p95/p99
+//! estimates.
+//!
+//! Buckets are powers of two over microseconds: bucket `i` covers
+//! `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-microsecond samples, the
+//! last bucket absorbs everything ≥ ~9 days). Log bucketing bounds the
+//! relative quantile error at ~2× while keeping `record` a single atomic
+//! increment — the standard trade for hot-path telemetry.
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use saber_serve::stats::LatencyHistogram;
+//!
+//! let hist = LatencyHistogram::new();
+//! for ms in [1u64, 2, 3, 4, 100] {
+//!     hist.record(Duration::from_millis(ms));
+//! }
+//! let snap = hist.snapshot();
+//! assert_eq!(snap.count(), 5);
+//! let (p50, p99) = (snap.p50().unwrap(), snap.p99().unwrap());
+//! assert!(p50 <= p99);
+//! assert!(p99 >= 65_536.0, "the 100 ms outlier dominates p99");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: `[1 µs, 2^40 µs ≈ 12.7 days)`, plus underflow
+/// into bucket 0 and overflow into the last bucket.
+pub const N_BUCKETS: usize = 40;
+
+/// A fixed-size, lock-free histogram of durations in log₂-of-microseconds
+/// buckets.
+///
+/// `record` is wait-free (one relaxed fetch-add); `snapshot` reads every
+/// bucket without stopping writers, so a snapshot taken under load is a
+/// *consistent-enough* view: per-bucket counts are exact, cross-bucket skew
+/// is bounded by the records that land mid-scan.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    /// Sum of recorded microseconds, for mean latency.
+    sum_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a duration lands in: `floor(log₂(µs))`, clamped to
+    /// the bucket range (sub-microsecond → 0, ≥ 2⁴⁰ µs → last).
+    pub fn bucket_index(duration: Duration) -> usize {
+        let micros = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        if micros == 0 {
+            return 0;
+        }
+        ((63 - micros.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+
+    /// The `[low, high)` microsecond range bucket `i` covers. Bucket 0 also
+    /// holds sub-microsecond samples; the last bucket is open-ended (its
+    /// `high` is the nominal power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < N_BUCKETS, "bucket {i} out of range");
+        (1u64 << i, 1u64 << (i + 1))
+    }
+
+    /// Records one sample. Wait-free; safe to call from any number of
+    /// threads concurrently.
+    pub fn record(&self, duration: Duration) {
+        let micros = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(duration)].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; N_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count: counts.iter().sum(),
+            counts,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`], with quantile estimation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Samples in bucket `i` (see [`LatencyHistogram::bucket_bounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N_BUCKETS`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Mean latency in microseconds, or `None` when empty.
+    pub fn mean_micros(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_micros as f64 / self.count as f64)
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, or `None` when the
+    /// histogram is empty.
+    ///
+    /// The estimate is the geometric midpoint of the bucket holding the
+    /// `⌈q·n⌉`-th smallest sample, so it is exact to within the bucket's 2×
+    /// width and — crucially for alerting — **monotone in `q`**: for any
+    /// recorded data, `quantile(a) ≤ quantile(b)` whenever `a ≤ b`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (low, high) = LatencyHistogram::bucket_bounds(i);
+                return Some(((low as f64) * (high as f64)).sqrt());
+            }
+        }
+        unreachable!("rank is clamped to the total count");
+    }
+
+    /// Median latency estimate in microseconds.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency estimate in microseconds.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency estimate in microseconds.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another snapshot into this one (bucket-wise sum) — used to
+    /// aggregate per-endpoint histograms into a service-wide view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.mean_micros(), None);
+        assert_eq!(snap, HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for (micros, expect) in [
+            (0u64, 0),
+            (1, 0),
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (1023, 9),
+            (1024, 10),
+        ] {
+            assert_eq!(
+                LatencyHistogram::bucket_index(Duration::from_micros(micros)),
+                expect,
+                "{micros} µs"
+            );
+        }
+        // Overflow clamps to the last bucket instead of indexing out of range.
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_secs(u64::MAX / 2)),
+            N_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn quantiles_bracket_known_distribution() {
+        let hist = LatencyHistogram::new();
+        // 99 samples at ~1 ms, one at ~1 s: p50 sits in the 1 ms bucket,
+        // p99 must see the outlier (rank 100 ≥ ceil(0.99·100)... rank 99 is
+        // still 1 ms; use 2 outliers so rank 99 lands on one).
+        for _ in 0..98 {
+            hist.record(Duration::from_micros(1000));
+        }
+        hist.record(Duration::from_secs(1));
+        hist.record(Duration::from_secs(1));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.p50().unwrap();
+        assert!((512.0..2048.0).contains(&p50), "p50 = {p50}");
+        let p99 = snap.p99().unwrap();
+        assert!(p99 >= 524_288.0, "p99 = {p99} must reflect the outliers");
+        assert!(snap.mean_micros().unwrap() > 1000.0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_sum() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(10));
+        b.record(Duration::from_millis(50));
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(
+            merged.bucket_count(3),
+            2,
+            "both 10 µs samples share a bucket"
+        );
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let hist = std::sync::Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = std::sync::Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        hist.record(Duration::from_micros(1 + (t * 1000 + i) % 5000));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hist.snapshot().count(), 4000);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every sample lands in the bucket whose bounds contain it.
+        #[test]
+        fn samples_land_in_their_bucket(samples in proptest::collection::vec(1u64..5_000_000, 1..64)) {
+            let hist = LatencyHistogram::new();
+            for &us in &samples {
+                hist.record(Duration::from_micros(us));
+                let i = LatencyHistogram::bucket_index(Duration::from_micros(us));
+                let (low, high) = LatencyHistogram::bucket_bounds(i);
+                prop_assert!(low <= us && us < high, "{us} µs not in [{low}, {high})");
+            }
+            let snap = hist.snapshot();
+            prop_assert_eq!(snap.count(), samples.len() as u64);
+            // Per-bucket counts add up and agree with a direct tally.
+            for i in 0..N_BUCKETS {
+                let expect = samples
+                    .iter()
+                    .filter(|&&us| LatencyHistogram::bucket_index(Duration::from_micros(us)) == i)
+                    .count() as u64;
+                prop_assert_eq!(snap.bucket_count(i), expect);
+            }
+        }
+
+        /// Quantiles are monotone: p50 ≤ p95 ≤ p99 for arbitrary sample sets.
+        #[test]
+        fn quantiles_are_monotone(samples in proptest::collection::vec(0u64..10_000_000, 1..128)) {
+            let hist = LatencyHistogram::new();
+            for &us in &samples {
+                hist.record(Duration::from_micros(us));
+            }
+            let snap = hist.snapshot();
+            let (p50, p95, p99) = (
+                snap.p50().unwrap(),
+                snap.p95().unwrap(),
+                snap.p99().unwrap(),
+            );
+            prop_assert!(p50 <= p95, "p50 {} > p95 {}", p50, p95);
+            prop_assert!(p95 <= p99, "p95 {} > p99 {}", p95, p99);
+            // Quantiles stay within one bucket (2×) of the true value.
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let true_p50 = sorted[(samples.len() - 1) / 2].max(1) as f64;
+            prop_assert!(p50 >= true_p50 / 2.0 && p50 <= true_p50 * 2.0,
+                "p50 estimate {} vs true {}", p50, true_p50);
+        }
+    }
+}

@@ -1,4 +1,11 @@
 //! Hot model swap: publish refreshed snapshots while serving continues.
+//!
+//! The single primitive here, [`SnapshotCell`], decouples the publication
+//! rate (a trainer pushing a new [`InferenceSnapshot`] every iteration)
+//! from the serving rate (workers loading the current snapshot once per
+//! micro-batch): readers never block publishers, publishers never wait for
+//! readers, and the version counter lets a cached reader skip the lock
+//! entirely when nothing changed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

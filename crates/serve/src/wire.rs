@@ -1,0 +1,360 @@
+//! The JSON wire protocol spoken by the HTTP front-end.
+//!
+//! This module is the pure codec layer between [`crate::http`] and the rest
+//! of the crate: request bodies in, response bodies out, no sockets. Keeping
+//! it free of I/O makes every message shape unit-testable and keeps
+//! `http.rs` focused on transport concerns (framing, timeouts,
+//! backpressure). The JSON values themselves come from the dependency-free
+//! [`saber_core::json`] codec.
+//!
+//! The full request/response reference, with `curl` examples, lives in
+//! `docs/SERVING.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use saber_serve::wire::{decode_infer, InferBody};
+//!
+//! let wire = decode_infer(r#"{"words": [0, 2, 4], "seed": 7}"#).unwrap();
+//! assert_eq!(wire.seed, Some(7));
+//! assert!(matches!(wire.body, InferBody::Words(ref w) if w == &[0, 2, 4]));
+//!
+//! let raw = decode_infer(r#"{"tokens": ["dog", "cat"], "oov": "skip"}"#).unwrap();
+//! assert_eq!(raw.seed, None);
+//! assert!(matches!(raw.body, InferBody::Tokens { .. }));
+//! ```
+
+use saber_core::json::{self, JsonValue};
+use saber_corpus::{OovPolicy, Vocabulary};
+
+use crate::server::InferResponse;
+use crate::stats::HistogramSnapshot;
+
+/// A malformed request body or query string; the HTTP layer answers `400`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// Human-readable description, echoed to the client.
+    pub detail: String,
+}
+
+impl WireError {
+    fn new(detail: impl Into<String>) -> Self {
+        WireError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.detail)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<json::JsonError> for WireError {
+    fn from(e: json::JsonError) -> Self {
+        WireError::new(e.to_string())
+    }
+}
+
+/// The document payload of a `POST /infer` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferBody {
+    /// Pre-encoded vocabulary word ids (`"words": [0, 2, 4]`).
+    Words(Vec<u32>),
+    /// Raw tokens to encode server-side (`"tokens": ["dog", "cat"]`), with
+    /// the out-of-vocabulary policy from the `"oov"` member
+    /// (`"skip"`, the default, or `"fail"`).
+    Tokens {
+        /// The raw tokens.
+        tokens: Vec<String>,
+        /// How to treat tokens outside the served vocabulary.
+        policy: OovPolicy,
+    },
+}
+
+/// A decoded `POST /infer` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferWire {
+    /// The document.
+    pub body: InferBody,
+    /// The `"seed"` member, if present (the `X-Saber-Seed` header, handled
+    /// by the HTTP layer, takes precedence).
+    pub seed: Option<u64>,
+}
+
+/// Decodes a `POST /infer` JSON body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for invalid JSON, a body that has neither `words`
+/// nor `tokens` (or both), word ids outside `u32`, or an unknown `oov`
+/// policy.
+pub fn decode_infer(body: &str) -> Result<InferWire, WireError> {
+    let value = json::parse(body)?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(WireError::new("request body must be a JSON object"));
+    }
+    let seed = match value.get("seed") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| WireError::new("'seed' must be an unsigned 64-bit integer"))?,
+        ),
+    };
+    let body = match (value.get("words"), value.get("tokens")) {
+        (Some(words), None) => InferBody::Words(decode_word_ids(words)?),
+        (None, Some(tokens)) => {
+            let tokens = tokens
+                .as_array()
+                .ok_or_else(|| WireError::new("'tokens' must be an array of strings"))?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| WireError::new("'tokens' must be an array of strings"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let policy = match value.get("oov") {
+                None | Some(JsonValue::Null) => OovPolicy::Skip,
+                Some(v) => match v.as_str() {
+                    Some("skip") => OovPolicy::Skip,
+                    Some("fail") => OovPolicy::Fail,
+                    _ => return Err(WireError::new("'oov' must be \"skip\" or \"fail\"")),
+                },
+            };
+            InferBody::Tokens { tokens, policy }
+        }
+        (Some(_), Some(_)) => {
+            return Err(WireError::new(
+                "request must carry 'words' or 'tokens', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(WireError::new(
+                "request must carry a 'words' (word ids) or 'tokens' (raw strings) array",
+            ))
+        }
+    };
+    Ok(InferWire { body, seed })
+}
+
+fn decode_word_ids(value: &JsonValue) -> Result<Vec<u32>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::new("'words' must be an array of word ids"))?
+        .iter()
+        .map(|w| {
+            w.as_u64()
+                .filter(|&id| id <= u64::from(u32::MAX))
+                .map(|id| id as u32)
+                .ok_or_else(|| WireError::new("word ids must be unsigned 32-bit integers"))
+        })
+        .collect()
+}
+
+/// Parses a comma-separated word-id list from a query-string value
+/// (`a=1,2,3` on `GET /similar`).
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any element is not an unsigned 32-bit integer.
+pub fn parse_id_list(raw: &str) -> Result<Vec<u32>, WireError> {
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<u32>()
+                .map_err(|_| WireError::new(format!("'{part}' is not an unsigned word id")))
+        })
+        .collect()
+}
+
+/// Encodes an [`InferResponse`], echoing the seed that produced it so the
+/// client can replay the request bit-identically.
+pub fn encode_infer_response(response: &InferResponse, seed: u64) -> JsonValue {
+    JsonValue::object([
+        ("theta", JsonValue::f32_array(&response.theta)),
+        ("dominant_topic", JsonValue::from(response.dominant_topic())),
+        (
+            "snapshot_version",
+            JsonValue::from(response.snapshot_version),
+        ),
+        ("n_oov", JsonValue::from(response.n_oov)),
+        ("seed", JsonValue::from(seed)),
+    ])
+}
+
+/// Encodes a `GET /top-words` response; word ids are resolved to strings
+/// when the server has a vocabulary attached.
+pub fn encode_top_words(topic: usize, top: &[(u32, f32)], vocab: Option<&Vocabulary>) -> JsonValue {
+    let words = top
+        .iter()
+        .map(|&(word, prob)| {
+            let mut pairs = vec![
+                ("word", JsonValue::from(u64::from(word))),
+                ("prob", JsonValue::Number(f64::from(prob))),
+            ];
+            if let Some(token) = vocab.and_then(|v| v.word(word)) {
+                pairs.push(("token", JsonValue::from(token)));
+            }
+            JsonValue::object(pairs)
+        })
+        .collect();
+    JsonValue::object([
+        ("topic", JsonValue::from(topic)),
+        ("words", JsonValue::Array(words)),
+    ])
+}
+
+/// Encodes a `GET /similar` response: both distance measures plus the
+/// per-document θ metadata needed to interpret them.
+pub fn encode_similar(
+    a: &InferResponse,
+    b: &InferResponse,
+    hellinger: f32,
+    cosine: f32,
+    seed: u64,
+) -> JsonValue {
+    JsonValue::object([
+        ("hellinger", JsonValue::Number(f64::from(hellinger))),
+        ("cosine", JsonValue::Number(f64::from(cosine))),
+        ("dominant_topic_a", JsonValue::from(a.dominant_topic())),
+        ("dominant_topic_b", JsonValue::from(b.dominant_topic())),
+        ("snapshot_version", JsonValue::from(a.snapshot_version)),
+        ("seed", JsonValue::from(seed)),
+    ])
+}
+
+/// Encodes a latency histogram as `{count, mean_us, p50_us, p95_us, p99_us}`
+/// (quantiles are `null` until the first sample).
+pub fn encode_histogram(h: &HistogramSnapshot) -> JsonValue {
+    fn quantile(v: Option<f64>) -> JsonValue {
+        v.map(JsonValue::Number).unwrap_or(JsonValue::Null)
+    }
+    JsonValue::object([
+        ("count", JsonValue::from(h.count())),
+        ("mean_us", quantile(h.mean_micros())),
+        ("p50_us", quantile(h.p50())),
+        ("p95_us", quantile(h.p95())),
+        ("p99_us", quantile(h.p99())),
+    ])
+}
+
+/// Encodes an error body: `{"error": detail, "status": status}`.
+pub fn encode_error(status: u16, detail: &str) -> JsonValue {
+    JsonValue::object([
+        ("error", JsonValue::from(detail)),
+        ("status", JsonValue::from(u64::from(status))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_word_id_bodies() {
+        let wire = decode_infer(r#"{"words":[1,2,3],"seed":9}"#).unwrap();
+        assert_eq!(wire.body, InferBody::Words(vec![1, 2, 3]));
+        assert_eq!(wire.seed, Some(9));
+        let no_seed = decode_infer(r#"{"words":[]}"#).unwrap();
+        assert_eq!(no_seed.seed, None);
+        assert_eq!(no_seed.body, InferBody::Words(vec![]));
+    }
+
+    #[test]
+    fn decodes_raw_token_bodies_with_policy() {
+        let wire = decode_infer(r#"{"tokens":["a","b"],"oov":"fail","seed":1}"#).unwrap();
+        assert_eq!(
+            wire.body,
+            InferBody::Tokens {
+                tokens: vec!["a".into(), "b".into()],
+                policy: OovPolicy::Fail,
+            }
+        );
+        let default_policy = decode_infer(r#"{"tokens":["a"]}"#).unwrap();
+        assert!(matches!(
+            default_policy.body,
+            InferBody::Tokens {
+                policy: OovPolicy::Skip,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn seeds_above_2_pow_53_survive() {
+        let seed = u64::MAX - 1;
+        let wire = decode_infer(&format!(r#"{{"words":[0],"seed":{seed}}}"#)).unwrap();
+        assert_eq!(wire.seed, Some(seed));
+    }
+
+    #[test]
+    fn rejects_malformed_bodies() {
+        for body in [
+            "",
+            "[]",
+            "{}",
+            r#"{"words":[1],"tokens":["a"]}"#,
+            r#"{"words":"nope"}"#,
+            r#"{"words":[-1]}"#,
+            r#"{"words":[4294967296]}"#,
+            r#"{"words":[0.5]}"#,
+            r#"{"tokens":[1]}"#,
+            r#"{"tokens":["a"],"oov":"explode"}"#,
+            r#"{"words":[1],"seed":-3}"#,
+        ] {
+            assert!(decode_infer(body).is_err(), "{body:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn id_list_parsing() {
+        assert_eq!(parse_id_list("1,2,3").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_id_list("7").unwrap(), vec![7]);
+        assert_eq!(parse_id_list("").unwrap(), Vec::<u32>::new());
+        assert!(parse_id_list("1,x").is_err());
+        assert!(parse_id_list("-1").is_err());
+    }
+
+    #[test]
+    fn response_encoding_has_stable_members() {
+        let response = InferResponse {
+            theta: vec![0.75, 0.25],
+            snapshot_version: 3,
+            n_oov: 1,
+        };
+        let encoded = encode_infer_response(&response, 42);
+        assert_eq!(encoded.get("dominant_topic").unwrap().as_u64(), Some(0));
+        assert_eq!(encoded.get("snapshot_version").unwrap().as_u64(), Some(3));
+        assert_eq!(encoded.get("n_oov").unwrap().as_u64(), Some(1));
+        assert_eq!(encoded.get("seed").unwrap().as_u64(), Some(42));
+        assert_eq!(encoded.get("theta").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn top_words_resolve_tokens_when_vocab_present() {
+        let vocab = Vocabulary::synthetic(4);
+        let encoded = encode_top_words(1, &[(0, 0.5), (3, 0.25)], Some(&vocab));
+        let words = encoded.get("words").unwrap().as_array().unwrap();
+        assert_eq!(words[0].get("token").unwrap().as_str(), Some("w00000"));
+        let anonymous = encode_top_words(1, &[(0, 0.5)], None);
+        let words = anonymous.get("words").unwrap().as_array().unwrap();
+        assert!(words[0].get("token").is_none());
+    }
+
+    #[test]
+    fn error_and_histogram_encoding() {
+        let err = encode_error(429, "queue full");
+        assert_eq!(err.get("status").unwrap().as_u64(), Some(429));
+        assert_eq!(err.get("error").unwrap().as_str(), Some("queue full"));
+        let empty = encode_histogram(&HistogramSnapshot::default());
+        assert_eq!(empty.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(empty.get("p99_us"), Some(&JsonValue::Null));
+    }
+}

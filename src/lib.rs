@@ -14,7 +14,7 @@
 //! * [`baselines`] — the comparison systems of the paper's Fig. 11
 //!   ([`saber_baselines`]);
 //! * [`serve`] — batched online topic inference with hot-swappable model
-//!   snapshots ([`saber_serve`]).
+//!   snapshots and an HTTP/1.1 network front-end ([`saber_serve`]).
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -73,7 +73,8 @@ pub use saber_core::{
 pub use saber_corpus::{Corpus, Document, OovPolicy, TokenList, Vocabulary};
 pub use saber_gpu_sim::DeviceSpec;
 pub use saber_serve::{
-    InferRequest, InferResponse, InferenceSnapshot, ServeConfig, SnapshotSampler, TopicServer,
+    HttpConfig, HttpServer, InferRequest, InferResponse, InferenceSnapshot, ServeConfig,
+    SnapshotSampler, TopicServer,
 };
 
 #[cfg(test)]
