@@ -17,6 +17,26 @@
 //!   sparsity-aware, applied to inference.
 //!
 //! Both return a dense `θ` of length `K` summing to 1.
+//!
+//! # Decomposition for sharded serving
+//!
+//! Both estimators are expressed in terms of *partial* building blocks so a
+//! vocabulary-sharded deployment (`saber-serve`'s `ShardRouter`) can compute
+//! the same answers from per-shard pieces:
+//!
+//! * EM: each iteration's sufficient statistic — the responsibility-count
+//!   vector — is a **sum over words** ([`em_accumulate`]), so shards holding
+//!   disjoint word ranges produce partial counts that add exactly; the
+//!   θ update ([`em_update`]) runs once per iteration on the merged counts.
+//!   Sharded EM is therefore *algebraically identical* to unsharded EM (the
+//!   only differences are floating-point summation order).
+//! * ESCA: the Gibbs chain over a word subset yields a raw measured-count
+//!   accumulator ([`fold_in_esca_partial`]); accumulators from disjoint
+//!   subsets add, and [`esca_theta`] turns the merged counts into θ. With
+//!   one subset this reproduces [`fold_in_esca`] bit-for-bit; with several,
+//!   cross-shard Gibbs coupling is approximated (the chains are
+//!   independent), which is the fast-path trade-off documented in
+//!   `saber-serve`.
 
 use rand::Rng;
 use saber_sparse::{DenseMatrix, SparseRowView};
@@ -43,34 +63,69 @@ pub fn fold_in_em(
     if words.is_empty() {
         return theta;
     }
-    let alpha = alpha as f64;
     let mut counts = vec![0.0f64; k];
     for _ in 0..iterations {
         counts.fill(0.0);
-        for &v in words {
-            let row = bhat.row(v as usize);
-            let mut resp: Vec<f64> = theta
-                .iter()
-                .zip(row.iter())
-                .map(|(&t, &b)| t * b as f64)
-                .collect();
-            let z: f64 = resp.iter().sum();
-            if z <= 0.0 {
-                continue;
-            }
-            for r in &mut resp {
-                *r /= z;
-            }
-            for (c, r) in counts.iter_mut().zip(resp.iter()) {
-                *c += r;
-            }
-        }
-        let denom = words.len() as f64 + k as f64 * alpha;
-        for (t, &c) in theta.iter_mut().zip(counts.iter()) {
-            *t = (c + alpha) / denom;
-        }
+        em_accumulate(words, bhat, &theta, &mut counts);
+        em_update(&mut theta, &counts, words.len(), alpha);
     }
     theta
+}
+
+/// One EM fold-in iteration's count accumulation for a word subset: adds
+/// each word's topic responsibilities under the current `theta` into
+/// `counts`.
+///
+/// This is the decomposable half of [`fold_in_em`]: responsibilities are
+/// per-word, so partial counts computed over disjoint word subsets (e.g. by
+/// vocabulary shards holding only their own `B̂` rows) sum to exactly the
+/// counts a single pass over all words would produce, up to floating-point
+/// summation order.
+///
+/// # Panics
+///
+/// Panics if a word id is out of range of `bhat`, or if `theta` / `counts`
+/// are shorter than `bhat.cols()`.
+pub fn em_accumulate(words: &[u32], bhat: &DenseMatrix<f32>, theta: &[f64], counts: &mut [f64]) {
+    // Without these, the zips below would silently truncate to the shorter
+    // slice and under-count topics instead of failing.
+    let k = bhat.cols();
+    assert!(
+        theta.len() >= k && counts.len() >= k,
+        "theta ({}) and counts ({}) must cover all K = {k} topics",
+        theta.len(),
+        counts.len()
+    );
+    for &v in words {
+        let row = bhat.row(v as usize);
+        let mut resp: Vec<f64> = theta
+            .iter()
+            .zip(row.iter())
+            .map(|(&t, &b)| t * b as f64)
+            .collect();
+        let z: f64 = resp.iter().sum();
+        if z <= 0.0 {
+            continue;
+        }
+        for r in &mut resp {
+            *r /= z;
+        }
+        for (c, r) in counts.iter_mut().zip(resp.iter()) {
+            *c += r;
+        }
+    }
+}
+
+/// The EM fold-in θ update: `θ_k = (counts_k + α) / (n_words + K·α)`,
+/// written into `theta`. `n_words` is the total document length the counts
+/// were accumulated over (summed across shards in a sharded deployment).
+pub fn em_update(theta: &mut [f64], counts: &[f64], n_words: usize, alpha: f32) {
+    let alpha = alpha as f64;
+    let k = theta.len();
+    let denom = n_words as f64 + k as f64 * alpha;
+    for (t, &c) in theta.iter_mut().zip(counts.iter()) {
+        *t = (c + alpha) / denom;
+    }
 }
 
 /// A document's topic counts kept sparse, so fold-in sampling touches only
@@ -174,6 +229,84 @@ where
     if words.is_empty() {
         return vec![1.0f64 / k as f64; k];
     }
+    let partial = fold_in_esca_partial(words, bhat, samplers, alpha, burn_in, n_samples, rng);
+    esca_theta(partial.counts, partial.n_words, n_samples, alpha)
+}
+
+/// Partial sufficient statistics of a fold-in over a word subset: the raw
+/// per-topic count accumulator plus the number of words it covers.
+///
+/// Partials over disjoint word subsets merge by element-wise summing
+/// `counts` and adding `n_words`; see [`esca_theta`] and [`em_update`] for
+/// the finishing steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFoldIn {
+    /// Per-topic accumulated counts (length `K`). For ESCA these are the
+    /// measured-sweep sums; for one EM round, responsibility sums.
+    pub counts: Vec<f64>,
+    /// Number of words folded into `counts`.
+    pub n_words: usize,
+}
+
+impl PartialFoldIn {
+    /// An empty partial for `k` topics (zero counts, zero words) — the
+    /// identity element of [`PartialFoldIn::merge`].
+    pub fn empty(k: usize) -> Self {
+        PartialFoldIn {
+            counts: vec![0.0f64; k],
+            n_words: 0,
+        }
+    }
+
+    /// Element-wise adds `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic counts differ in length.
+    pub fn merge(&mut self, other: &PartialFoldIn) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "partial fold-ins disagree on K"
+        );
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.n_words += other.n_words;
+    }
+}
+
+/// The chain half of [`fold_in_esca`]: runs the sparsity-aware collapsed
+/// Gibbs fold-in over `words` and returns the **raw** measured-count
+/// accumulator instead of a normalised θ.
+///
+/// A vocabulary shard calls this with its own word subset (ids local to its
+/// `bhat` slice) and an independently seeded `rng`; the router sums the
+/// partial counts and finishes with [`esca_theta`]. With the full word list
+/// and the same RNG state this is exactly the computation inside
+/// [`fold_in_esca`], so a single-shard deployment reproduces it
+/// bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if a word id is out of range of `bhat` or `samplers`.
+pub fn fold_in_esca_partial<R, S>(
+    words: &[u32],
+    bhat: &DenseMatrix<f32>,
+    samplers: &[S],
+    alpha: f32,
+    burn_in: usize,
+    n_samples: usize,
+    rng: &mut R,
+) -> PartialFoldIn
+where
+    R: Rng + ?Sized,
+    S: TopicSampler,
+{
+    let k = bhat.cols();
+    if words.is_empty() {
+        return PartialFoldIn::empty(k);
+    }
     let n_samples = n_samples.max(1);
 
     // Initialise each token from its word's dense distribution p₂(k) ∝ B̂_vk:
@@ -209,16 +342,29 @@ where
             counts.accumulate_into(&mut acc);
         }
     }
+    PartialFoldIn {
+        counts: acc,
+        n_words: words.len(),
+    }
+}
 
-    // Posterior mean over the measured sweeps, α-smoothed and normalised:
-    // each sweep's counts sum to the document length, so the smoothed
-    // average divides through exactly.
+/// Turns (possibly merged) ESCA measured counts into θ: the posterior mean
+/// over the measured sweeps, α-smoothed and normalised. Each sweep's counts
+/// sum to the document length, so the smoothed average divides through
+/// exactly.
+///
+/// `n_words` is the total number of folded words across all merged
+/// partials and `n_samples` the per-chain measured-sweep count (shards run
+/// the same sweep schedule, so it is not summed).
+pub fn esca_theta(mut counts: Vec<f64>, n_words: usize, n_samples: usize, alpha: f32) -> Vec<f64> {
+    let n_samples = n_samples.max(1);
+    let k = counts.len();
     let alpha = alpha as f64;
-    let denom = words.len() as f64 + k as f64 * alpha;
-    for a in &mut acc {
+    let denom = n_words as f64 + k as f64 * alpha;
+    for a in &mut counts {
         *a = (*a / n_samples as f64 + alpha) / denom;
     }
-    acc
+    counts
 }
 
 #[cfg(test)]
@@ -331,6 +477,92 @@ mod tests {
                 esca[k]
             );
         }
+    }
+
+    #[test]
+    fn esca_partial_plus_finish_reproduces_fold_in_bit_for_bit() {
+        let bhat = planted_bhat(12, 3);
+        let samplers = samplers_for(&bhat, PreprocessKind::WaryTree);
+        let words = [0u32, 3, 6, 9, 1, 4, 2];
+        let mut rng = StdRng::seed_from_u64(21);
+        let direct = fold_in_esca(&words, &bhat, &samplers, 0.1, 4, 6, &mut rng);
+        let mut rng = StdRng::seed_from_u64(21);
+        let partial = fold_in_esca_partial(&words, &bhat, &samplers, 0.1, 4, 6, &mut rng);
+        assert_eq!(partial.n_words, words.len());
+        let finished = esca_theta(partial.counts, partial.n_words, 6, 0.1);
+        assert_eq!(
+            direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            finished.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn em_rounds_over_word_shards_match_unsharded_em() {
+        // Drive EM through the decomposed building blocks with the document
+        // split across "shards" by word id parity; the merged trajectory
+        // must match plain fold_in_em to floating-point summation order.
+        let bhat = planted_bhat(20, 4);
+        let words: Vec<u32> = vec![2, 6, 10, 14, 18, 3, 7, 2, 11, 0];
+        let iterations = 13;
+        let direct = fold_in_em(&words, &bhat, 0.05, iterations);
+
+        let (even, odd): (Vec<u32>, Vec<u32>) = words.iter().partition(|&&v| v % 2 == 0);
+        let mut theta = vec![1.0f64 / 4.0; 4];
+        for _ in 0..iterations {
+            let mut merged = PartialFoldIn::empty(4);
+            for shard_words in [&even, &odd] {
+                let mut partial = PartialFoldIn::empty(4);
+                em_accumulate(shard_words, &bhat, &theta, &mut partial.counts);
+                partial.n_words = shard_words.len();
+                merged.merge(&partial);
+            }
+            assert_eq!(merged.n_words, words.len());
+            em_update(&mut theta, &merged.counts, merged.n_words, 0.05);
+        }
+        for (k, (&a, &b)) in direct.iter().zip(theta.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-12,
+                "topic {k}: unsharded {a} vs sharded {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn em_single_shard_rounds_are_bit_identical_to_fold_in_em() {
+        // With one "shard" holding every word there is no summation
+        // reordering at all: the decomposed driver must be bit-identical.
+        let bhat = planted_bhat(12, 3);
+        let words: Vec<u32> = vec![1, 4, 7, 10, 1, 4, 5];
+        let direct = fold_in_em(&words, &bhat, 0.2, 7);
+        let mut theta = vec![1.0f64 / 3.0; 3];
+        let mut counts = vec![0.0f64; 3];
+        for _ in 0..7 {
+            counts.fill(0.0);
+            em_accumulate(&words, &bhat, &theta, &mut counts);
+            em_update(&mut theta, &counts, words.len(), 0.2);
+        }
+        assert_eq!(
+            direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn partial_fold_in_merge_is_elementwise() {
+        let mut a = PartialFoldIn {
+            counts: vec![1.0, 2.0],
+            n_words: 3,
+        };
+        let b = PartialFoldIn {
+            counts: vec![0.5, 4.0],
+            n_words: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.counts, vec![1.5, 6.0]);
+        assert_eq!(a.n_words, 5);
+        let empty = PartialFoldIn::empty(2);
+        a.merge(&empty);
+        assert_eq!(a.counts, vec![1.5, 6.0]);
     }
 
     #[test]

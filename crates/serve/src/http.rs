@@ -1,4 +1,5 @@
-//! A hand-rolled HTTP/1.1 front-end for [`TopicServer`], over `std::net`.
+//! A hand-rolled HTTP/1.1 front-end for any [`InferenceBackend`], over
+//! `std::net`.
 //!
 //! The build environment has no crates.io access, so there is no tokio or
 //! hyper here: a blocking [`std::net::TcpListener`], one OS thread per live
@@ -23,7 +24,7 @@
 //!
 //! Every endpoint's service time is recorded into a lock-free
 //! [`LatencyHistogram`], and `GET /stats` reports p50/p95/p99 per endpoint
-//! alongside the [`TopicServer`] counters. The wire formats live in
+//! alongside the [`crate::TopicServer`] counters. The wire formats live in
 //! [`crate::wire`] and are documented in `docs/SERVING.md`; the endpoints:
 //!
 //! * `POST /infer` — topic inference for word-id or raw-token documents,
@@ -71,11 +72,10 @@ use std::time::{Duration, Instant};
 use saber_core::json::JsonValue;
 use saber_corpus::Vocabulary;
 
-use crate::server::TopicServer;
 use crate::similarity::{cosine_similarity, hellinger_distance};
 use crate::stats::{HistogramSnapshot, LatencyHistogram};
 use crate::wire::{self, InferBody};
-use crate::ServeError;
+use crate::{InferenceBackend, ServeError};
 
 /// Transport configuration of an [`HttpServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +151,7 @@ struct EndpointHistograms {
 
 #[derive(Debug)]
 struct HttpState {
-    topic_server: Arc<TopicServer>,
+    backend: Arc<dyn InferenceBackend>,
     vocab: Option<Vocabulary>,
     config: HttpConfig,
     shutdown: AtomicBool,
@@ -163,8 +163,10 @@ struct HttpState {
 
 /// The HTTP front-end: an accept loop plus one thread per live connection.
 ///
-/// Binding takes an `Arc<TopicServer>` rather than owning the server, so
-/// the same worker pool can simultaneously serve in-process callers (and a
+/// Binding takes an `Arc` of any [`InferenceBackend`] — a single
+/// [`TopicServer`](crate::TopicServer) or a sharded
+/// [`ShardRouter`](crate::ShardRouter) — rather than owning it, so the
+/// same worker pool can simultaneously serve in-process callers (and a
 /// training loop can keep publishing snapshots through its own handle).
 /// Dropping the `HttpServer` — or calling [`HttpServer::shutdown`] for an
 /// observable join — stops accepting, wakes the accept loop, and joins all
@@ -178,22 +180,25 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds `addr` (use port 0 for an OS-assigned port) and starts
-    /// accepting connections for `topic_server`. A `vocab` enables the
-    /// raw-token `/infer` path and token names in `/top-words`.
+    /// accepting connections for `backend` — a
+    /// [`TopicServer`](crate::TopicServer) or a
+    /// [`ShardRouter`](crate::ShardRouter); the listener (and therefore
+    /// every client) is agnostic to which. A `vocab` enables the raw-token
+    /// `/infer` path and token names in `/top-words`.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding the listener.
-    pub fn bind(
+    pub fn bind<B: InferenceBackend + 'static>(
         addr: impl ToSocketAddrs,
-        topic_server: Arc<TopicServer>,
+        backend: Arc<B>,
         vocab: Option<Vocabulary>,
         config: HttpConfig,
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let state = Arc::new(HttpState {
-            topic_server,
+            backend,
             vocab,
             config,
             shutdown: AtomicBool::new(false),
@@ -220,16 +225,7 @@ impl HttpServer {
 
     /// A point-in-time copy of the HTTP-layer statistics.
     pub fn stats(&self) -> HttpStats {
-        HttpStats {
-            requests: self.state.requests.load(Ordering::Relaxed),
-            errors: self.state.errors.load(Ordering::Relaxed),
-            active_connections: self.state.active_connections.load(Ordering::Relaxed),
-            infer: self.state.endpoints.infer.snapshot(),
-            top_words: self.state.endpoints.top_words.snapshot(),
-            similar: self.state.endpoints.similar.snapshot(),
-            stats: self.state.endpoints.stats.snapshot(),
-            healthz: self.state.endpoints.healthz.snapshot(),
-        }
+        http_stats(&self.state)
     }
 
     /// Stops accepting, closes listening, and joins every connection
@@ -301,10 +297,11 @@ fn accept_loop(listener: &TcpListener, state: &Arc<HttpState>) {
         let spawned = std::thread::Builder::new()
             .name("saber-http-conn".into())
             .spawn(move || {
+                // Decrement from a drop guard so a panicking handler can't
+                // leak its slot and creep the pool toward the connection
+                // cap.
+                let _slot = ConnectionSlot(&conn_state);
                 serve_connection(stream, &conn_state);
-                conn_state
-                    .active_connections
-                    .fetch_sub(1, Ordering::Relaxed);
             });
         match spawned {
             Ok(handle) => connections.push(handle),
@@ -315,6 +312,16 @@ fn accept_loop(listener: &TcpListener, state: &Arc<HttpState>) {
     }
     for handle in connections {
         let _ = handle.join();
+    }
+}
+
+/// Releases a connection's `active_connections` slot on drop — panic-safe,
+/// unlike decrementing after the serve call returns.
+struct ConnectionSlot<'a>(&'a HttpState);
+
+impl Drop for ConnectionSlot<'_> {
+    fn drop(&mut self) {
+        self.0.active_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -447,83 +454,42 @@ fn route(request: &Request, state: &HttpState) -> (u16, String, Option<Endpoint>
 }
 
 fn handle_healthz(state: &HttpState) -> (u16, String) {
-    let snapshot = state.topic_server.snapshot();
+    let backend = &state.backend;
     let body = JsonValue::object([
         ("status", JsonValue::from("ok")),
         (
             "snapshot_version",
-            JsonValue::from(state.topic_server.snapshot_version()),
+            JsonValue::from(backend.snapshot_version()),
         ),
-        ("n_topics", JsonValue::from(snapshot.n_topics())),
-        ("vocab_size", JsonValue::from(snapshot.vocab_size())),
+        ("n_topics", JsonValue::from(backend.n_topics())),
+        ("vocab_size", JsonValue::from(backend.vocab_size())),
+        ("shards", JsonValue::from(backend.n_shards())),
     ]);
     (200, body.to_string())
 }
 
+/// Collects the HTTP-layer counters; shared by [`HttpServer::stats`] and
+/// the `/stats` handler so both report the same view.
+fn http_stats(state: &HttpState) -> HttpStats {
+    HttpStats {
+        requests: state.requests.load(Ordering::Relaxed),
+        errors: state.errors.load(Ordering::Relaxed),
+        active_connections: state.active_connections.load(Ordering::Relaxed),
+        infer: state.endpoints.infer.snapshot(),
+        top_words: state.endpoints.top_words.snapshot(),
+        similar: state.endpoints.similar.snapshot(),
+        stats: state.endpoints.stats.snapshot(),
+        healthz: state.endpoints.healthz.snapshot(),
+    }
+}
+
 fn handle_stats(state: &HttpState) -> (u16, String) {
-    let serve = state.topic_server.stats();
-    let body = JsonValue::object([
-        (
-            "server",
-            JsonValue::object([
-                ("requests", JsonValue::from(serve.requests)),
-                ("tokens", JsonValue::from(serve.tokens)),
-                ("batches", JsonValue::from(serve.batches)),
-                ("swaps_observed", JsonValue::from(serve.swaps_observed)),
-                (
-                    "mean_batch_size",
-                    JsonValue::Number(serve.mean_batch_size()),
-                ),
-                (
-                    "snapshot_version",
-                    JsonValue::from(state.topic_server.snapshot_version()),
-                ),
-                ("latency", wire::encode_histogram(&serve.latency)),
-            ]),
-        ),
-        (
-            "http",
-            JsonValue::object([
-                (
-                    "requests",
-                    JsonValue::from(state.requests.load(Ordering::Relaxed)),
-                ),
-                (
-                    "errors",
-                    JsonValue::from(state.errors.load(Ordering::Relaxed)),
-                ),
-                (
-                    "active_connections",
-                    JsonValue::from(state.active_connections.load(Ordering::Relaxed)),
-                ),
-                (
-                    "endpoints",
-                    JsonValue::object([
-                        (
-                            "infer",
-                            wire::encode_histogram(&state.endpoints.infer.snapshot()),
-                        ),
-                        (
-                            "top_words",
-                            wire::encode_histogram(&state.endpoints.top_words.snapshot()),
-                        ),
-                        (
-                            "similar",
-                            wire::encode_histogram(&state.endpoints.similar.snapshot()),
-                        ),
-                        (
-                            "stats",
-                            wire::encode_histogram(&state.endpoints.stats.snapshot()),
-                        ),
-                        (
-                            "healthz",
-                            wire::encode_histogram(&state.endpoints.healthz.snapshot()),
-                        ),
-                    ]),
-                ),
-            ]),
-        ),
-    ]);
+    let body = wire::encode_stats_body(
+        &state.backend.serve_stats(),
+        state.backend.snapshot_version(),
+        state.backend.n_shards(),
+        &http_stats(state),
+    );
     (200, body.to_string())
 }
 
@@ -537,14 +503,10 @@ fn handle_top_words(request: &Request, state: &HttpState) -> (u16, String) {
         Some(Ok(n)) => n.min(1000),
         Some(Err(_)) => return error(400, "invalid 'n' query parameter"),
     };
-    let snapshot = state.topic_server.snapshot();
-    if topic >= snapshot.n_topics() {
-        return error(
-            400,
-            &format!("topic {topic} out of range (K = {})", snapshot.n_topics()),
-        );
-    }
-    let top = snapshot.top_words(topic, n);
+    let top = match state.backend.top_words(topic, n) {
+        Ok(top) => top,
+        Err(e) => return serve_error(&e),
+    };
     let body = wire::encode_top_words(topic, &top, state.vocab.as_ref());
     (200, body.to_string())
 }
@@ -572,11 +534,7 @@ fn handle_similar(request: &Request, state: &HttpState) -> (u16, String) {
     // Both documents share the seed so `a == b` implies distance 0; halve
     // the deadline since one HTTP request costs two inferences.
     let deadline = state.config.request_deadline / 2;
-    let infer = |words: Vec<u32>| {
-        state
-            .topic_server
-            .infer_with_deadline(words, seed, deadline)
-    };
+    let infer = |words: Vec<u32>| state.backend.infer_with_deadline(words, seed, deadline);
     let (a, b) = match (infer(doc_a), infer(doc_b)) {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => return serve_error(&e),
@@ -607,13 +565,11 @@ fn handle_infer(request: &Request, state: &HttpState) -> (u16, String) {
     };
     let deadline = state.config.request_deadline;
     let result = match decoded.body {
-        InferBody::Words(words) => state
-            .topic_server
-            .infer_with_deadline(words, seed, deadline),
+        InferBody::Words(words) => state.backend.infer_with_deadline(words, seed, deadline),
         InferBody::Tokens { tokens, policy } => match state.vocab.as_ref() {
             None => return error(400, "server has no vocabulary; send 'words' ids instead"),
             Some(vocab) => state
-                .topic_server
+                .backend
                 .infer_raw_with_deadline(&tokens, vocab, policy, seed, deadline),
         },
     };
@@ -634,7 +590,7 @@ fn error(status: u16, detail: &str) -> (u16, String) {
 fn serve_error(e: &ServeError) -> (u16, String) {
     let status = match e {
         ServeError::Overloaded => 429,
-        ServeError::DeadlineExceeded | ServeError::Closed => 503,
+        ServeError::DeadlineExceeded | ServeError::Closed | ServeError::ShardVersionSkew => 503,
         ServeError::BadRequest { .. } | ServeError::Corpus(_) => 400,
         ServeError::InvalidConfig { .. } => 500,
     };

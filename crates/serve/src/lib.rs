@@ -24,12 +24,26 @@
 //!   (raw tokens + [`OovPolicy`](saber_corpus::OovPolicy)),
 //!   [`TopicServer::top_words`], and document similarity in topic space
 //!   ([`similarity`]).
+//! * [`ShardPlan`] + [`ShardRouter`] — vocabulary-sharded serving for
+//!   models whose snapshot exceeds one worker pool's memory budget: the
+//!   vocabulary is cut into byte-budgeted contiguous ranges ([`shard`]),
+//!   each range served by its own `TopicServer` over an
+//!   [`InferenceSnapshot::shard`] slice, and a merging router
+//!   ([`router`]) splits documents, fans out partial fold-ins and merges
+//!   partial θ — exactly (EM fold-in) or via independent seeded chains
+//!   (ESCA), with all-or-nothing epoch publication across the fleet.
+//!   Differential tests (`tests/sharded_serving.rs`) pin the equivalence
+//!   to unsharded serving.
 //! * [`HttpServer`] — a hand-rolled HTTP/1.1 front-end
 //!   over `std::net` ([`http`], wire formats in [`wire`]) with read/write
 //!   timeouts, per-request deadlines, and queue-full backpressure surfaced
-//!   as `429`/`503` instead of unbounded waiting.
+//!   as `429`/`503` instead of unbounded waiting. Serves any
+//!   [`InferenceBackend`] — a single server or a sharded router —
+//!   transparently.
 //! * [`stats`] — lock-free log-bucketed latency histograms behind
-//!   [`ServeStats`] and the HTTP `/stats` endpoint's p50/p95/p99.
+//!   [`ServeStats`] and the HTTP `/stats` endpoint's p50/p95/p99, with
+//!   cross-shard merging ([`HistogramSnapshot::merge`],
+//!   [`ServeStats::merge`]).
 //!
 //! # Example
 //!
@@ -60,7 +74,9 @@
 #![deny(missing_debug_implementations)]
 
 pub mod http;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod similarity;
 pub mod snapshot;
 pub mod stats;
@@ -68,10 +84,192 @@ pub mod swap;
 pub mod wire;
 
 pub use http::{HttpConfig, HttpServer, HttpStats};
-pub use server::{InferRequest, InferResponse, ServeConfig, ServeStats, TopicServer};
-pub use snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
+pub use router::{RouterStats, ShardRouter};
+pub use server::{
+    InferRequest, InferResponse, PartialRequest, PartialResponse, ServeConfig, ServeStats,
+    TopicServer,
+};
+pub use shard::{derive_shard_seed, ShardPlan};
+pub use snapshot::{FoldInKind, FoldInParams, InferenceSnapshot, SnapshotSampler};
 pub use stats::{HistogramSnapshot, LatencyHistogram};
 pub use swap::SnapshotCell;
+
+/// The inference surface the HTTP front-end ([`HttpServer`]) serves.
+///
+/// Implemented by a single [`TopicServer`] and by a [`ShardRouter`]
+/// fronting a vocabulary-sharded fleet, so the listener — and therefore
+/// every client — is transparent to sharding: same endpoints, same wire
+/// formats, same determinism guarantees. The only observable difference is
+/// the `shards` member of `/healthz` and `/stats`.
+pub trait InferenceBackend: Send + Sync + std::fmt::Debug {
+    /// Fail-fast, deadline-bounded inference over word ids (the `POST
+    /// /infer` path).
+    ///
+    /// # Errors
+    ///
+    /// Backend-dependent; see [`TopicServer::infer_with_deadline`] and
+    /// [`ShardRouter::infer_with_deadline`].
+    fn infer_with_deadline(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError>;
+
+    /// Raw-token inference against `vocab` with the same deadline
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures plus everything
+    /// [`InferenceBackend::infer_with_deadline`] can return.
+    fn infer_raw_with_deadline(
+        &self,
+        tokens: &[String],
+        vocab: &saber_corpus::Vocabulary,
+        policy: saber_corpus::OovPolicy,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError>;
+
+    /// The `n` highest-probability words of topic `k` (global word ids).
+    ///
+    /// Range-checks and fetches against **one** snapshot load, so a
+    /// concurrent publish can never panic the caller between a check and
+    /// the fetch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] when `k` is outside the served
+    /// topic count.
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError>;
+
+    /// Number of topics `K`.
+    fn n_topics(&self) -> usize;
+
+    /// Total served vocabulary size `V`.
+    fn vocab_size(&self) -> usize;
+
+    /// Version of the currently served snapshot (the epoch, for a sharded
+    /// fleet).
+    fn snapshot_version(&self) -> u64;
+
+    /// Number of shards serving the model (1 for a plain [`TopicServer`]).
+    fn n_shards(&self) -> usize;
+
+    /// Serving counters, aggregated across shards.
+    fn serve_stats(&self) -> ServeStats;
+}
+
+impl InferenceBackend for TopicServer {
+    fn infer_with_deadline(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError> {
+        TopicServer::infer_with_deadline(self, words, seed, deadline)
+    }
+
+    fn infer_raw_with_deadline(
+        &self,
+        tokens: &[String],
+        vocab: &saber_corpus::Vocabulary,
+        policy: saber_corpus::OovPolicy,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError> {
+        TopicServer::infer_raw_with_deadline(self, tokens, vocab, policy, seed, deadline)
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        // One snapshot load for both the range check and the fetch: a
+        // publish between two separate loads could shrink K and panic.
+        let snapshot = self.snapshot();
+        if k >= snapshot.n_topics() {
+            return Err(ServeError::BadRequest {
+                detail: format!("topic {k} out of range (K = {})", snapshot.n_topics()),
+            });
+        }
+        Ok(snapshot.top_words(k, n))
+    }
+
+    fn n_topics(&self) -> usize {
+        self.snapshot().n_topics()
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.snapshot().vocab_size()
+    }
+
+    fn snapshot_version(&self) -> u64 {
+        TopicServer::snapshot_version(self)
+    }
+
+    fn n_shards(&self) -> usize {
+        1
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.stats()
+    }
+}
+
+impl InferenceBackend for ShardRouter {
+    fn infer_with_deadline(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError> {
+        ShardRouter::infer_with_deadline(self, words, seed, deadline)
+    }
+
+    fn infer_raw_with_deadline(
+        &self,
+        tokens: &[String],
+        vocab: &saber_corpus::Vocabulary,
+        policy: saber_corpus::OovPolicy,
+        seed: u64,
+        deadline: std::time::Duration,
+    ) -> Result<InferResponse, ServeError> {
+        ShardRouter::infer_raw_with_deadline(self, tokens, vocab, policy, seed, deadline)
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        // The router's K is fixed at construction (publish validates the
+        // shape), so the check cannot race a publication.
+        if k >= ShardRouter::n_topics(self) {
+            return Err(ServeError::BadRequest {
+                detail: format!(
+                    "topic {k} out of range (K = {})",
+                    ShardRouter::n_topics(self)
+                ),
+            });
+        }
+        Ok(ShardRouter::top_words(self, k, n))
+    }
+
+    fn n_topics(&self) -> usize {
+        ShardRouter::n_topics(self)
+    }
+
+    fn vocab_size(&self) -> usize {
+        ShardRouter::vocab_size(self)
+    }
+
+    fn snapshot_version(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn n_shards(&self) -> usize {
+        ShardRouter::n_shards(self)
+    }
+
+    fn serve_stats(&self) -> ServeStats {
+        self.stats()
+    }
+}
 
 /// Errors produced by the serving subsystem.
 #[derive(Debug)]
@@ -93,6 +291,11 @@ pub enum ServeError {
         /// Human readable description.
         detail: String,
     },
+    /// A sharded router kept observing shards serving different snapshot
+    /// versions, even after retrying — only possible when publications are
+    /// so frequent that every retry races a new swap (see
+    /// [`ShardRouter`]'s epoch protocol).
+    ShardVersionSkew,
     /// Raw-token encoding failed (e.g. out-of-vocabulary word under
     /// [`saber_corpus::OovPolicy::Fail`]).
     Corpus(saber_corpus::CorpusError),
@@ -106,6 +309,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded => write!(f, "request queue is full"),
             ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::ShardVersionSkew => {
+                write!(f, "shard snapshot versions diverged during the request")
+            }
             ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
         }
     }

@@ -1,0 +1,719 @@
+//! The merging router in front of a vocabulary-sharded server fleet.
+//!
+//! A model whose [`InferenceSnapshot`] exceeds one worker pool's memory
+//! budget is split by a [`ShardPlan`] into contiguous word-id ranges, each
+//! served by its own [`TopicServer`] over an
+//! [`InferenceSnapshot::shard`] slice. [`ShardRouter`] owns that fleet and
+//! makes it look like a single server:
+//!
+//! * **Fan-out / merge** — an incoming document's word ids are split by
+//!   shard ([`ShardPlan::split`]), each shard computes its words' partial
+//!   sufficient statistics ([`TopicServer::infer_partial`]), and the router
+//!   merges them into one θ. Under [`FoldInKind::Em`] the merge is *exact*:
+//!   each EM iteration's count vector is a sum over words, so the router
+//!   synchronises θ once per iteration and reproduces unsharded inference
+//!   to floating-point summation order (the differential suite pins this at
+//!   1e-5 L∞; a single shard is bit-identical). Under [`FoldInKind::Esca`]
+//!   each shard runs an independent Gibbs chain seeded by
+//!   [`derive_shard_seed`] — one round trip instead of one per iteration,
+//!   at the cost of approximating cross-shard coupling.
+//! * **Epoch publication** — [`ShardRouter::publish`] slices a new full
+//!   snapshot and publishes every shard under one lock, moving the fleet
+//!   from epoch `e` to `e + 1` in lockstep. A request that straddles the
+//!   swap can observe shards on different versions; the router detects the
+//!   skew in the per-shard responses and retries, so no *answer* ever mixes
+//!   snapshot versions — the sharded generalisation of
+//!   [`SnapshotCell`](crate::SnapshotCell)'s torn-read guarantee.
+//! * **Determinism** — per-shard seeds derive from the request seed, so
+//!   equal requests against an equal epoch replay bit-identically, exactly
+//!   as on a single [`TopicServer`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use saber_core::infer::{em_update, esca_theta, PartialFoldIn};
+use saber_core::model::LdaModel;
+use saber_corpus::{OovPolicy, Vocabulary};
+
+use crate::server::{expect_partial, JobReply, PartialRequest, PartialResponse};
+use crate::shard::{derive_shard_seed, ShardPlan};
+use crate::snapshot::{FoldInKind, InferenceSnapshot};
+use crate::{InferResponse, ServeConfig, ServeError, ServeStats, TopicServer};
+
+/// How many times a request is retried after observing shards on different
+/// snapshot versions (each retry lands after the publication that caused
+/// the skew, so one is almost always enough).
+const MAX_SKEW_RETRIES: usize = 3;
+
+/// Router-level counters, complementing the per-shard [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Documents routed (each may fan out to many shard requests).
+    pub requests: u64,
+    /// Requests re-fanned-out after observing a mixed-version shard set.
+    pub skew_retries: u64,
+    /// Current publication epoch (every shard serves this snapshot
+    /// version).
+    pub epoch: u64,
+    /// Number of shards behind the router.
+    pub n_shards: usize,
+}
+
+/// A fleet of vocabulary-sharded [`TopicServer`]s behind a single-server
+/// interface; see the [module docs](self) for the protocol.
+pub struct ShardRouter {
+    plan: ShardPlan,
+    shards: Vec<TopicServer>,
+    config: ServeConfig,
+    n_topics: usize,
+    alpha: f32,
+    requests: AtomicU64,
+    skew_retries: AtomicU64,
+    /// Serialises whole-fleet publications so two publishers cannot
+    /// interleave shard swaps (which could strand shards on permanently
+    /// different versions).
+    publish_lock: Mutex<()>,
+}
+
+impl std::fmt::Debug for ShardRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRouter")
+            .field("n_shards", &self.plan.n_shards())
+            .field("vocab_size", &self.plan.vocab_size())
+            .field("n_topics", &self.n_topics)
+            .field("epoch", &self.epoch())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ShardRouter {
+    /// Slices `snapshot` by `plan` and starts one [`TopicServer`] (with
+    /// `config`) per shard, all at epoch 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the plan does not cover
+    /// the snapshot's vocabulary, or for a config a single server would
+    /// reject.
+    pub fn start(
+        snapshot: InferenceSnapshot,
+        plan: ShardPlan,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if plan.vocab_size() != snapshot.vocab_size() {
+            return Err(ServeError::InvalidConfig {
+                detail: format!(
+                    "plan covers {} words but the snapshot has {}",
+                    plan.vocab_size(),
+                    snapshot.vocab_size()
+                ),
+            });
+        }
+        let n_topics = snapshot.n_topics();
+        let alpha = snapshot.alpha();
+        let shards = plan
+            .ranges()
+            .map(|range| TopicServer::start(snapshot.shard(range), config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardRouter {
+            plan,
+            shards,
+            config,
+            n_topics,
+            alpha,
+            requests: AtomicU64::new(0),
+            skew_retries: AtomicU64::new(0),
+            publish_lock: Mutex::new(()),
+        })
+    }
+
+    /// Exports a snapshot from `model` (using `config.sampler`) and starts
+    /// a sharded fleet over it; see [`ShardRouter::start`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::start`].
+    pub fn from_model(
+        model: &LdaModel,
+        plan: ShardPlan,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        ShardRouter::start(
+            InferenceSnapshot::from_model(model, config.sampler),
+            plan,
+            config,
+        )
+    }
+
+    /// The shard plan the router routes by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards behind the router.
+    pub fn n_shards(&self) -> usize {
+        self.plan.n_shards()
+    }
+
+    /// Number of topics `K`.
+    pub fn n_topics(&self) -> usize {
+        self.n_topics
+    }
+
+    /// Vocabulary size `V` across all shards.
+    pub fn vocab_size(&self) -> usize {
+        self.plan.vocab_size()
+    }
+
+    /// The per-shard serving configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The current publication epoch: the snapshot version every shard
+    /// serves. Between [`ShardRouter::publish`]es this is stable; requests
+    /// that race a publish are retried until they see one epoch end to end.
+    pub fn epoch(&self) -> u64 {
+        self.shards[0].snapshot_version()
+    }
+
+    /// Publishes a new full snapshot to the whole fleet, all-or-nothing:
+    /// every shard moves to the next epoch before the call returns, and no
+    /// *answer* computed by the router ever mixes two epochs (requests that
+    /// straddle the swap are retried against the new one). Returns the new
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the snapshot's shape
+    /// (vocabulary or topic count) does not match the fleet's.
+    pub fn publish(&self, snapshot: InferenceSnapshot) -> Result<u64, ServeError> {
+        if snapshot.vocab_size() != self.plan.vocab_size() || snapshot.n_topics() != self.n_topics {
+            return Err(ServeError::InvalidConfig {
+                detail: format!(
+                    "published snapshot is {}x{} but the fleet serves {}x{}",
+                    snapshot.vocab_size(),
+                    snapshot.n_topics(),
+                    self.plan.vocab_size(),
+                    self.n_topics
+                ),
+            });
+        }
+        // Slice every shard before swapping any, so the swap loop is as
+        // tight as possible; requests racing it are caught by the version
+        // check and retried.
+        let slices: Vec<InferenceSnapshot> =
+            self.plan.ranges().map(|r| snapshot.shard(r)).collect();
+        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let mut epoch = 0;
+        for (server, slice) in self.shards.iter().zip(slices) {
+            epoch = server.publish(slice);
+        }
+        debug_assert!(
+            self.shards
+                .iter()
+                .all(|server| server.snapshot_version() == epoch),
+            "shard publications diverged under the publish lock"
+        );
+        Ok(epoch)
+    }
+
+    /// Exports and publishes the current state of `model`; the sharded
+    /// counterpart of [`TopicServer::publish_model`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::publish`].
+    pub fn publish_model(&self, model: &LdaModel) -> Result<u64, ServeError> {
+        self.publish(InferenceSnapshot::from_model(model, self.config.sampler))
+    }
+
+    /// Blockingly infers the topic distribution of one document across the
+    /// fleet; the sharded counterpart of [`TopicServer::infer_topics`],
+    /// deterministic for equal `(words, seed, epoch)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for out-of-vocabulary word ids,
+    /// [`ServeError::Closed`] after shutdown, and
+    /// [`ServeError::ShardVersionSkew`] if every retry raced a publication.
+    pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
+        self.route(&words, seed, None)
+    }
+
+    /// Fail-fast, deadline-bounded inference; the sharded counterpart of
+    /// [`TopicServer::infer_with_deadline`] (the HTTP front-end's path).
+    /// The deadline covers the whole fan-out — all shards and, under
+    /// [`FoldInKind::Em`], all synchronisation rounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::infer_topics`], plus [`ServeError::Overloaded`]
+    /// when any shard's queue is full and [`ServeError::DeadlineExceeded`]
+    /// when the merged answer cannot be produced in time.
+    pub fn infer_with_deadline(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: Duration,
+    ) -> Result<InferResponse, ServeError> {
+        self.route(&words, seed, Some(Instant::now() + deadline))
+    }
+
+    /// Encodes a raw-token document against `vocab` (the *full* model
+    /// vocabulary — global word ids, which the router then splits by
+    /// shard) and infers its topics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures ([`OovPolicy::Fail`]) plus everything
+    /// [`ShardRouter::infer_topics`] can return.
+    pub fn infer_raw<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        vocab: &Vocabulary,
+        policy: OovPolicy,
+        seed: u64,
+    ) -> Result<InferResponse, ServeError> {
+        let encoded = vocab.encode(tokens.iter().map(AsRef::as_ref), policy)?;
+        let mut response = self.infer_topics(encoded.ids, seed)?;
+        response.n_oov += encoded.n_oov;
+        Ok(response)
+    }
+
+    /// [`ShardRouter::infer_raw`] with the deadline semantics of
+    /// [`ShardRouter::infer_with_deadline`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures plus everything
+    /// [`ShardRouter::infer_with_deadline`] can return.
+    pub fn infer_raw_with_deadline<S: AsRef<str>>(
+        &self,
+        tokens: &[S],
+        vocab: &Vocabulary,
+        policy: OovPolicy,
+        seed: u64,
+        deadline: Duration,
+    ) -> Result<InferResponse, ServeError> {
+        let encoded = vocab.encode(tokens.iter().map(AsRef::as_ref), policy)?;
+        let mut response = self.infer_with_deadline(encoded.ids, seed, deadline)?;
+        response.n_oov += encoded.n_oov;
+        Ok(response)
+    }
+
+    /// The `n` highest-probability words of topic `k` across the whole
+    /// vocabulary: each shard reports its local top `n`, the router maps
+    /// them back to global word ids and keeps the overall best (ties
+    /// broken by ascending word id, so the merged order is deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_topics`.
+    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
+        assert!(k < self.n_topics, "topic {k} out of range");
+        let mut merged: Vec<(u32, f32)> = Vec::with_capacity(n * self.shards.len());
+        for (server, range) in self.shards.iter().zip(self.plan.ranges()) {
+            merged.extend(
+                server
+                    .top_words(k, n)
+                    .into_iter()
+                    .map(|(local, prob)| (local + range.start, prob)),
+            );
+        }
+        merged.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        merged.truncate(n);
+        merged
+    }
+
+    /// Fleet-wide serving counters: every shard's [`ServeStats`] merged
+    /// ([`ServeStats::merge`]), histograms included — not just shard 0's
+    /// view. Note that one routed document counts as one request *per
+    /// shard it touched* (per round, under EM).
+    pub fn stats(&self) -> ServeStats {
+        let mut stats = self.shards[0].stats();
+        for server in &self.shards[1..] {
+            stats.merge(&server.stats());
+        }
+        stats
+    }
+
+    /// Per-shard serving counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(TopicServer::stats).collect()
+    }
+
+    /// Router-level counters (documents routed, skew retries, epoch).
+    pub fn router_stats(&self) -> RouterStats {
+        RouterStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            skew_retries: self.skew_retries.load(Ordering::Relaxed),
+            epoch: self.epoch(),
+            n_shards: self.n_shards(),
+        }
+    }
+
+    /// Shuts down every shard's worker pool (also happens on drop).
+    pub fn shutdown(self) {
+        for server in self.shards {
+            server.shutdown();
+        }
+    }
+
+    /// Routes one document: split by shard, fan out, merge; retried when a
+    /// concurrent publication leaves the responses on mixed versions.
+    fn route(
+        &self,
+        words: &[u32],
+        seed: u64,
+        deadline: Option<Instant>,
+    ) -> Result<InferResponse, ServeError> {
+        let split = self.plan.split(words)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if words.is_empty() {
+            return Ok(InferResponse {
+                theta: self.uniform_theta(),
+                snapshot_version: self.epoch(),
+                n_oov: 0,
+            });
+        }
+        let mut attempts = 0;
+        loop {
+            let result = match self.config.fold_in.kind {
+                FoldInKind::Esca => self.attempt_esca(&split, seed, deadline),
+                FoldInKind::Em => self.attempt_em(&split, deadline),
+            };
+            match result {
+                Err(ServeError::ShardVersionSkew) if attempts < MAX_SKEW_RETRIES => {
+                    attempts += 1;
+                    self.skew_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Single-round Gibbs fan-out: every touched shard runs its chain with
+    /// a seed derived from the request seed, the raw measured counts merge,
+    /// and [`esca_theta`] finishes — identical to
+    /// [`InferenceSnapshot::infer_topics`] when one shard holds every word.
+    fn attempt_esca(
+        &self,
+        split: &[Vec<u32>],
+        seed: u64,
+        deadline: Option<Instant>,
+    ) -> Result<InferResponse, ServeError> {
+        let receivers = self.fan_out(split, deadline, |s| PartialRequest::FoldIn {
+            seed: derive_shard_seed(seed, s),
+        })?;
+        let mut merged = PartialFoldIn::empty(self.n_topics);
+        let (mut version, mut n_oov) = (None, 0usize);
+        for (_, rx) in receivers {
+            let response = self.collect(rx, deadline)?;
+            check_version(&mut version, &response)?;
+            merged.merge(&response.partial);
+            n_oov += response.n_oov;
+        }
+        let theta = esca_theta(
+            merged.counts,
+            merged.n_words,
+            self.config.fold_in.samples,
+            self.alpha,
+        );
+        Ok(InferResponse {
+            theta: theta.into_iter().map(|p| p as f32).collect(),
+            snapshot_version: version.expect("non-empty documents touch at least one shard"),
+            n_oov,
+        })
+    }
+
+    /// Multi-round EM fan-out: the router owns θ and synchronises it once
+    /// per iteration; shards only ever compute per-word responsibility
+    /// counts, which sum exactly. The version check spans *all* rounds, so
+    /// the θ trajectory is guaranteed to come from a single epoch.
+    fn attempt_em(
+        &self,
+        split: &[Vec<u32>],
+        deadline: Option<Instant>,
+    ) -> Result<InferResponse, ServeError> {
+        let k = self.n_topics;
+        // No .max(1): fold_in_em runs exactly total_sweeps() iterations
+        // (zero iterations = uniform θ), and the sharded path must match
+        // it decision for decision.
+        let iterations = self.config.fold_in.total_sweeps();
+        if iterations == 0 {
+            return Ok(InferResponse {
+                theta: self.uniform_theta(),
+                snapshot_version: self.epoch(),
+                n_oov: 0,
+            });
+        }
+        let mut theta = Arc::new(vec![1.0f64 / k as f64; k]);
+        let (mut version, mut n_oov) = (None, 0usize);
+        for round in 0..iterations {
+            let receivers = self.fan_out(split, deadline, |_| PartialRequest::EmRound {
+                theta: Arc::clone(&theta),
+            })?;
+            let mut merged = PartialFoldIn::empty(k);
+            for (_, rx) in receivers {
+                let response = self.collect(rx, deadline)?;
+                check_version(&mut version, &response)?;
+                merged.merge(&response.partial);
+                if round == 0 {
+                    n_oov += response.n_oov;
+                }
+            }
+            let mut next = vec![0.0f64; k];
+            em_update(&mut next, &merged.counts, merged.n_words, self.alpha);
+            theta = Arc::new(next);
+        }
+        Ok(InferResponse {
+            theta: theta.iter().map(|&p| p as f32).collect(),
+            snapshot_version: version.expect("non-empty documents touch at least one shard"),
+            n_oov,
+        })
+    }
+
+    /// Submits `request_for(shard)` to every shard with words in `split`,
+    /// returning the reply channels for [`ShardRouter::collect`]. All
+    /// submissions land before any reply is awaited, so shards execute
+    /// concurrently.
+    fn fan_out(
+        &self,
+        split: &[Vec<u32>],
+        deadline: Option<Instant>,
+        request_for: impl Fn(usize) -> PartialRequest,
+    ) -> Result<Vec<(usize, Receiver<JobReply>)>, ServeError> {
+        let mut receivers = Vec::new();
+        for (s, words) in split.iter().enumerate() {
+            if words.is_empty() {
+                continue;
+            }
+            let rx = if deadline.is_some() {
+                self.shards[s].try_submit_partial(words.clone(), request_for(s))?
+            } else {
+                self.shards[s].submit_partial(words.clone(), request_for(s))?
+            };
+            receivers.push((s, rx));
+        }
+        Ok(receivers)
+    }
+
+    /// Awaits one shard reply, honouring the request deadline.
+    fn collect(
+        &self,
+        rx: Receiver<JobReply>,
+        deadline: Option<Instant>,
+    ) -> Result<PartialResponse, ServeError> {
+        let reply = match deadline {
+            None => rx.recv().map_err(|_| ServeError::Closed)?,
+            Some(at) => {
+                let remaining = at
+                    .checked_duration_since(Instant::now())
+                    .ok_or(ServeError::DeadlineExceeded)?;
+                rx.recv_timeout(remaining).map_err(|e| match e {
+                    std::sync::mpsc::RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
+                    std::sync::mpsc::RecvTimeoutError::Disconnected => ServeError::Closed,
+                })?
+            }
+        };
+        Ok(expect_partial(reply))
+    }
+
+    /// The uniform θ an empty document gets, cast through the same `f64 →
+    /// f32` path as the single-server code so the answers stay
+    /// bit-identical.
+    fn uniform_theta(&self) -> Vec<f32> {
+        vec![(1.0f64 / self.n_topics as f64) as f32; self.n_topics]
+    }
+}
+
+/// Records the first observed snapshot version and rejects any later
+/// response from a different one — the mixed-epoch detector.
+fn check_version(version: &mut Option<u64>, response: &PartialResponse) -> Result<(), ServeError> {
+    match *version {
+        None => {
+            *version = Some(response.snapshot_version);
+            Ok(())
+        }
+        Some(v) if v == response.snapshot_version => Ok(()),
+        Some(_) => Err(ServeError::ShardVersionSkew),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::planted_model;
+    use crate::snapshot::{FoldInParams, SnapshotSampler};
+
+    fn router(n_shards: usize, kind: FoldInKind) -> ShardRouter {
+        let model = planted_model(12, 3);
+        let plan = ShardPlan::uniform(12, n_shards).unwrap();
+        ShardRouter::from_model(
+            &model,
+            plan,
+            ServeConfig {
+                n_workers: 2,
+                fold_in: FoldInParams {
+                    kind,
+                    ..FoldInParams::default()
+                },
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_and_snapshot_must_agree_on_vocabulary() {
+        let model = planted_model(12, 3);
+        let plan = ShardPlan::uniform(10, 2).unwrap();
+        assert!(matches!(
+            ShardRouter::from_model(&model, plan, ServeConfig::default()),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn routed_inference_recovers_planted_topics() {
+        for kind in [FoldInKind::Esca, FoldInKind::Em] {
+            for n_shards in [1, 2, 3] {
+                let router = router(n_shards, kind);
+                let response = router.infer_topics(vec![1, 4, 7, 10, 1, 4], 9).unwrap();
+                assert_eq!(
+                    response.dominant_topic(),
+                    1,
+                    "{kind:?}/{n_shards}: theta = {:?}",
+                    response.theta
+                );
+                assert_eq!(response.snapshot_version, 1);
+                assert_eq!(response.n_oov, 0);
+                let sum: f32 = response.theta.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-3);
+                router.shutdown();
+            }
+        }
+    }
+
+    #[test]
+    fn routed_inference_replays_bit_identically() {
+        let router = router(3, FoldInKind::Esca);
+        let words = vec![0u32, 5, 7, 11, 2, 0];
+        let a = router.infer_topics(words.clone(), 77).unwrap();
+        let b = router.infer_topics(words, 77).unwrap();
+        assert_eq!(
+            a.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn zero_iteration_em_matches_the_direct_server() {
+        // total_sweeps() == 0 means "no refinement": fold_in_em returns
+        // uniform θ, and the router must do exactly the same rather than
+        // sneaking in one round.
+        let zero = ServeConfig {
+            fold_in: FoldInParams {
+                burn_in: 0,
+                samples: 0,
+                kind: FoldInKind::Em,
+            },
+            ..ServeConfig::default()
+        };
+        let model = planted_model(12, 3);
+        let direct = TopicServer::from_model(&model, zero).unwrap();
+        let routed =
+            ShardRouter::from_model(&model, ShardPlan::uniform(12, 3).unwrap(), zero).unwrap();
+        let a = direct.infer_topics(vec![1, 4, 7], 5).unwrap();
+        let b = routed.infer_topics(vec![1, 4, 7], 5).unwrap();
+        assert_eq!(
+            a.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        direct.shutdown();
+        routed.shutdown();
+    }
+
+    #[test]
+    fn empty_documents_and_bad_ids_behave_like_a_single_server() {
+        let router = router(2, FoldInKind::Esca);
+        let response = router.infer_topics(vec![], 0).unwrap();
+        for &t in &response.theta {
+            assert!((t - 1.0 / 3.0).abs() < 1e-6);
+        }
+        assert!(matches!(
+            router.infer_topics(vec![12], 0),
+            Err(ServeError::BadRequest { .. })
+        ));
+        router.shutdown();
+    }
+
+    #[test]
+    fn publish_moves_every_shard_to_the_next_epoch() {
+        let router = router(3, FoldInKind::Esca);
+        assert_eq!(router.epoch(), 1);
+        let snapshot =
+            InferenceSnapshot::from_model(&planted_model(12, 3), SnapshotSampler::WaryTree);
+        assert_eq!(router.publish(snapshot).unwrap(), 2);
+        assert_eq!(router.epoch(), 2);
+        let stats = router.router_stats();
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.n_shards, 3);
+        // Shape mismatches are refused before any shard is touched.
+        let wrong = InferenceSnapshot::from_model(&planted_model(8, 3), SnapshotSampler::WaryTree);
+        assert!(matches!(
+            router.publish(wrong),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert_eq!(router.epoch(), 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn top_words_merge_matches_the_unsharded_snapshot() {
+        // Distinct per-word counts so the global ranking has no ties.
+        let mut model = LdaModel::new(12, 3, 0.05, 0.01).unwrap();
+        for v in 0..12 {
+            model.word_topic_mut()[(v, v % 3)] = 10 + v as u32;
+        }
+        model.refresh_probabilities();
+        let snapshot = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let direct = snapshot.top_words(2, 4);
+        let router = ShardRouter::start(
+            snapshot,
+            ShardPlan::uniform(12, 4).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(router.top_words(2, 4), direct);
+        router.shutdown();
+    }
+
+    #[test]
+    fn merged_stats_cover_every_shard() {
+        let router = router(3, FoldInKind::Esca);
+        for seed in 0..6 {
+            // Words 0, 5 and 9 live on shards 0, 1 and 2 of the 12-word
+            // plan, so every shard sees traffic.
+            router.infer_topics(vec![0, 5, 9], seed).unwrap();
+        }
+        let merged = router.stats();
+        assert_eq!(merged.requests, 18, "3 shard requests per document");
+        assert_eq!(merged.tokens, 18);
+        assert_eq!(merged.latency.count(), 18);
+        let per_shard = router.shard_stats();
+        assert_eq!(per_shard.len(), 3);
+        assert!(per_shard.iter().all(|s| s.requests == 6));
+        assert_eq!(router.router_stats().requests, 6);
+        router.shutdown();
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use saber_core::infer::PartialFoldIn;
 use saber_core::model::LdaModel;
 use saber_corpus::{OovPolicy, Vocabulary};
 
@@ -141,12 +142,78 @@ impl ServeStats {
             self.requests as f64 / self.batches as f64
         }
     }
+
+    /// Folds another server's counters into this one: counter-wise sums
+    /// plus a bucket-wise latency-histogram merge
+    /// ([`HistogramSnapshot::merge`]). This is how a sharded router reports
+    /// a fleet-wide view instead of just shard 0's.
+    ///
+    /// `swaps_observed` merges by **max**, not sum: one fleet-wide
+    /// publication is observed once per shard, and summing would multiply
+    /// every swap by the shard count.
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.tokens += other.tokens;
+        self.batches += other.batches;
+        self.swaps_observed = self.swaps_observed.max(other.swaps_observed);
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// The work a queued job asks of a worker.
+enum JobKind {
+    /// Full fold-in: answer with θ ([`JobReply::Infer`]).
+    Infer { seed: u64 },
+    /// The chain half of an ESCA fold-in over this shard's words: answer
+    /// with raw measured counts ([`JobReply::Partial`]).
+    PartialFoldIn { seed: u64 },
+    /// One EM round under the router's current θ: answer with
+    /// responsibility counts ([`JobReply::Partial`]).
+    EmRound { theta: Arc<Vec<f64>> },
+}
+
+/// What a worker sends back; the variant always matches the [`JobKind`].
+pub(crate) enum JobReply {
+    Infer(InferResponse),
+    Partial(PartialResponse),
+}
+
+/// The answer to a partial fold-in request ([`TopicServer::infer_partial`]):
+/// raw per-topic counts a router merges across shards before finishing θ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialResponse {
+    /// Partial sufficient statistics (ESCA measured counts or one EM
+    /// round's responsibility counts; length `K`).
+    pub partial: PartialFoldIn,
+    /// Version of the snapshot that served the request — the router checks
+    /// these match across shards before trusting a merge.
+    pub snapshot_version: u64,
+    /// Word ids dropped because a snapshot swap made them unservable
+    /// between admission and execution.
+    pub n_oov: usize,
+}
+
+/// A partial-computation request, fanned out by a sharding router.
+#[derive(Debug, Clone)]
+pub enum PartialRequest {
+    /// Run the ESCA Gibbs chain over the words with this (shard-derived)
+    /// seed and return the raw measured counts.
+    FoldIn {
+        /// Chain seed (derive per shard; see `shard::derive_shard_seed`).
+        seed: u64,
+    },
+    /// Run one EM round against this θ and return responsibility counts.
+    EmRound {
+        /// The router's current θ estimate (length `K`), shared across the
+        /// round's fan-out.
+        theta: Arc<Vec<f64>>,
+    },
 }
 
 struct Job {
     words: Vec<u32>,
-    seed: u64,
-    reply: SyncSender<InferResponse>,
+    kind: JobKind,
+    reply: SyncSender<JobReply>,
     /// When the request was admitted, so workers can attribute queue wait to
     /// the latency histogram.
     enqueued: Instant,
@@ -277,8 +344,8 @@ impl TopicServer {
     /// vocabulary and [`ServeError::Closed`] if the worker pool has shut
     /// down.
     pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
-        let rx = self.submit(words, seed)?;
-        rx.recv().map_err(|_| ServeError::Closed)
+        let rx = self.submit(words, JobKind::Infer { seed })?;
+        rx.recv().map_err(|_| ServeError::Closed).map(expect_infer)
     }
 
     /// Like [`TopicServer::infer_topics`] but fails fast with
@@ -289,10 +356,61 @@ impl TopicServer {
         words: Vec<u32>,
         seed: u64,
     ) -> Result<InferResponse, ServeError> {
-        let (job, reply_rx) = self.make_job(words, seed)?;
+        let (job, reply_rx) = self.make_job(words, JobKind::Infer { seed })?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
-            Ok(()) => reply_rx.recv().map_err(|_| ServeError::Closed),
+            Ok(()) => reply_rx
+                .recv()
+                .map_err(|_| ServeError::Closed)
+                .map(expect_infer),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Blockingly computes the partial sufficient statistics of `request`
+    /// over `words` — the per-shard half of a sharded fold-in (see
+    /// [`crate::ShardRouter`]). Goes through the same queue, batching and
+    /// latency accounting as full requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for word ids outside the served
+    /// vocabulary and [`ServeError::Closed`] after shutdown.
+    pub fn infer_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+    ) -> Result<PartialResponse, ServeError> {
+        let rx = self.submit(words, request.into_kind())?;
+        rx.recv()
+            .map_err(|_| ServeError::Closed)
+            .map(expect_partial)
+    }
+
+    /// [`TopicServer::infer_partial`] with fail-fast admission and a reply
+    /// deadline — the variant a router's deadline-bounded path fans out.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for out-of-range word ids,
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::DeadlineExceeded`] on timeout and
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn infer_partial_with_deadline(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Duration,
+    ) -> Result<PartialResponse, ServeError> {
+        let (job, reply_rx) = self.make_job(words, request.into_kind())?;
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        match queue.try_send(job) {
+            Ok(()) => match reply_rx.recv_timeout(deadline) {
+                Ok(reply) => Ok(expect_partial(reply)),
+                Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+            },
             Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
@@ -320,11 +438,11 @@ impl TopicServer {
         seed: u64,
         deadline: Duration,
     ) -> Result<InferResponse, ServeError> {
-        let (job, reply_rx) = self.make_job(words, seed)?;
+        let (job, reply_rx) = self.make_job(words, JobKind::Infer { seed })?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => match reply_rx.recv_timeout(deadline) {
-                Ok(response) => Ok(response),
+                Ok(reply) => Ok(expect_infer(reply)),
                 Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
                 Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
             },
@@ -344,11 +462,11 @@ impl TopicServer {
     ) -> Result<Vec<InferResponse>, ServeError> {
         let receivers: Vec<_> = requests
             .into_iter()
-            .map(|r| self.submit(r.words, r.seed))
+            .map(|r| self.submit(r.words, JobKind::Infer { seed: r.seed }))
             .collect::<Result<_, _>>()?;
         receivers
             .into_iter()
-            .map(|rx| rx.recv().map_err(|_| ServeError::Closed))
+            .map(|rx| rx.recv().map_err(|_| ServeError::Closed).map(expect_infer))
             .collect()
     }
 
@@ -439,14 +557,14 @@ impl TopicServer {
     fn make_job(
         &self,
         words: Vec<u32>,
-        seed: u64,
-    ) -> Result<(Job, Receiver<InferResponse>), ServeError> {
+        kind: JobKind,
+    ) -> Result<(Job, Receiver<JobReply>), ServeError> {
         self.validate_words(&words)?;
         let (reply_tx, reply_rx) = sync_channel(1);
         Ok((
             Job {
                 words,
-                seed,
+                kind,
                 reply: reply_tx,
                 enqueued: Instant::now(),
             },
@@ -454,8 +572,35 @@ impl TopicServer {
         ))
     }
 
-    fn submit(&self, words: Vec<u32>, seed: u64) -> Result<Receiver<InferResponse>, ServeError> {
-        let (job, reply_rx) = self.make_job(words, seed)?;
+    /// Enqueues a partial request without waiting for the reply — the
+    /// router's fan-out path (submit to every shard, then collect).
+    /// Blocking admission: waits when the queue is full.
+    pub(crate) fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+    ) -> Result<Receiver<JobReply>, ServeError> {
+        self.submit(words, request.into_kind())
+    }
+
+    /// Fail-fast variant of [`TopicServer::submit_partial`]:
+    /// [`ServeError::Overloaded`] instead of blocking on a full queue.
+    pub(crate) fn try_submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+    ) -> Result<Receiver<JobReply>, ServeError> {
+        let (job, reply_rx) = self.make_job(words, request.into_kind())?;
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        match queue.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    fn submit(&self, words: Vec<u32>, kind: JobKind) -> Result<Receiver<JobReply>, ServeError> {
+        let (job, reply_rx) = self.make_job(words, kind)?;
         self.queue
             .as_ref()
             .ok_or(ServeError::Closed)?
@@ -522,7 +667,23 @@ fn worker_loop(
             job.words.retain(|&w| w < vocab_size);
             let n_oov = submitted - job.words.len();
 
-            let theta = snapshot.infer_topics(&job.words, job.seed, fold_in);
+            let reply = match &job.kind {
+                JobKind::Infer { seed } => JobReply::Infer(InferResponse {
+                    theta: snapshot.infer_topics(&job.words, *seed, fold_in),
+                    snapshot_version: snapshot.version(),
+                    n_oov,
+                }),
+                JobKind::PartialFoldIn { seed } => JobReply::Partial(PartialResponse {
+                    partial: snapshot.partial_fold_in(&job.words, *seed, fold_in),
+                    snapshot_version: snapshot.version(),
+                    n_oov,
+                }),
+                JobKind::EmRound { theta } => JobReply::Partial(PartialResponse {
+                    partial: snapshot.em_round(&job.words, theta),
+                    snapshot_version: snapshot.version(),
+                    n_oov,
+                }),
+            };
             counters.requests.fetch_add(1, Ordering::Relaxed);
             counters
                 .tokens
@@ -530,12 +691,33 @@ fn worker_loop(
             counters.latency.record(job.enqueued.elapsed());
             // A send only fails if the requester's receiver is gone (its
             // thread panicked between submit and reply); nothing to do.
-            let _ = job.reply.send(InferResponse {
-                theta,
-                snapshot_version: snapshot.version(),
-                n_oov,
-            });
+            let _ = job.reply.send(reply);
         }
+    }
+}
+
+impl PartialRequest {
+    fn into_kind(self) -> JobKind {
+        match self {
+            PartialRequest::FoldIn { seed } => JobKind::PartialFoldIn { seed },
+            PartialRequest::EmRound { theta } => JobKind::EmRound { theta },
+        }
+    }
+}
+
+/// Workers answer every [`JobKind`] with its matching [`JobReply`] variant,
+/// so a mismatch is a serving-crate bug, not a caller error.
+fn expect_infer(reply: JobReply) -> InferResponse {
+    match reply {
+        JobReply::Infer(response) => response,
+        JobReply::Partial(_) => unreachable!("worker answered an infer job with a partial"),
+    }
+}
+
+pub(crate) fn expect_partial(reply: JobReply) -> PartialResponse {
+    match reply {
+        JobReply::Partial(response) => response,
+        JobReply::Infer(_) => unreachable!("worker answered a partial job with a full response"),
     }
 }
 
@@ -679,6 +861,7 @@ mod tests {
                     fold_in: FoldInParams {
                         burn_in: 50,
                         samples: 50,
+                        ..FoldInParams::default()
                     },
                     ..ServeConfig::default()
                 },
@@ -708,6 +891,88 @@ mod tests {
         ));
         heavy.join().unwrap().unwrap();
         Arc::try_unwrap(server).unwrap().shutdown();
+    }
+
+    #[test]
+    fn partial_requests_reproduce_the_full_fold_in() {
+        // A single-server "router" with the whole vocabulary: the partial
+        // chain plus the esca_theta finish must equal infer_topics exactly.
+        let server = small_server(2);
+        let words = vec![0u32, 3, 6, 9, 0, 3];
+        let full = server.infer_topics(words.clone(), 11).unwrap();
+        let partial = server
+            .infer_partial(words.clone(), PartialRequest::FoldIn { seed: 11 })
+            .unwrap();
+        assert_eq!(partial.snapshot_version, 1);
+        assert_eq!(partial.n_oov, 0);
+        assert_eq!(partial.partial.n_words, words.len());
+        let finished: Vec<f32> = saber_core::infer::esca_theta(
+            partial.partial.counts,
+            partial.partial.n_words,
+            server.config().fold_in.samples,
+            server.snapshot().alpha(),
+        )
+        .into_iter()
+        .map(|p| p as f32)
+        .collect();
+        assert_eq!(
+            full.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            finished.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+
+        // An EM round over a uniform θ reports responsibility counts that
+        // sum to the document length (every word's responsibilities sum
+        // to 1).
+        let theta = Arc::new(vec![1.0f64 / 3.0; 3]);
+        let round = server
+            .infer_partial(words.clone(), PartialRequest::EmRound { theta })
+            .unwrap();
+        let total: f64 = round.partial.counts.iter().sum();
+        assert!((total - words.len() as f64).abs() < 1e-9, "total = {total}");
+        // Partial requests share the validation path with full ones.
+        assert!(matches!(
+            server.infer_partial(vec![99], PartialRequest::FoldIn { seed: 0 }),
+            Err(ServeError::BadRequest { .. })
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_stats_merge_sums_counters_and_histograms() {
+        let a = small_server(1);
+        let b = small_server(1);
+        for seed in 0..4 {
+            a.infer_topics(vec![0, 3, 6], seed).unwrap();
+        }
+        for seed in 0..3 {
+            b.infer_topics(vec![1, 4], seed).unwrap();
+        }
+        let mut merged = a.stats();
+        let b_stats = b.stats();
+        merged.merge(&b_stats);
+        assert_eq!(merged.requests, 7);
+        assert_eq!(merged.tokens, 4 * 3 + 3 * 2);
+        assert_eq!(merged.latency.count(), 7);
+        assert!(merged.batches >= a.stats().batches.max(b_stats.batches));
+        a.shutdown();
+        b.shutdown();
+
+        // Fleet-wide events must not multiply by the shard count: swaps
+        // merge by max (every shard observes the same publications).
+        let mut x = ServeStats {
+            requests: 1,
+            tokens: 2,
+            batches: 1,
+            swaps_observed: 2,
+            latency: HistogramSnapshot::default(),
+        };
+        let y = ServeStats {
+            swaps_observed: 3,
+            ..x.clone()
+        };
+        x.merge(&y);
+        assert_eq!(x.swaps_observed, 3, "swaps merge by max, not sum");
+        assert_eq!(x.requests, 2, "throughput counters still sum");
     }
 
     #[test]

@@ -8,10 +8,14 @@
 //! and publications ([`crate::SnapshotCell`]) without synchronisation on
 //! the read path.
 
+use std::ops::Range;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saber_core::config::PreprocessKind;
-use saber_core::infer::fold_in_esca;
+use saber_core::infer::{
+    em_accumulate, fold_in_em, fold_in_esca, fold_in_esca_partial, PartialFoldIn,
+};
 use saber_core::memory::snapshot_bytes;
 use saber_core::model::LdaModel;
 use saber_core::trees::WordSampler;
@@ -44,13 +48,45 @@ impl SnapshotSampler {
     }
 }
 
+/// Which fold-in estimator serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FoldInKind {
+    /// Sparsity-aware collapsed Gibbs (`O(K_d)` per token) — the fast
+    /// default. Seeded, so equal seeds replay bit-identically; under a
+    /// sharded router the per-shard chains are independent, making the
+    /// merged θ a (statistically consistent) approximation of the
+    /// unsharded one.
+    #[default]
+    Esca,
+    /// Deterministic soft-EM fold-in (`O(K)` per token per iteration; see
+    /// [`saber_core::infer::fold_in_em`]). Seed-independent, and — because
+    /// each iteration's sufficient statistic is a sum over words — a
+    /// sharded router reproduces the unsharded answer *exactly* (up to
+    /// floating-point summation order). This is the mode the differential
+    /// test suite pins to 1e-5 L∞ across shard counts.
+    Em,
+}
+
 /// Fold-in quality knobs for serving.
+///
+/// `burn_in` and `samples` are Gibbs-sweep counts under
+/// [`FoldInKind::Esca`]; under [`FoldInKind::Em`] their sum is the EM
+/// iteration count (EM has no burn-in, the whole budget refines θ).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FoldInParams {
     /// Gibbs sweeps discarded before measuring.
     pub burn_in: usize,
     /// Gibbs sweeps averaged into the returned `θ`.
     pub samples: usize,
+    /// Which estimator runs.
+    pub kind: FoldInKind,
+}
+
+impl FoldInParams {
+    /// Total sweep/iteration budget (`burn_in + samples`).
+    pub fn total_sweeps(&self) -> usize {
+        self.burn_in + self.samples
+    }
 }
 
 impl Default for FoldInParams {
@@ -58,6 +94,7 @@ impl Default for FoldInParams {
         FoldInParams {
             burn_in: 5,
             samples: 8,
+            kind: FoldInKind::Esca,
         }
     }
 }
@@ -152,8 +189,38 @@ impl InferenceSnapshot {
     ///
     /// Panics if a word id is out of vocabulary range.
     pub fn infer_topics(&self, words: &[u32], seed: u64, params: FoldInParams) -> Vec<f32> {
+        match params.kind {
+            FoldInKind::Esca => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                fold_in_esca(
+                    words,
+                    &self.bhat,
+                    &self.samplers,
+                    self.alpha,
+                    params.burn_in,
+                    params.samples,
+                    &mut rng,
+                )
+            }
+            FoldInKind::Em => fold_in_em(words, &self.bhat, self.alpha, params.total_sweeps()),
+        }
+        .into_iter()
+        .map(|p| p as f32)
+        .collect()
+    }
+
+    /// The chain half of an ESCA fold-in over a word subset: raw measured
+    /// counts, not θ. A sharded router merges these across shards and
+    /// finishes with [`saber_core::infer::esca_theta`]; with the full word
+    /// list this is exactly the computation inside
+    /// [`InferenceSnapshot::infer_topics`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word id is out of vocabulary range.
+    pub fn partial_fold_in(&self, words: &[u32], seed: u64, params: FoldInParams) -> PartialFoldIn {
         let mut rng = StdRng::seed_from_u64(seed);
-        fold_in_esca(
+        fold_in_esca_partial(
             words,
             &self.bhat,
             &self.samplers,
@@ -162,9 +229,53 @@ impl InferenceSnapshot {
             params.samples,
             &mut rng,
         )
-        .into_iter()
-        .map(|p| p as f32)
-        .collect()
+    }
+
+    /// One EM fold-in round over a word subset: the responsibility-count
+    /// partial for the current `theta`. Deterministic, and exactly additive
+    /// across disjoint word subsets (see [`saber_core::infer::em_accumulate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a word id is out of vocabulary range or `theta` is shorter
+    /// than `K`.
+    pub fn em_round(&self, words: &[u32], theta: &[f64]) -> PartialFoldIn {
+        let mut partial = PartialFoldIn::empty(self.n_topics());
+        em_accumulate(words, &self.bhat, theta, &mut partial.counts);
+        partial.n_words = words.len();
+        partial
+    }
+
+    /// Slices the snapshot down to the contiguous word-id range `range`:
+    /// the `B̂` rows and per-word samplers of those words, with word ids
+    /// re-based to `0..range.len()`. Per-row data is copied bit-for-bit, so
+    /// a shard answers its words' likelihood terms exactly as the full
+    /// snapshot would.
+    ///
+    /// The slice keeps `alpha`, the sampler kind and `K`; its version is
+    /// reset to 0 (unpublished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty, reversed or out of vocabulary bounds.
+    pub fn shard(&self, range: Range<u32>) -> InferenceSnapshot {
+        assert!(
+            range.start < range.end && (range.end as usize) <= self.vocab_size(),
+            "shard range {range:?} invalid for V = {}",
+            self.vocab_size()
+        );
+        let (start, end) = (range.start as usize, range.end as usize);
+        let k = self.n_topics();
+        let data = self.bhat.as_slice()[start * k..end * k].to_vec();
+        let bhat = DenseMatrix::from_vec(end - start, k, data)
+            .expect("shard slice dimensions are consistent by construction");
+        InferenceSnapshot {
+            bhat,
+            samplers: self.samplers[start..end].to_vec(),
+            alpha: self.alpha,
+            sampler_kind: self.sampler_kind,
+            version: 0,
+        }
     }
 
     /// The `n` highest-probability words of topic `k`, as `(word id,
@@ -244,6 +355,62 @@ pub(crate) mod tests {
         let c = soft_snap.infer_topics(&mixed, 100, FoldInParams::default());
         let d = soft_snap.infer_topics(&mixed, 101, FoldInParams::default());
         assert_ne!(c, d);
+    }
+
+    #[test]
+    fn em_kind_is_deterministic_and_seed_independent() {
+        let model = planted_model(12, 3);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let params = FoldInParams {
+            kind: FoldInKind::Em,
+            ..FoldInParams::default()
+        };
+        let words = [2u32, 5, 8, 11, 2, 5];
+        let a = snap.infer_topics(&words, 1, params);
+        let b = snap.infer_topics(&words, 999, params);
+        assert_eq!(
+            a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            "EM fold-in must not depend on the seed"
+        );
+        let argmax = a
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2, "theta = {a:?}");
+    }
+
+    #[test]
+    fn shard_slices_rows_bit_for_bit() {
+        let model = planted_model(20, 4);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::AliasTable);
+        let shard = snap.shard(5..13);
+        assert_eq!(shard.vocab_size(), 8);
+        assert_eq!(shard.n_topics(), 4);
+        assert_eq!(shard.alpha(), snap.alpha());
+        assert_eq!(shard.sampler_kind(), snap.sampler_kind());
+        assert_eq!(shard.version(), 0);
+        for local in 0..8usize {
+            let global = local + 5;
+            let a: Vec<u32> = shard.bhat.row(local).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = snap.bhat.row(global).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "row {global} must slice exactly");
+        }
+        // A shard's partial fold-in over a local word equals the full
+        // snapshot's over the global word: same rows, same samplers.
+        let params = FoldInParams::default();
+        let from_shard = shard.partial_fold_in(&[2, 7, 2], 42, params);
+        let from_full = snap.partial_fold_in(&[7, 12, 7], 42, params);
+        assert_eq!(from_shard, from_full);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn shard_rejects_out_of_bounds_ranges() {
+        let model = planted_model(6, 2);
+        InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree).shard(2..9);
     }
 
     #[test]

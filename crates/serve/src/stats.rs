@@ -320,6 +320,50 @@ mod tests {
             }
         }
 
+        /// Merging preserves the total count (and per-bucket counts), and
+        /// every quantile of the merged histogram is bracketed by the two
+        /// inputs' quantiles — the property that makes a router's
+        /// cross-shard aggregation honest (it can never report a tail
+        /// outside what some shard actually saw).
+        #[test]
+        fn merge_preserves_counts_and_brackets_quantiles(
+            a_samples in proptest::collection::vec(0u64..10_000_000, 1..96),
+            b_samples in proptest::collection::vec(0u64..10_000_000, 1..96),
+        ) {
+            let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+            for &us in &a_samples {
+                a.record(Duration::from_micros(us));
+            }
+            for &us in &b_samples {
+                b.record(Duration::from_micros(us));
+            }
+            let (a, b) = (a.snapshot(), b.snapshot());
+            let mut merged = a.clone();
+            merged.merge(&b);
+            prop_assert_eq!(merged.count(), a.count() + b.count());
+            for i in 0..N_BUCKETS {
+                prop_assert_eq!(
+                    merged.bucket_count(i),
+                    a.bucket_count(i) + b.bucket_count(i)
+                );
+            }
+            for q in [0.01, 0.25, 0.50, 0.95, 0.99, 1.0] {
+                let (qa, qb, qm) = (
+                    a.quantile(q).unwrap(),
+                    b.quantile(q).unwrap(),
+                    merged.quantile(q).unwrap(),
+                );
+                prop_assert!(
+                    qa.min(qb) <= qm && qm <= qa.max(qb),
+                    "q{}: merged {} outside [{}, {}]", q, qm, qa.min(qb), qa.max(qb)
+                );
+            }
+            // Merge order cannot matter (commutativity).
+            let mut other_way = b.clone();
+            other_way.merge(&a);
+            prop_assert_eq!(merged, other_way);
+        }
+
         /// Quantiles are monotone: p50 ≤ p95 ≤ p99 for arbitrary sample sets.
         #[test]
         fn quantiles_are_monotone(samples in proptest::collection::vec(0u64..10_000_000, 1..128)) {

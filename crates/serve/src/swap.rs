@@ -6,6 +6,12 @@
 //! micro-batch): readers never block publishers, publishers never wait for
 //! readers, and the version counter lets a cached reader skip the lock
 //! entirely when nothing changed.
+//!
+//! The version stamp is also what makes *sharded* hot swap safe: a
+//! [`ShardRouter`](crate::ShardRouter) publishes one cell per shard in
+//! lockstep and compares the versions reported back by every partial
+//! response, so a request that straddles the fleet-wide swap is detected
+//! (mixed versions) and retried instead of merged across model versions.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

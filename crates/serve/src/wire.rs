@@ -27,7 +27,8 @@
 use saber_core::json::{self, JsonValue};
 use saber_corpus::{OovPolicy, Vocabulary};
 
-use crate::server::InferResponse;
+use crate::http::HttpStats;
+use crate::server::{InferResponse, ServeStats};
 use crate::stats::HistogramSnapshot;
 
 /// A malformed request body or query string; the HTTP layer answers `400`.
@@ -242,6 +243,59 @@ pub fn encode_histogram(h: &HistogramSnapshot) -> JsonValue {
         ("p50_us", quantile(h.p50())),
         ("p95_us", quantile(h.p95())),
         ("p99_us", quantile(h.p99())),
+    ])
+}
+
+/// Encodes the full `GET /stats` response body: the (shard-aggregated)
+/// serving counters plus the HTTP layer's per-endpoint histograms.
+///
+/// Pure — all inputs are point-in-time copies — so the exact bytes are
+/// pinned by the golden wire-format tests: reordering or renaming members
+/// is a breaking protocol change and fails `tests/wire_golden.rs`.
+pub fn encode_stats_body(
+    server: &ServeStats,
+    snapshot_version: u64,
+    n_shards: usize,
+    http: &HttpStats,
+) -> JsonValue {
+    JsonValue::object([
+        (
+            "server",
+            JsonValue::object([
+                ("requests", JsonValue::from(server.requests)),
+                ("tokens", JsonValue::from(server.tokens)),
+                ("batches", JsonValue::from(server.batches)),
+                ("swaps_observed", JsonValue::from(server.swaps_observed)),
+                (
+                    "mean_batch_size",
+                    JsonValue::Number(server.mean_batch_size()),
+                ),
+                ("snapshot_version", JsonValue::from(snapshot_version)),
+                ("shards", JsonValue::from(n_shards)),
+                ("latency", encode_histogram(&server.latency)),
+            ]),
+        ),
+        (
+            "http",
+            JsonValue::object([
+                ("requests", JsonValue::from(http.requests)),
+                ("errors", JsonValue::from(http.errors)),
+                (
+                    "active_connections",
+                    JsonValue::from(http.active_connections),
+                ),
+                (
+                    "endpoints",
+                    JsonValue::object([
+                        ("infer", encode_histogram(&http.infer)),
+                        ("top_words", encode_histogram(&http.top_words)),
+                        ("similar", encode_histogram(&http.similar)),
+                        ("stats", encode_histogram(&http.stats)),
+                        ("healthz", encode_histogram(&http.healthz)),
+                    ]),
+                ),
+            ]),
+        ),
     ])
 }
 

@@ -73,8 +73,8 @@ pub use saber_core::{
 pub use saber_corpus::{Corpus, Document, OovPolicy, TokenList, Vocabulary};
 pub use saber_gpu_sim::DeviceSpec;
 pub use saber_serve::{
-    HttpConfig, HttpServer, InferRequest, InferResponse, InferenceSnapshot, ServeConfig,
-    SnapshotSampler, TopicServer,
+    FoldInKind, HttpConfig, HttpServer, InferRequest, InferResponse, InferenceBackend,
+    InferenceSnapshot, ServeConfig, ShardPlan, ShardRouter, SnapshotSampler, TopicServer,
 };
 
 #[cfg(test)]

@@ -215,6 +215,7 @@ fn overload_answers_429_instead_of_hanging() {
             fold_in: FoldInParams {
                 burn_in: 30,
                 samples: 30,
+                ..FoldInParams::default()
             },
             ..ServeConfig::default()
         },
@@ -261,6 +262,7 @@ fn missed_deadline_answers_503() {
             fold_in: FoldInParams {
                 burn_in: 40,
                 samples: 40,
+                ..FoldInParams::default()
             },
             ..ServeConfig::default()
         },

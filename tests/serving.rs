@@ -270,10 +270,12 @@ fn fold_in_params_trade_quality_for_latency() {
         FoldInParams {
             burn_in: 1,
             samples: 1,
+            ..FoldInParams::default()
         },
         FoldInParams {
             burn_in: 8,
             samples: 16,
+            ..FoldInParams::default()
         },
     ] {
         let server = TopicServer::start(

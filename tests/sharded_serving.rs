@@ -1,0 +1,355 @@
+//! Differential tests proving sharded serving equivalent to unsharded
+//! serving.
+//!
+//! The contract under test (ISSUE 4): a [`ShardRouter`] fronting N
+//! vocabulary shards must answer exactly like one [`TopicServer`] over the
+//! whole model —
+//!
+//! * with **one shard**, bit-identically (both fold-in kinds);
+//! * with **N shards under EM fold-in**, within 1e-5 L∞ (the merge math is
+//!   exact; only floating-point summation order differs);
+//! * with **N shards under ESCA fold-in**, statistically (independent
+//!   per-shard Gibbs chains approximate the cross-shard coupling);
+//! * and across a **whole-shard-set hot swap**, without any answer ever
+//!   mixing two snapshot versions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saberlda::serve::{
+    derive_shard_seed, FoldInKind, FoldInParams, ServeConfig, ShardPlan, ShardRouter,
+    SnapshotSampler, TopicServer,
+};
+use saberlda::{InferenceSnapshot, LdaModel};
+
+const VOCAB: usize = 60;
+const K: usize = 5;
+
+/// A model with dense random counts — every word genuinely mixes topics,
+/// so any cross-shard bookkeeping error shows up in θ instead of being
+/// masked by a peaked posterior.
+fn random_model(seed: u64) -> LdaModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = LdaModel::new(VOCAB, K, 0.08, 0.01).unwrap();
+    for v in 0..VOCAB {
+        for k in 0..K {
+            model.word_topic_mut()[(v, k)] = rng.gen_range(0u32..20);
+        }
+        // Guarantee at least one count per word so B̂ rows are well formed.
+        let hot = rng.gen_range(0usize..K);
+        model.word_topic_mut()[(v, hot)] += 5;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+/// A model whose topics own disjoint word sets: word `v` belongs to topic
+/// `(v + shift) % K`. Distinguishable per `shift`, for the swap test.
+fn planted_model(shift: usize) -> LdaModel {
+    let mut model = LdaModel::new(VOCAB, K, 0.05, 0.01).unwrap();
+    for v in 0..VOCAB {
+        model.word_topic_mut()[(v, (v + shift) % K)] = 50;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn random_doc(rng: &mut StdRng, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|_| rng.gen_range(0u32..VOCAB as u32))
+        .collect()
+}
+
+fn config(kind: FoldInKind) -> ServeConfig {
+    ServeConfig {
+        n_workers: 2,
+        fold_in: FoldInParams {
+            kind,
+            ..FoldInParams::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn bits(theta: &[f32]) -> Vec<u32> {
+    theta.iter().map(|x| x.to_bits()).collect()
+}
+
+fn linf(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn one_shard_router_is_bit_identical_to_direct_serving() {
+    // The headline single-shard guarantee, for random corpora and seeds:
+    // routing through ShardPlan::single + partial fold-in + merge + finish
+    // must reproduce the direct server's bytes under BOTH fold-in kinds.
+    for kind in [FoldInKind::Esca, FoldInKind::Em] {
+        for model_seed in [1u64, 2, 3] {
+            let model = random_model(model_seed);
+            let direct = TopicServer::from_model(&model, config(kind)).unwrap();
+            let routed =
+                ShardRouter::from_model(&model, ShardPlan::single(VOCAB).unwrap(), config(kind))
+                    .unwrap();
+            let mut rng = StdRng::seed_from_u64(100 + model_seed);
+            for request_seed in 0..8u64 {
+                let doc = random_doc(&mut rng, 3 + (request_seed as usize) * 4);
+                let a = direct.infer_topics(doc.clone(), request_seed).unwrap();
+                let b = routed.infer_topics(doc, request_seed).unwrap();
+                assert_eq!(
+                    bits(&a.theta),
+                    bits(&b.theta),
+                    "{kind:?} model {model_seed} seed {request_seed}: \
+                     1-shard router diverged from direct serving"
+                );
+                assert_eq!(a.snapshot_version, b.snapshot_version);
+                assert_eq!(a.n_oov, b.n_oov);
+            }
+            direct.shutdown();
+            routed.shutdown();
+        }
+    }
+}
+
+#[test]
+fn n_shard_em_matches_unsharded_within_1e5_linf() {
+    // The exact-merge guarantee across ≥ 3 shard counts: EM fold-in over
+    // 2, 3, 5 and 7 shards agrees with the unsharded server to 1e-5 L∞
+    // for the same request seed (EM is seed-independent, but the request
+    // path still carries the seed end to end).
+    let model = random_model(7);
+    let direct = TopicServer::from_model(&model, config(FoldInKind::Em)).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let docs: Vec<Vec<u32>> = (0..6).map(|i| random_doc(&mut rng, 4 + i * 5)).collect();
+    let references: Vec<Vec<f32>> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| direct.infer_topics(doc.clone(), i as u64).unwrap().theta)
+        .collect();
+    for n_shards in [2usize, 3, 5, 7] {
+        let routed = ShardRouter::from_model(
+            &model,
+            ShardPlan::uniform(VOCAB, n_shards).unwrap(),
+            config(FoldInKind::Em),
+        )
+        .unwrap();
+        for (i, doc) in docs.iter().enumerate() {
+            let response = routed.infer_topics(doc.clone(), i as u64).unwrap();
+            let err = linf(&references[i], &response.theta);
+            assert!(
+                err <= 1e-5,
+                "{n_shards} shards, doc {i}: L∞ = {err} exceeds 1e-5\n\
+                 unsharded: {:?}\n  sharded: {:?}",
+                references[i],
+                response.theta
+            );
+        }
+        routed.shutdown();
+    }
+    direct.shutdown();
+}
+
+#[test]
+fn n_shard_esca_agrees_statistically_with_unsharded() {
+    // Independent per-shard chains lose cross-shard coupling, so ESCA
+    // sharding is approximate; with a generous measurement budget the
+    // merged posterior mean must still land close and keep the ranking.
+    let model = planted_model(0);
+    let heavy = ServeConfig {
+        fold_in: FoldInParams {
+            burn_in: 10,
+            samples: 60,
+            kind: FoldInKind::Esca,
+        },
+        ..ServeConfig::default()
+    };
+    let direct = TopicServer::from_model(&model, heavy).unwrap();
+    for n_shards in [2usize, 3, 4] {
+        let routed =
+            ShardRouter::from_model(&model, ShardPlan::uniform(VOCAB, n_shards).unwrap(), heavy)
+                .unwrap();
+        for topic in 0..K {
+            // A document drawn from one topic's words, spread over shards.
+            let doc: Vec<u32> = (0..12).map(|i| (topic + K * (i % 6)) as u32).collect();
+            let a = direct.infer_topics(doc.clone(), topic as u64).unwrap();
+            let b = routed.infer_topics(doc, topic as u64).unwrap();
+            assert_eq!(a.dominant_topic(), topic);
+            assert_eq!(
+                b.dominant_topic(),
+                topic,
+                "{n_shards} shards: sharded ESCA lost the dominant topic"
+            );
+            let err = linf(&a.theta, &b.theta);
+            assert!(
+                err < 0.05,
+                "{n_shards} shards topic {topic}: L∞ = {err}\n\
+                 unsharded: {:?}\n  sharded: {:?}",
+                a.theta,
+                b.theta
+            );
+        }
+        routed.shutdown();
+    }
+    direct.shutdown();
+}
+
+#[test]
+fn esca_shard_seeds_derive_from_the_request_seed() {
+    // Replaying a request against a multi-shard ESCA router is
+    // bit-identical (per-shard seeds are pure functions of the request
+    // seed), and changing the request seed changes the per-shard seeds.
+    let model = random_model(4);
+    let routed = ShardRouter::from_model(
+        &model,
+        ShardPlan::uniform(VOCAB, 3).unwrap(),
+        config(FoldInKind::Esca),
+    )
+    .unwrap();
+    let doc: Vec<u32> = vec![0, 21, 41, 59, 5, 25, 45, 0, 21];
+    let a = routed.infer_topics(doc.clone(), 1234).unwrap();
+    let b = routed.infer_topics(doc.clone(), 1234).unwrap();
+    assert_eq!(bits(&a.theta), bits(&b.theta), "replay diverged");
+    let c = routed.infer_topics(doc, 1235).unwrap();
+    assert_ne!(a.theta, c.theta, "different seeds must differ");
+    for s in 1..3 {
+        assert_ne!(derive_shard_seed(1234, s), 1234);
+    }
+    routed.shutdown();
+}
+
+#[test]
+fn mid_stream_shard_set_swap_never_serves_a_mixed_version_answer() {
+    // Clients hammer a 3-shard EM router while the main thread publishes a
+    // shifted model. EM is deterministic per epoch, so every legal answer
+    // equals one of two precomputed θ vectors bit-for-bit; an answer mixing
+    // shard versions would match neither. Reference routers over the same
+    // plan/config provide the per-epoch expectations (the EM trajectory
+    // depends only on snapshot contents, split and merge order).
+    let plan = || ShardPlan::uniform(VOCAB, 3).unwrap();
+    let cfg = config(FoldInKind::Em);
+    let doc: Vec<u32> = (0..24).map(|i| (i * 7 % VOCAB) as u32).collect();
+    let seed = 5u64;
+
+    let expected: Vec<Vec<u32>> = [planted_model(0), planted_model(1)]
+        .iter()
+        .map(|model| {
+            let reference = ShardRouter::from_model(model, plan(), cfg).unwrap();
+            let theta = bits(&reference.infer_topics(doc.clone(), seed).unwrap().theta);
+            reference.shutdown();
+            theta
+        })
+        .collect();
+    assert_ne!(expected[0], expected[1], "epochs must be distinguishable");
+
+    let router = Arc::new(ShardRouter::from_model(&planted_model(0), plan(), cfg).unwrap());
+    let published = Arc::new(AtomicU64::new(1));
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            let doc = doc.clone();
+            let published = Arc::clone(&published);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50_000u64 {
+                    let response = router.infer_topics(doc.clone(), seed).unwrap();
+                    match response.snapshot_version {
+                        1 => assert_eq!(
+                            bits(&response.theta),
+                            expected[0],
+                            "epoch-1 answer diverged (mixed shard set?)"
+                        ),
+                        2 => {
+                            assert!(
+                                published.load(Ordering::SeqCst) == 2,
+                                "served epoch 2 before it was published"
+                            );
+                            assert_eq!(
+                                bits(&response.theta),
+                                expected[1],
+                                "epoch-2 answer diverged (mixed shard set?)"
+                            );
+                            return true;
+                        }
+                        v => panic!("unexpected epoch {v}"),
+                    }
+                }
+                false
+            })
+        })
+        .collect();
+
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let snapshot = InferenceSnapshot::from_model(&planted_model(1), SnapshotSampler::WaryTree);
+    published.store(2, Ordering::SeqCst);
+    assert_eq!(router.publish(snapshot).unwrap(), 2);
+
+    let exits: Vec<bool> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert!(
+        exits.iter().all(|&saw| saw),
+        "not every client observed the swapped shard set"
+    );
+    let stats = router.router_stats();
+    assert_eq!(stats.epoch, 2);
+    assert_eq!(stats.n_shards, 3);
+    Arc::try_unwrap(router).unwrap().shutdown();
+}
+
+#[test]
+fn budgeted_plan_serves_within_its_per_shard_budget() {
+    // End to end: cut the model by a byte budget, serve through the
+    // resulting fleet, and verify both the answers and the budget.
+    let model = random_model(11);
+    let sampler = SnapshotSampler::WaryTree;
+    let full = InferenceSnapshot::from_model(&model, sampler);
+    let budget = full.memory_bytes() / 4 + 1;
+    let plan = ShardPlan::by_budget(VOCAB, K, sampler, budget).unwrap();
+    assert!(plan.n_shards() >= 4, "plan = {plan:?}");
+    for s in 0..plan.n_shards() {
+        assert!(plan.shard_bytes(s, K, sampler) <= budget);
+        assert!(full.shard(plan.range(s)).memory_bytes() <= budget);
+    }
+    let direct = TopicServer::from_model(&model, config(FoldInKind::Em)).unwrap();
+    let routed = ShardRouter::from_model(&model, plan, config(FoldInKind::Em)).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for seed in 0..4u64 {
+        let doc = random_doc(&mut rng, 15);
+        let a = direct.infer_topics(doc.clone(), seed).unwrap();
+        let b = routed.infer_topics(doc, seed).unwrap();
+        assert!(linf(&a.theta, &b.theta) <= 1e-5);
+        assert_eq!(a.dominant_topic(), b.dominant_topic());
+    }
+    direct.shutdown();
+    routed.shutdown();
+}
+
+#[test]
+fn raw_token_documents_route_identically() {
+    // The raw-token path encodes against the FULL vocabulary before
+    // splitting, so OOV accounting and θ match the direct server.
+    let model = random_model(13);
+    let vocab = saberlda::corpus::Vocabulary::synthetic(VOCAB);
+    let direct = TopicServer::from_model(&model, config(FoldInKind::Em)).unwrap();
+    let routed = ShardRouter::from_model(
+        &model,
+        ShardPlan::uniform(VOCAB, 3).unwrap(),
+        config(FoldInKind::Em),
+    )
+    .unwrap();
+    let tokens = ["w00000", "unknown-token", "w00030", "w00059", "w00007"];
+    let a = direct
+        .infer_raw(&tokens, &vocab, saberlda::corpus::OovPolicy::Skip, 8)
+        .unwrap();
+    let b = routed
+        .infer_raw(&tokens, &vocab, saberlda::corpus::OovPolicy::Skip, 8)
+        .unwrap();
+    assert_eq!(a.n_oov, 1);
+    assert_eq!(b.n_oov, 1);
+    assert!(linf(&a.theta, &b.theta) <= 1e-5);
+    direct.shutdown();
+    routed.shutdown();
+}

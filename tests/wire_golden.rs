@@ -1,0 +1,224 @@
+//! Golden wire-format tests: the exact bytes of the JSON protocol.
+//!
+//! The serving wire formats ride on `saber_core::json`, whose serialiser
+//! is deterministic (ordered members, shortest-round-trip floats, exact
+//! `u64`). These tests commit fixture strings for the client-visible
+//! bodies and assert **byte-for-byte** stability, so a codec or encoder
+//! refactor that silently changes the protocol — member order, float
+//! formatting, integer width — fails here instead of breaking clients.
+//!
+//! If one of these assertions fails, the change is a wire-protocol break:
+//! either revert it or treat it as one (bump the protocol, update
+//! `docs/SERVING.md`, and only then update the fixture).
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use saberlda::serve::stats::LatencyHistogram;
+use saberlda::serve::wire;
+use saberlda::serve::{
+    HttpConfig, HttpServer, HttpStats, InferResponse, ServeConfig, ServeStats, ShardPlan,
+    ShardRouter, TopicServer,
+};
+use saberlda::{LdaModel, Vocabulary};
+
+#[test]
+fn infer_response_bytes_are_stable() {
+    let response = InferResponse {
+        theta: vec![0.75, 0.25],
+        snapshot_version: 3,
+        n_oov: 1,
+    };
+    assert_eq!(
+        wire::encode_infer_response(&response, 42).to_string(),
+        r#"{"theta":[0.75,0.25],"dominant_topic":0,"snapshot_version":3,"n_oov":1,"seed":42}"#,
+    );
+    // Seeds above 2^53 must survive exactly (u64-exact JSON integers).
+    let max_seed = wire::encode_infer_response(&response, u64::MAX).to_string();
+    assert!(
+        max_seed.ends_with(r#""seed":18446744073709551615}"#),
+        "{max_seed}"
+    );
+}
+
+#[test]
+fn error_body_bytes_are_stable() {
+    assert_eq!(
+        wire::encode_error(429, "queue full").to_string(),
+        r#"{"error":"queue full","status":429}"#,
+    );
+}
+
+#[test]
+fn top_words_bytes_are_stable() {
+    let vocab = Vocabulary::synthetic(4);
+    assert_eq!(
+        wire::encode_top_words(1, &[(0, 0.5), (3, 0.25)], Some(&vocab)).to_string(),
+        r#"{"topic":1,"words":[{"word":0,"prob":0.5,"token":"w00000"},{"word":3,"prob":0.25,"token":"w00003"}]}"#,
+    );
+}
+
+#[test]
+fn similar_bytes_are_stable() {
+    let a = InferResponse {
+        theta: vec![0.5, 0.5],
+        snapshot_version: 3,
+        n_oov: 0,
+    };
+    let b = InferResponse {
+        theta: vec![0.25, 0.75],
+        snapshot_version: 3,
+        n_oov: 0,
+    };
+    assert_eq!(
+        wire::encode_similar(&a, &b, 0.25, 0.875, 7).to_string(),
+        r#"{"hellinger":0.25,"cosine":0.875,"dominant_topic_a":1,"dominant_topic_b":1,"snapshot_version":3,"seed":7}"#,
+    );
+}
+
+#[test]
+fn stats_body_bytes_are_stable() {
+    // Histograms built from fixed durations are fully deterministic:
+    // fixed bucket counts, sums and therefore quantile midpoints.
+    let latency = LatencyHistogram::new();
+    latency.record(Duration::from_micros(800));
+    latency.record(Duration::from_micros(1500));
+    latency.record(Duration::from_millis(90));
+    let serve = ServeStats {
+        requests: 3,
+        tokens: 42,
+        batches: 2,
+        swaps_observed: 1,
+        latency: latency.snapshot(),
+    };
+    let endpoint = LatencyHistogram::new();
+    endpoint.record(Duration::from_micros(900));
+    endpoint.record(Duration::from_micros(1100));
+    let empty = || LatencyHistogram::new().snapshot();
+    let http = HttpStats {
+        requests: 5,
+        errors: 1,
+        active_connections: 2,
+        infer: endpoint.snapshot(),
+        top_words: empty(),
+        similar: empty(),
+        stats: empty(),
+        healthz: empty(),
+    };
+    assert_eq!(
+        wire::encode_stats_body(&serve, 4, 3, &http).to_string(),
+        concat!(
+            r#"{"server":{"requests":3,"tokens":42,"batches":2,"swaps_observed":1,"#,
+            r#""mean_batch_size":1.5,"snapshot_version":4,"shards":3,"#,
+            r#""latency":{"count":3,"mean_us":30766.666666666668,"p50_us":1448.1546878700494,"#,
+            r#""p95_us":92681.90002368316,"p99_us":92681.90002368316}},"#,
+            r#""http":{"requests":5,"errors":1,"active_connections":2,"endpoints":{"#,
+            r#""infer":{"count":2,"mean_us":1000,"p50_us":724.0773439350247,"#,
+            r#""p95_us":1448.1546878700494,"p99_us":1448.1546878700494},"#,
+            r#""top_words":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+            r#""similar":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+            r#""stats":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+            r#""healthz":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}}}}"#,
+        ),
+    );
+}
+
+/// The deterministic planted model behind the full-stack fixtures.
+fn model() -> LdaModel {
+    let mut model = LdaModel::new(12, 3, 0.05, 0.01).unwrap();
+    for v in 0..12 {
+        model.word_topic_mut()[(v, v % 3)] = 50;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+/// One request over a real socket; returns the response body.
+fn http_body(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    reply
+        .split("\r\n\r\n")
+        .nth(1)
+        .expect("response has a body")
+        .to_string()
+}
+
+const INFER_REQUEST_BODY: &str = r#"{"words":[0,3,6,9,0,3],"seed":7}"#;
+const INFER_EXPECTED: &str = concat!(
+    r#"{"theta":[0.9837398529052734,0.008130080997943878,0.008130080997943878],"#,
+    r#""dominant_topic":0,"snapshot_version":1,"n_oov":0,"seed":7}"#,
+);
+
+#[test]
+fn http_bodies_are_stable_end_to_end_for_a_direct_server() {
+    let server = Arc::new(TopicServer::from_model(&model(), ServeConfig::default()).unwrap());
+    let http = HttpServer::bind("127.0.0.1:0", server, None, HttpConfig::default()).unwrap();
+    assert_eq!(
+        http_body(
+            http.local_addr(),
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        ),
+        r#"{"status":"ok","snapshot_version":1,"n_topics":3,"vocab_size":12,"shards":1}"#,
+    );
+    let request = format!(
+        "POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        INFER_REQUEST_BODY.len(),
+        INFER_REQUEST_BODY
+    );
+    assert_eq!(http_body(http.local_addr(), &request), INFER_EXPECTED);
+    http.shutdown();
+}
+
+#[test]
+fn http_bodies_are_stable_end_to_end_for_a_sharded_router() {
+    // Same endpoints through a 3-shard router: only the `shards` member
+    // may differ — and on this fully pinned model even θ's bytes match
+    // the direct server's.
+    let router = Arc::new(
+        ShardRouter::from_model(
+            &model(),
+            ShardPlan::uniform(12, 3).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap(),
+    );
+    let http = HttpServer::bind("127.0.0.1:0", router, None, HttpConfig::default()).unwrap();
+    assert_eq!(
+        http_body(
+            http.local_addr(),
+            "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        ),
+        r#"{"status":"ok","snapshot_version":1,"n_topics":3,"vocab_size":12,"shards":3}"#,
+    );
+    let request = format!(
+        "POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        INFER_REQUEST_BODY.len(),
+        INFER_REQUEST_BODY
+    );
+    assert_eq!(http_body(http.local_addr(), &request), INFER_EXPECTED);
+    http.shutdown();
+}
+
+#[test]
+fn json_codec_primitives_are_stable() {
+    use saberlda::core::json::{parse, JsonValue};
+    // The formatting rules everything above relies on, pinned directly.
+    for (value, expected) in [
+        (JsonValue::from(u64::MAX), "18446744073709551615"),
+        (JsonValue::Number(1.5), "1.5"),
+        (JsonValue::Number(1.0), "1"),
+        (JsonValue::Number(f64::NAN), "null"),
+        (JsonValue::Number(0.1), "0.1"),
+        (JsonValue::from("a\"b\\c\nd"), r#""a\"b\\c\nd""#),
+        (JsonValue::f32_array(&[0.1f32]), "[0.10000000149011612]"),
+    ] {
+        assert_eq!(value.to_string(), expected);
+    }
+    // Round trip: parse(serialise(x)) == x for a nested document.
+    let doc = r#"{"a":[1,2.5,null,true,"x"],"b":{"c":18446744073709551615}}"#;
+    assert_eq!(parse(doc).unwrap().to_string(), doc);
+}
