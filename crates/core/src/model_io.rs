@@ -1,10 +1,17 @@
-//! Model persistence.
+//! Model and snapshot persistence.
 //!
 //! Trained models are saved in a small self-describing binary format so that
 //! the examples can train once and reuse the model, and so that downstream
 //! users can export topics without retraining. The format is deliberately
 //! simple (magic, version, dimensions, hyper-parameters, then the raw `B`
 //! counts); `B̂` is recomputed on load.
+//!
+//! The same style of format exists for *inference snapshots*
+//! ([`SnapshotPayload`]): the normalised `B̂` probabilities plus the sampler
+//! kind, without the raw counts. This is what a serving shard process loads
+//! from disk (or receives over the wire on an epoch publication) to boot
+//! without retraining — the serving crate wraps it as
+//! `InferenceSnapshot::{save,load}`.
 
 use std::io::{Read, Write};
 use std::path::Path;
@@ -14,6 +21,9 @@ use crate::{Result, SaberError};
 
 const MAGIC: &[u8; 8] = b"SABERLDA";
 const VERSION: u32 = 1;
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SABRSNAP";
+const SNAPSHOT_VERSION: u32 = 1;
 
 /// Writes `model` to `writer`.
 ///
@@ -95,6 +105,138 @@ pub fn load_model_file<P: AsRef<Path>>(path: P) -> Result<LdaModel> {
     load_model(std::io::BufReader::new(file))
 }
 
+/// The serialisable content of an inference snapshot: normalised `B̂`
+/// probabilities (row-major, `vocab_size × n_topics`) plus the scalar
+/// metadata a serving process needs to rebuild its per-word samplers.
+///
+/// This type is deliberately free of serving-crate types so the binary
+/// codec can live next to [`save_model`]/[`load_model`]; the serving crate
+/// converts to and from its `InferenceSnapshot`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPayload {
+    /// Vocabulary size `V` (number of `B̂` rows).
+    pub vocab_size: usize,
+    /// Topic count `K` (number of `B̂` columns).
+    pub n_topics: usize,
+    /// Document–topic smoothing α.
+    pub alpha: f32,
+    /// Sampler-kind discriminant, opaque to this module (the serving crate
+    /// maps it to its sampler enum; unknown codes fail the load there).
+    pub sampler_code: u8,
+    /// `B̂` in row-major order, length `vocab_size * n_topics`.
+    pub bhat: Vec<f32>,
+}
+
+/// Writes a snapshot payload to `writer` in the versioned `SABRSNAP`
+/// format: magic, format version, dimensions, α, sampler code, then the
+/// raw little-endian `B̂` bits (so a round trip is bit-exact).
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] on write failures and
+/// [`SaberError::InvalidConfig`] when `bhat` does not have
+/// `vocab_size * n_topics` entries.
+pub fn save_snapshot<W: Write>(payload: &SnapshotPayload, writer: W) -> Result<()> {
+    save_snapshot_parts(
+        payload.vocab_size,
+        payload.n_topics,
+        payload.alpha,
+        payload.sampler_code,
+        &payload.bhat,
+        writer,
+    )
+}
+
+/// [`save_snapshot`] from borrowed parts — lets a caller that already
+/// holds `B̂` as a contiguous slice (a serving snapshot) stream it out
+/// without first copying the matrix into a [`SnapshotPayload`].
+///
+/// # Errors
+///
+/// As [`save_snapshot`].
+pub fn save_snapshot_parts<W: Write>(
+    vocab_size: usize,
+    n_topics: usize,
+    alpha: f32,
+    sampler_code: u8,
+    bhat: &[f32],
+    mut writer: W,
+) -> Result<()> {
+    if bhat.len() != vocab_size * n_topics {
+        return Err(SaberError::InvalidConfig {
+            detail: format!(
+                "snapshot payload carries {} probabilities for {vocab_size} x {n_topics}",
+                bhat.len(),
+            ),
+        });
+    }
+    writer.write_all(SNAPSHOT_MAGIC)?;
+    writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    writer.write_all(&(vocab_size as u64).to_le_bytes())?;
+    writer.write_all(&(n_topics as u64).to_le_bytes())?;
+    writer.write_all(&alpha.to_le_bytes())?;
+    writer.write_all(&[sampler_code])?;
+    for &p in bhat {
+        writer.write_all(&p.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot payload previously written by [`save_snapshot`].
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] for truncated input and
+/// [`SaberError::InvalidConfig`] for a bad magic number, unsupported format
+/// version or implausible dimensions.
+pub fn load_snapshot<R: Read>(mut reader: R) -> Result<SnapshotPayload> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(SaberError::InvalidConfig {
+            detail: "not a SaberLDA snapshot file (bad magic)".into(),
+        });
+    }
+    let version = read_u32(&mut reader)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("unsupported snapshot version {version}"),
+        });
+    }
+    let vocab_size = read_u64(&mut reader)? as usize;
+    let n_topics = read_u64(&mut reader)? as usize;
+    let alpha = read_f32(&mut reader)?;
+    let mut sampler_code = [0u8; 1];
+    reader.read_exact(&mut sampler_code)?;
+    let total = vocab_size.checked_mul(n_topics);
+    if vocab_size == 0
+        || n_topics == 0
+        || vocab_size > (1 << 32)
+        || n_topics > (1 << 20)
+        || total.is_none()
+    {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("implausible snapshot dimensions {vocab_size} x {n_topics}"),
+        });
+    }
+    // Grow the matrix as data actually arrives instead of pre-allocating
+    // from the (untrusted) header: dimensions within the plausibility
+    // bounds can still describe petabytes, and an up-front allocation of
+    // that size would abort the process. A short body fails with a
+    // truncated-input I/O error long before memory becomes a concern.
+    let mut bhat = Vec::new();
+    for _ in 0..total.expect("checked above") {
+        bhat.push(read_f32(&mut reader)?);
+    }
+    Ok(SnapshotPayload {
+        vocab_size,
+        n_topics,
+        alpha,
+        sampler_code: sampler_code[0],
+        bhat,
+    })
+}
+
 fn read_u32<R: Read>(reader: &mut R) -> Result<u32> {
     let mut buf = [0u8; 4];
     reader.read_exact(&mut buf)?;
@@ -158,6 +300,56 @@ mod tests {
         save_model(&model, &mut buf).unwrap();
         buf[8] = 99; // corrupt the version field
         assert!(load_model(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn snapshot_payload_roundtrip_is_bit_exact() {
+        let payload = SnapshotPayload {
+            vocab_size: 3,
+            n_topics: 2,
+            alpha: 0.05,
+            sampler_code: 1,
+            bhat: vec![0.1, 0.9, 0.5, 0.5, 1.0 / 3.0, 2.0 / 3.0],
+        };
+        let mut buf = Vec::new();
+        save_snapshot(&payload, &mut buf).unwrap();
+        let loaded = load_snapshot(buf.as_slice()).unwrap();
+        assert_eq!(loaded.vocab_size, 3);
+        assert_eq!(loaded.n_topics, 2);
+        assert_eq!(loaded.alpha.to_bits(), payload.alpha.to_bits());
+        assert_eq!(loaded.sampler_code, 1);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&loaded.bhat), bits(&payload.bhat));
+        // Malformed inputs are rejected, not mis-parsed.
+        assert!(load_snapshot(&b"WRONGMAG rest"[..]).is_err());
+        assert!(load_snapshot(&buf[..buf.len() - 2]).is_err());
+        let mut wrong_version = buf.clone();
+        wrong_version[8] = 9;
+        assert!(load_snapshot(wrong_version.as_slice()).is_err());
+        // A payload whose matrix disagrees with its dimensions won't save.
+        let bad = SnapshotPayload {
+            bhat: vec![0.5; 5],
+            ..payload
+        };
+        assert!(save_snapshot(&bad, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn snapshot_load_survives_a_hostile_header() {
+        // A 33-byte body whose header claims the maximum "plausible"
+        // dimensions (2^32 × 2^20 ≈ 16 PiB of f32s) must fail with a
+        // truncated-input error — not pre-allocate and abort the process.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(b"SABRSNAP");
+        hostile.extend_from_slice(&1u32.to_le_bytes());
+        hostile.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        hostile.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        hostile.extend_from_slice(&0.1f32.to_le_bytes());
+        hostile.push(0);
+        assert!(matches!(
+            load_snapshot(hostile.as_slice()),
+            Err(SaberError::Io(_))
+        ));
     }
 
     #[test]

@@ -31,8 +31,26 @@
 //!   deterministic per seed (`X-Saber-Seed` header or `"seed"` body member).
 //! * `GET /top-words?topic=K&n=N` — highest-probability words of a topic.
 //! * `GET /similar?a=1,2&b=3,4` — Hellinger/cosine similarity of two docs.
-//! * `GET /stats` — counters plus latency percentiles.
+//! * `GET /stats` — counters plus latency percentiles (including
+//!   router-level epoch/skew/per-shard counters when the backend is a
+//!   [`ShardRouter`](crate::ShardRouter)).
+//! * `GET /metrics` — the same counters in Prometheus text exposition
+//!   format, with cumulative latency histogram buckets.
 //! * `GET /healthz` — liveness plus the served snapshot version.
+//!
+//! When the backend is a single [`TopicServer`](crate::TopicServer) the
+//! listener additionally speaks the *shard protocol* that lets a
+//! [`ShardRouter`](crate::ShardRouter) on another machine fan out to it
+//! (see [`crate::transport::HttpTransport`] and `docs/SERVING.md`):
+//!
+//! * `POST /infer-partial` — one shard's half of a fan-out (ESCA chain
+//!   seed or EM round + θ in, partial counts + snapshot version out).
+//! * `GET /shard-info` — shape, α, fold-in parameters, epoch and full
+//!   serving counters, for fleet validation and stats aggregation.
+//! * `POST /publish-shard` — stages an epoch-tagged snapshot (binary
+//!   `SABRSNAP` body, `X-Saber-Epoch` header) without serving it.
+//! * `POST /commit-epoch` — swaps to the staged epoch (idempotent for the
+//!   epoch already served; `409` when nothing matching is staged).
 //!
 //! # Example
 //!
@@ -73,7 +91,9 @@ use saber_core::json::JsonValue;
 use saber_corpus::Vocabulary;
 
 use crate::similarity::{cosine_similarity, hellinger_distance};
+use crate::snapshot::InferenceSnapshot;
 use crate::stats::{HistogramSnapshot, LatencyHistogram};
+use crate::transport::{CommitAction, ShardInfo, StagedEpoch};
 use crate::wire::{self, InferBody};
 use crate::{InferenceBackend, ServeError};
 
@@ -103,6 +123,11 @@ pub struct HttpConfig {
     /// nor a `"seed"` body member. A fixed default keeps even seedless
     /// traffic deterministic.
     pub default_seed: u64,
+    /// The global word-id range `[start, end)` this server serves when it
+    /// is one shard of a cross-machine fleet (reported by `GET
+    /// /shard-info`). `None` — the default — reports the local
+    /// `[0, vocab_size)`, which is also correct for unsharded servers.
+    pub shard_range: Option<(u32, u32)>,
 }
 
 impl Default for HttpConfig {
@@ -114,6 +139,7 @@ impl Default for HttpConfig {
             max_connections: 64,
             max_body_bytes: 1 << 20,
             default_seed: 0,
+            shard_range: None,
         }
     }
 }
@@ -159,6 +185,11 @@ struct HttpState {
     requests: AtomicU64,
     errors: AtomicU64,
     endpoints: EndpointHistograms,
+    /// The epoch-tagged snapshot staged by `POST /publish-shard`, waiting
+    /// for its `POST /commit-epoch` — the shard-side half of a fleet's
+    /// all-or-nothing publication (commit rule shared with
+    /// `LocalTransport` via [`StagedEpoch`]).
+    staged: StagedEpoch,
 }
 
 /// The HTTP front-end: an accept loop plus one thread per live connection.
@@ -206,6 +237,7 @@ impl HttpServer {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             endpoints: EndpointHistograms::default(),
+            staged: StagedEpoch::default(),
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -388,7 +420,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<HttpState>) {
         state.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
         let started = Instant::now();
-        let (status, body, endpoint) = route(&request, state);
+        let (status, body, endpoint, content_type) = route(&request, state);
         if status >= 400 {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -397,7 +429,8 @@ fn serve_connection(stream: TcpStream, state: &Arc<HttpState>) {
         } else {
             &[]
         };
-        let write_ok = write_response(&stream, status, &body, keep_alive, extra).is_ok();
+        let write_ok =
+            write_response_typed(&stream, status, &body, keep_alive, extra, content_type).is_ok();
         if let Some(endpoint) = endpoint {
             endpoint_histogram(state, endpoint).record(started.elapsed());
         }
@@ -427,30 +460,58 @@ fn endpoint_histogram(state: &HttpState, endpoint: Endpoint) -> &LatencyHistogra
     }
 }
 
+/// The `Content-Type` of every JSON endpoint.
+const JSON_CONTENT_TYPE: &str = "application/json";
+/// The `Content-Type` of the Prometheus text exposition format.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Dispatches one request; returns `(status, response body, endpoint for
-/// latency accounting)`.
-fn route(request: &Request, state: &HttpState) -> (u16, String, Option<Endpoint>) {
+/// latency accounting, content type)`.
+fn route(request: &Request, state: &HttpState) -> (u16, String, Option<Endpoint>, &'static str) {
     let handled = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (handle_healthz(state), Endpoint::Healthz),
         ("GET", "/stats") => (handle_stats(state), Endpoint::Stats),
         ("GET", "/top-words") => (handle_top_words(request, state), Endpoint::TopWords),
         ("GET", "/similar") => (handle_similar(request, state), Endpoint::Similar),
         ("POST", "/infer") => (handle_infer(request, state), Endpoint::Infer),
-        (_, "/healthz" | "/stats" | "/top-words" | "/similar") => {
-            let body = wire::encode_error(405, "use GET for this endpoint").to_string();
-            return (405, body, None);
+        // Fleet-internal endpoints (shard fan-out, epoch publication,
+        // scrapes): routed but not part of the per-endpoint latency
+        // histograms, which stay focused on client-facing traffic.
+        ("GET", "/metrics") => {
+            let (status, body) = handle_metrics(state);
+            return (status, body, None, METRICS_CONTENT_TYPE);
         }
-        (_, "/infer") => {
-            let body = wire::encode_error(405, "use POST /infer").to_string();
-            return (405, body, None);
+        ("GET", "/shard-info") => {
+            let (status, body) = handle_shard_info(state);
+            return (status, body, None, JSON_CONTENT_TYPE);
+        }
+        ("POST", "/infer-partial") => {
+            let (status, body) = handle_infer_partial(request, state);
+            return (status, body, None, JSON_CONTENT_TYPE);
+        }
+        ("POST", "/publish-shard") => {
+            let (status, body) = handle_publish_shard(request, state);
+            return (status, body, None, JSON_CONTENT_TYPE);
+        }
+        ("POST", "/commit-epoch") => {
+            let (status, body) = handle_commit_epoch(request, state);
+            return (status, body, None, JSON_CONTENT_TYPE);
+        }
+        (_, "/healthz" | "/stats" | "/top-words" | "/similar" | "/metrics" | "/shard-info") => {
+            let body = wire::encode_error(405, "use GET for this endpoint").to_string();
+            return (405, body, None, JSON_CONTENT_TYPE);
+        }
+        (_, "/infer" | "/infer-partial" | "/publish-shard" | "/commit-epoch") => {
+            let body = wire::encode_error(405, "use POST for this endpoint").to_string();
+            return (405, body, None, JSON_CONTENT_TYPE);
         }
         _ => {
             let body = wire::encode_error(404, "unknown path").to_string();
-            return (404, body, None);
+            return (404, body, None, JSON_CONTENT_TYPE);
         }
     };
     let ((status, body), endpoint) = handled;
-    (status, body, Some(endpoint))
+    (status, body, Some(endpoint), JSON_CONTENT_TYPE)
 }
 
 fn handle_healthz(state: &HttpState) -> (u16, String) {
@@ -484,13 +545,146 @@ fn http_stats(state: &HttpState) -> HttpStats {
 }
 
 fn handle_stats(state: &HttpState) -> (u16, String) {
+    let router = state.backend.router_stats();
     let body = wire::encode_stats_body(
         &state.backend.serve_stats(),
         state.backend.snapshot_version(),
         state.backend.n_shards(),
         &http_stats(state),
+        router.as_ref(),
     );
     (200, body.to_string())
+}
+
+fn handle_metrics(state: &HttpState) -> (u16, String) {
+    let router = state.backend.router_stats();
+    let body = wire::encode_prometheus(
+        &state.backend.serve_stats(),
+        state.backend.snapshot_version(),
+        state.backend.n_shards(),
+        &http_stats(state),
+        router.as_ref(),
+    );
+    (200, body)
+}
+
+/// The effective shard range reported to routers: the configured global
+/// range, or the local id space for servers not told otherwise.
+fn effective_shard_range(state: &HttpState) -> (u32, u32) {
+    state
+        .config
+        .shard_range
+        .unwrap_or((0, state.backend.vocab_size() as u32))
+}
+
+fn handle_shard_info(state: &HttpState) -> (u16, String) {
+    let backend = &state.backend;
+    let info = ShardInfo {
+        epoch: backend.snapshot_version(),
+        vocab_size: backend.vocab_size(),
+        n_topics: backend.n_topics(),
+        alpha: backend.alpha(),
+        shard_range: effective_shard_range(state),
+        fold_in: backend.fold_in_params(),
+        stats: backend.serve_stats(),
+    };
+    (200, wire::encode_shard_info(&info).to_string())
+}
+
+fn handle_infer_partial(request: &Request, state: &HttpState) -> (u16, String) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error(400, "request body is not valid UTF-8"),
+    };
+    let (words, partial) = match wire::decode_partial_request(text) {
+        Ok(decoded) => decoded,
+        Err(e) => return error(400, &e.detail),
+    };
+    match state
+        .backend
+        .infer_partial_with_deadline(words, partial, state.config.request_deadline)
+    {
+        Ok(response) => (
+            200,
+            wire::encode_partial_response(&response, effective_shard_range(state)).to_string(),
+        ),
+        Err(e) => serve_error(&e),
+    }
+}
+
+fn handle_publish_shard(request: &Request, state: &HttpState) -> (u16, String) {
+    let epoch = match request.header("x-saber-epoch").map(str::parse::<u64>) {
+        Some(Ok(epoch)) => epoch,
+        _ => return error(400, "publication requires an X-Saber-Epoch header"),
+    };
+    let current = state.backend.snapshot_version();
+    if epoch <= current {
+        return error(
+            409,
+            &format!("epoch {epoch} is not ahead of the served epoch {current}"),
+        );
+    }
+    let snapshot = match InferenceSnapshot::load(&request.body[..]) {
+        Ok(snapshot) => snapshot,
+        Err(e) => return error(400, &format!("malformed snapshot body: {e}")),
+    };
+    if snapshot.vocab_size() != state.backend.vocab_size()
+        || snapshot.n_topics() != state.backend.n_topics()
+    {
+        return error(
+            400,
+            &format!(
+                "published snapshot is {}x{} but this shard serves {}x{}",
+                snapshot.vocab_size(),
+                snapshot.n_topics(),
+                state.backend.vocab_size(),
+                state.backend.n_topics()
+            ),
+        );
+    }
+    state.staged.stage(epoch, snapshot);
+    let body = saber_core::json::JsonValue::object([(
+        "staged_epoch",
+        saber_core::json::JsonValue::from(epoch),
+    )]);
+    (200, body.to_string())
+}
+
+fn handle_commit_epoch(request: &Request, state: &HttpState) -> (u16, String) {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return error(400, "request body is not valid UTF-8"),
+    };
+    let epoch = match saber_core::json::parse(text)
+        .ok()
+        .and_then(|v| v.get("epoch").and_then(|e| e.as_u64()))
+    {
+        Some(epoch) => epoch,
+        None => return error(400, "commit requires an 'epoch' member"),
+    };
+    match state
+        .staged
+        .take_for_commit(epoch, state.backend.snapshot_version())
+    {
+        CommitAction::AlreadyServed => (200, encode_epoch_body(epoch)),
+        CommitAction::Publish(snapshot) => {
+            match state.backend.publish_snapshot_at(snapshot, epoch) {
+                Ok(committed) => (200, encode_epoch_body(committed)),
+                Err(e) => serve_error(&e),
+            }
+        }
+        CommitAction::Missing => error(409, &format!("no staged snapshot for epoch {epoch}")),
+    }
+}
+
+/// The `{"snapshot_version": N}` body shared by commit responses (decoded
+/// by the transport's `decode_healthz_version`).
+fn encode_epoch_body(epoch: u64) -> String {
+    saber_core::json::JsonValue::object([(
+        "snapshot_version",
+        saber_core::json::JsonValue::from(epoch),
+    )])
+    .to_string()
 }
 
 fn handle_top_words(request: &Request, state: &HttpState) -> (u16, String) {
@@ -592,6 +786,7 @@ fn serve_error(e: &ServeError) -> (u16, String) {
         ServeError::Overloaded => 429,
         ServeError::DeadlineExceeded | ServeError::Closed | ServeError::ShardVersionSkew => 503,
         ServeError::BadRequest { .. } | ServeError::Corpus(_) => 400,
+        ServeError::Transport { .. } => 502,
         ServeError::InvalidConfig { .. } => 500,
     };
     error(status, &e.to_string())
@@ -857,10 +1052,12 @@ fn status_text(status: u16) -> &'static str {
         408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        409 => "Conflict",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
@@ -868,14 +1065,32 @@ fn status_text(status: u16) -> &'static str {
 }
 
 fn write_response(
-    mut stream: &TcpStream,
+    stream: &TcpStream,
     status: u16,
     body: &str,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
 ) -> std::io::Result<()> {
+    write_response_typed(
+        stream,
+        status,
+        body,
+        keep_alive,
+        extra_headers,
+        JSON_CONTENT_TYPE,
+    )
+}
+
+fn write_response_typed(
+    mut stream: &TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+    content_type: &str,
+) -> std::io::Result<()> {
     let mut response = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status_text(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
@@ -925,7 +1140,7 @@ mod tests {
     #[test]
     fn status_texts_cover_the_mapped_codes() {
         for status in [
-            200, 400, 404, 405, 408, 411, 413, 429, 431, 500, 501, 503, 505,
+            200, 400, 404, 405, 408, 409, 411, 413, 429, 431, 500, 501, 502, 503, 505,
         ] {
             assert_ne!(status_text(status), "Unknown", "{status}");
         }
@@ -939,6 +1154,10 @@ mod tests {
         assert_eq!(
             serve_error(&ServeError::BadRequest { detail: "x".into() }).0,
             400
+        );
+        assert_eq!(
+            serve_error(&ServeError::Transport { detail: "x".into() }).0,
+            502
         );
     }
 }

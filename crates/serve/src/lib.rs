@@ -34,6 +34,13 @@
 //!   (ESCA), with all-or-nothing epoch publication across the fleet.
 //!   Differential tests (`tests/sharded_serving.rs`) pin the equivalence
 //!   to unsharded serving.
+//! * [`ShardTransport`] ([`transport`]) — the seam that makes the router's
+//!   fan-out location-agnostic: [`LocalTransport`] wraps in-process
+//!   [`TopicServer`]s bit-identically, [`HttpTransport`] speaks the wire
+//!   format to shard *processes* on other hosts (booted from
+//!   [`InferenceSnapshot::save`]d slices), with two-phase stage/commit
+//!   epoch publication and bit-exact remote EM
+//!   (`tests/remote_sharding.rs`).
 //! * [`HttpServer`] — a hand-rolled HTTP/1.1 front-end
 //!   over `std::net` ([`http`], wire formats in [`wire`]) with read/write
 //!   timeouts, per-request deadlines, and queue-full backpressure surfaced
@@ -81,6 +88,7 @@ pub mod similarity;
 pub mod snapshot;
 pub mod stats;
 pub mod swap;
+pub mod transport;
 pub mod wire;
 
 pub use http::{HttpConfig, HttpServer, HttpStats};
@@ -93,6 +101,9 @@ pub use shard::{derive_shard_seed, ShardPlan};
 pub use snapshot::{FoldInKind, FoldInParams, InferenceSnapshot, SnapshotSampler};
 pub use stats::{HistogramSnapshot, LatencyHistogram};
 pub use swap::SnapshotCell;
+pub use transport::{
+    HttpTransport, HttpTransportConfig, LocalTransport, PendingPartial, ShardInfo, ShardTransport,
+};
 
 /// The inference surface the HTTP front-end ([`HttpServer`]) serves.
 ///
@@ -159,6 +170,60 @@ pub trait InferenceBackend: Send + Sync + std::fmt::Debug {
 
     /// Serving counters, aggregated across shards.
     fn serve_stats(&self) -> ServeStats;
+
+    /// Document–topic smoothing α of the served model (reported by
+    /// `GET /shard-info` so a remote router can validate and merge).
+    fn alpha(&self) -> f32;
+
+    /// The fold-in parameters applied to every request (reported by
+    /// `GET /shard-info`; a remote router refuses a shard whose parameters
+    /// disagree with its own).
+    fn fold_in_params(&self) -> FoldInParams;
+
+    /// Router-level counters, when this backend *is* a router (`None` for
+    /// a plain [`TopicServer`]); surfaced in `GET /stats` and `/metrics`.
+    fn router_stats(&self) -> Option<RouterStats> {
+        None
+    }
+
+    /// Computes the partial sufficient statistics of one shard-side
+    /// request — the `POST /infer-partial` path. Only meaningful on a
+    /// backend that *is* a shard (a [`TopicServer`]); the default refuses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the backend does not serve shard
+    /// partials; otherwise as [`TopicServer::infer_partial_with_deadline`].
+    fn infer_partial_with_deadline(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: std::time::Duration,
+    ) -> Result<PartialResponse, ServeError> {
+        let _ = (words, request, deadline);
+        Err(ServeError::BadRequest {
+            detail: "this backend does not serve shard partials".into(),
+        })
+    }
+
+    /// Publishes a snapshot pinned to a fleet-chosen epoch — the
+    /// `POST /commit-epoch` path of a shard process. Only meaningful on a
+    /// [`TopicServer`]; the default refuses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the backend does not accept epoch
+    /// publications; otherwise as [`TopicServer::publish_at`].
+    fn publish_snapshot_at(
+        &self,
+        snapshot: InferenceSnapshot,
+        epoch: u64,
+    ) -> Result<u64, ServeError> {
+        let _ = (snapshot, epoch);
+        Err(ServeError::BadRequest {
+            detail: "this backend does not accept epoch publications".into(),
+        })
+    }
 }
 
 impl InferenceBackend for TopicServer {
@@ -213,9 +278,34 @@ impl InferenceBackend for TopicServer {
     fn serve_stats(&self) -> ServeStats {
         self.stats()
     }
+
+    fn alpha(&self) -> f32 {
+        self.snapshot().alpha()
+    }
+
+    fn fold_in_params(&self) -> FoldInParams {
+        self.config().fold_in
+    }
+
+    fn infer_partial_with_deadline(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: std::time::Duration,
+    ) -> Result<PartialResponse, ServeError> {
+        TopicServer::infer_partial_with_deadline(self, words, request, deadline)
+    }
+
+    fn publish_snapshot_at(
+        &self,
+        snapshot: InferenceSnapshot,
+        epoch: u64,
+    ) -> Result<u64, ServeError> {
+        self.publish_at(snapshot, epoch)
+    }
 }
 
-impl InferenceBackend for ShardRouter {
+impl<T: ShardTransport> InferenceBackend for ShardRouter<T> {
     fn infer_with_deadline(
         &self,
         words: Vec<u32>,
@@ -239,15 +329,7 @@ impl InferenceBackend for ShardRouter {
     fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
         // The router's K is fixed at construction (publish validates the
         // shape), so the check cannot race a publication.
-        if k >= ShardRouter::n_topics(self) {
-            return Err(ServeError::BadRequest {
-                detail: format!(
-                    "topic {k} out of range (K = {})",
-                    ShardRouter::n_topics(self)
-                ),
-            });
-        }
-        Ok(ShardRouter::top_words(self, k, n))
+        ShardRouter::top_words(self, k, n)
     }
 
     fn n_topics(&self) -> usize {
@@ -268,6 +350,18 @@ impl InferenceBackend for ShardRouter {
 
     fn serve_stats(&self) -> ServeStats {
         self.stats()
+    }
+
+    fn alpha(&self) -> f32 {
+        ShardRouter::alpha(self)
+    }
+
+    fn fold_in_params(&self) -> FoldInParams {
+        self.config().fold_in
+    }
+
+    fn router_stats(&self) -> Option<RouterStats> {
+        Some(ShardRouter::router_stats(self))
     }
 }
 
@@ -296,6 +390,14 @@ pub enum ServeError {
     /// so frequent that every retry races a new swap (see
     /// [`ShardRouter`]'s epoch protocol).
     ShardVersionSkew,
+    /// A remote shard could not be reached, or answered something that is
+    /// not the wire protocol (see [`HttpTransport`]). Distinct from
+    /// [`ServeError::Closed`]: the local fleet is fine, the network or the
+    /// shard process is not.
+    Transport {
+        /// Human readable description (shard address and cause).
+        detail: String,
+    },
     /// Raw-token encoding failed (e.g. out-of-vocabulary word under
     /// [`saber_corpus::OovPolicy::Fail`]).
     Corpus(saber_corpus::CorpusError),
@@ -312,6 +414,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShardVersionSkew => {
                 write!(f, "shard snapshot versions diverged during the request")
             }
+            ServeError::Transport { detail } => write!(f, "shard transport error: {detail}"),
             ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
         }
     }

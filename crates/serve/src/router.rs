@@ -2,34 +2,44 @@
 //!
 //! A model whose [`InferenceSnapshot`] exceeds one worker pool's memory
 //! budget is split by a [`ShardPlan`] into contiguous word-id ranges, each
-//! served by its own [`TopicServer`] over an
-//! [`InferenceSnapshot::shard`] slice. [`ShardRouter`] owns that fleet and
-//! makes it look like a single server:
+//! served by its own shard. [`ShardRouter`] owns the fleet and makes it
+//! look like a single server — and since PR 5 it is **generic over how it
+//! reaches its shards**: every shard sits behind a
+//! [`ShardTransport`], so the same router code fans out over in-process
+//! [`TopicServer`]s ([`LocalTransport`], the default) or over shard
+//! *processes* on other machines ([`HttpTransport`](crate::HttpTransport)
+//! speaking the crate's HTTP wire format).
 //!
 //! * **Fan-out / merge** — an incoming document's word ids are split by
 //!   shard ([`ShardPlan::split`]), each shard computes its words' partial
-//!   sufficient statistics ([`TopicServer::infer_partial`]), and the router
-//!   merges them into one θ. Under [`FoldInKind::Em`] the merge is *exact*:
-//!   each EM iteration's count vector is a sum over words, so the router
-//!   synchronises θ once per iteration and reproduces unsharded inference
-//!   to floating-point summation order (the differential suite pins this at
-//!   1e-5 L∞; a single shard is bit-identical). Under [`FoldInKind::Esca`]
-//!   each shard runs an independent Gibbs chain seeded by
-//!   [`derive_shard_seed`] — one round trip instead of one per iteration,
-//!   at the cost of approximating cross-shard coupling.
+//!   sufficient statistics ([`ShardTransport::submit_partial`]), and the
+//!   router merges them into one θ. Under [`FoldInKind::Em`] the merge is
+//!   *exact*: each EM iteration's count vector is a sum over words, so the
+//!   router synchronises θ once per iteration and reproduces unsharded
+//!   inference to floating-point summation order (the differential suite
+//!   pins this at 1e-5 L∞; a single shard is bit-identical — and because
+//!   the wire codec round-trips `f64` exactly, a remote fleet reproduces a
+//!   local one bit for bit). Under [`FoldInKind::Esca`] each shard runs an
+//!   independent Gibbs chain seeded by [`derive_shard_seed`] — one round
+//!   trip instead of one per iteration, at the cost of approximating
+//!   cross-shard coupling.
 //! * **Epoch publication** — [`ShardRouter::publish`] slices a new full
-//!   snapshot and publishes every shard under one lock, moving the fleet
-//!   from epoch `e` to `e + 1` in lockstep. A request that straddles the
-//!   swap can observe shards on different versions; the router detects the
-//!   skew in the per-shard responses and retries, so no *answer* ever mixes
-//!   snapshot versions — the sharded generalisation of
-//!   [`SnapshotCell`](crate::SnapshotCell)'s torn-read guarantee.
+//!   snapshot and moves the fleet from epoch `e` to `e + 1` in lockstep,
+//!   all or nothing: every shard first *stages* its epoch-tagged slice
+//!   ([`ShardTransport::prepare_publish`] — an Arc stash locally, an
+//!   upload remotely), and only when every stage succeeded does the cheap
+//!   commit loop swap them. A request that straddles the swap can observe
+//!   shards on different versions; the router detects the skew in the
+//!   per-shard responses and retries, so no *answer* ever mixes snapshot
+//!   versions — the sharded generalisation of
+//!   [`SnapshotCell`](crate::SnapshotCell)'s torn-read guarantee, and it
+//!   holds identically across machines because every partial response
+//!   carries its snapshot version on the wire.
 //! * **Determinism** — per-shard seeds derive from the request seed, so
 //!   equal requests against an equal epoch replay bit-identically, exactly
-//!   as on a single [`TopicServer`].
+//!   as on a single [`TopicServer`] — whichever transport carries them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -37,9 +47,10 @@ use saber_core::infer::{em_update, esca_theta, PartialFoldIn};
 use saber_core::model::LdaModel;
 use saber_corpus::{OovPolicy, Vocabulary};
 
-use crate::server::{expect_partial, JobReply, PartialRequest, PartialResponse};
+use crate::server::{PartialRequest, PartialResponse};
 use crate::shard::{derive_shard_seed, ShardPlan};
 use crate::snapshot::{FoldInKind, InferenceSnapshot};
+use crate::transport::{LocalTransport, PendingPartial, ShardInfo, ShardTransport};
 use crate::{InferResponse, ServeConfig, ServeError, ServeStats, TopicServer};
 
 /// How many times a request is retried after observing shards on different
@@ -48,7 +59,7 @@ use crate::{InferResponse, ServeConfig, ServeError, ServeStats, TopicServer};
 const MAX_SKEW_RETRIES: usize = 3;
 
 /// Router-level counters, complementing the per-shard [`ServeStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterStats {
     /// Documents routed (each may fan out to many shard requests).
     pub requests: u64,
@@ -59,25 +70,39 @@ pub struct RouterStats {
     pub epoch: u64,
     /// Number of shards behind the router.
     pub n_shards: usize,
+    /// Shard requests submitted to each shard, in shard order — one routed
+    /// document counts once per shard it touched (per round, under EM).
+    /// Counted router-side, so it is exact even when a shard is remote.
+    pub shard_requests: Vec<u64>,
 }
 
-/// A fleet of vocabulary-sharded [`TopicServer`]s behind a single-server
-/// interface; see the [module docs](self) for the protocol.
-pub struct ShardRouter {
+/// A fleet of vocabulary shards behind a single-server interface; see the
+/// [module docs](self) for the protocol. Generic over the
+/// [`ShardTransport`] that carries the fan-out — [`LocalTransport`] (the
+/// default) for an in-process fleet, [`crate::HttpTransport`] for shard
+/// processes on other hosts.
+pub struct ShardRouter<T: ShardTransport = LocalTransport> {
     plan: ShardPlan,
-    shards: Vec<TopicServer>,
+    shards: Vec<T>,
     config: ServeConfig,
     n_topics: usize,
     alpha: f32,
     requests: AtomicU64,
     skew_retries: AtomicU64,
+    shard_requests: Vec<AtomicU64>,
+    /// The latest epoch the router has itself observed (validated at
+    /// construction, advanced by publications and by the versions riding
+    /// partial responses). Served where an *approximate* answer must not
+    /// cost a network round trip — empty-document responses, stats,
+    /// `Debug` — while `publish` still live-probes the fleet.
+    last_epoch: AtomicU64,
     /// Serialises whole-fleet publications so two publishers cannot
     /// interleave shard swaps (which could strand shards on permanently
     /// different versions).
     publish_lock: Mutex<()>,
 }
 
-impl std::fmt::Debug for ShardRouter {
+impl<T: ShardTransport> std::fmt::Debug for ShardRouter<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardRouter")
             .field("n_shards", &self.plan.n_shards())
@@ -89,9 +114,9 @@ impl std::fmt::Debug for ShardRouter {
     }
 }
 
-impl ShardRouter {
-    /// Slices `snapshot` by `plan` and starts one [`TopicServer`] (with
-    /// `config`) per shard, all at epoch 1.
+impl ShardRouter<LocalTransport> {
+    /// Slices `snapshot` by `plan` and starts one in-process
+    /// [`TopicServer`] (with `config`) per shard, all at epoch 1.
     ///
     /// # Errors
     ///
@@ -116,18 +141,15 @@ impl ShardRouter {
         let alpha = snapshot.alpha();
         let shards = plan
             .ranges()
-            .map(|range| TopicServer::start(snapshot.shard(range), config))
+            .map(|range| {
+                TopicServer::start(snapshot.shard(range.clone()), config)
+                    .map(|server| LocalTransport::with_range(server, range))
+            })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardRouter {
-            plan,
-            shards,
-            config,
-            n_topics,
-            alpha,
-            requests: AtomicU64::new(0),
-            skew_retries: AtomicU64::new(0),
-            publish_lock: Mutex::new(()),
-        })
+        // Freshly started servers publish their snapshot as version 1.
+        Ok(ShardRouter::assemble(
+            plan, shards, config, n_topics, alpha, 1,
+        ))
     }
 
     /// Exports a snapshot from `model` (using `config.sampler`) and starts
@@ -146,6 +168,119 @@ impl ShardRouter {
             plan,
             config,
         )
+    }
+}
+
+impl<T: ShardTransport> ShardRouter<T> {
+    /// Builds a router over externally provided shard transports — the
+    /// constructor behind cross-machine fleets (`transports[s]` must reach
+    /// the shard serving `plan.range(s)`). Each shard's
+    /// [`shard_info`](ShardTransport::shard_info) is fetched and validated:
+    /// vocabulary sizes must match the plan's ranges, and topic count, α,
+    /// fold-in parameters and epoch must agree across the fleet (and with
+    /// `config.fold_in` — the router finishes merges with those
+    /// parameters, so a disagreement would silently change answers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] on any mismatch, and
+    /// propagates transport errors from unreachable shards.
+    pub fn with_transports(
+        plan: ShardPlan,
+        transports: Vec<T>,
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        if transports.len() != plan.n_shards() {
+            return Err(ServeError::InvalidConfig {
+                detail: format!(
+                    "plan has {} shards but {} transports were provided",
+                    plan.n_shards(),
+                    transports.len()
+                ),
+            });
+        }
+        let infos = transports
+            .iter()
+            .map(ShardTransport::shard_info)
+            .collect::<Result<Vec<_>, _>>()?;
+        let reference = &infos[0];
+        for (s, (info, range)) in infos.iter().zip(plan.ranges()).enumerate() {
+            let expected = (range.end - range.start) as usize;
+            if info.vocab_size != expected {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!(
+                        "shard {s} holds {} words but the plan assigns it {expected}",
+                        info.vocab_size
+                    ),
+                });
+            }
+            if info.n_topics != reference.n_topics
+                || info.alpha.to_bits() != reference.alpha.to_bits()
+            {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!("shard {s} disagrees with shard 0 on K or alpha"),
+                });
+            }
+            if info.epoch != reference.epoch {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!(
+                        "shard {s} serves epoch {} but shard 0 serves {}",
+                        info.epoch, reference.epoch
+                    ),
+                });
+            }
+            // A shard that knows its global range must sit in the plan
+            // slot that serves it — this is what catches a transport
+            // vector wired up in the wrong order (equal widths would slip
+            // past the size check and silently produce wrong answers). A
+            // shard reporting the local default `[0, vocab_size)` cannot
+            // be distinguished from an unconfigured one, so only an
+            // explicit global range is enforced.
+            let local_default = (0, info.vocab_size as u32);
+            if info.shard_range != local_default && info.shard_range != (range.start, range.end) {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!(
+                        "shard {s} serves global words {}..{} but the plan assigns it {}..{}",
+                        info.shard_range.0, info.shard_range.1, range.start, range.end
+                    ),
+                });
+            }
+            if info.fold_in != config.fold_in {
+                return Err(ServeError::InvalidConfig {
+                    detail: format!(
+                        "shard {s} applies fold-in {:?} but the router expects {:?}",
+                        info.fold_in, config.fold_in
+                    ),
+                });
+            }
+        }
+        let (n_topics, alpha, epoch) = (reference.n_topics, reference.alpha, reference.epoch);
+        Ok(ShardRouter::assemble(
+            plan, transports, config, n_topics, alpha, epoch,
+        ))
+    }
+
+    fn assemble(
+        plan: ShardPlan,
+        shards: Vec<T>,
+        config: ServeConfig,
+        n_topics: usize,
+        alpha: f32,
+        epoch: u64,
+    ) -> Self {
+        let shard_requests = (0..plan.n_shards()).map(|_| AtomicU64::new(0)).collect();
+        ShardRouter {
+            plan,
+            shards,
+            config,
+            n_topics,
+            alpha,
+            requests: AtomicU64::new(0),
+            skew_retries: AtomicU64::new(0),
+            shard_requests,
+            last_epoch: AtomicU64::new(epoch),
+            publish_lock: Mutex::new(()),
+        }
     }
 
     /// The shard plan the router routes by.
@@ -168,28 +303,52 @@ impl ShardRouter {
         self.plan.vocab_size()
     }
 
-    /// The per-shard serving configuration.
+    /// Document–topic smoothing α, fixed at construction and validated
+    /// across the fleet (it enters the router-side merge).
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// The per-shard serving configuration (fold-in parameters for any
+    /// transport; worker/queue settings apply to local fleets).
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The transports the router fans out over, in shard order.
+    pub fn transports(&self) -> &[T] {
+        &self.shards
     }
 
     /// The current publication epoch: the snapshot version every shard
     /// serves. Between [`ShardRouter::publish`]es this is stable; requests
     /// that race a publish are retried until they see one epoch end to end.
+    ///
+    /// This reads the router's own record (validated at construction,
+    /// advanced by publications and the versions riding every partial
+    /// response) rather than probing a shard, so it costs no network
+    /// round trip on a remote fleet. Use
+    /// [`ShardTransport::observe_epoch`] on a transport for a live probe.
     pub fn epoch(&self) -> u64 {
-        self.shards[0].snapshot_version()
+        self.last_epoch.load(Ordering::Relaxed)
     }
 
     /// Publishes a new full snapshot to the whole fleet, all-or-nothing:
-    /// every shard moves to the next epoch before the call returns, and no
-    /// *answer* computed by the router ever mixes two epochs (requests that
-    /// straddle the swap are retried against the new one). Returns the new
-    /// epoch.
+    /// every shard *stages* its epoch-tagged slice first, and only when
+    /// every stage succeeded does the commit loop swap them — so a
+    /// mid-publication failure leaves the fleet serving the old epoch
+    /// (stage failure) or retryable per the idempotent commit (commit
+    /// failure), and no *answer* computed by the router ever mixes two
+    /// epochs (requests that straddle the swap are retried against the new
+    /// one). Returns the new epoch.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::InvalidConfig`] when the snapshot's shape
-    /// (vocabulary or topic count) does not match the fleet's.
+    /// (vocabulary or topic count) does not match the fleet's; propagates
+    /// staging and commit failures (a commit failure can leave remote
+    /// shards on mixed epochs — answers stay version-pure via skew
+    /// retries, and re-publishing resolves the fleet).
     pub fn publish(&self, snapshot: InferenceSnapshot) -> Result<u64, ServeError> {
         if snapshot.vocab_size() != self.plan.vocab_size() || snapshot.n_topics() != self.n_topics {
             return Err(ServeError::InvalidConfig {
@@ -202,23 +361,26 @@ impl ShardRouter {
                 ),
             });
         }
-        // Slice every shard before swapping any, so the swap loop is as
-        // tight as possible; requests racing it are caught by the version
-        // check and retried.
-        let slices: Vec<InferenceSnapshot> =
-            self.plan.ranges().map(|r| snapshot.shard(r)).collect();
         let _guard = self.publish_lock.lock().expect("publish lock poisoned");
-        let mut epoch = 0;
-        for (server, slice) in self.shards.iter().zip(slices) {
-            epoch = server.publish(slice);
+        let epoch = self.shards[0].observe_epoch()? + 1;
+        // Stage every shard before committing any: slicing and (for remote
+        // fleets) uploading happen outside the swap window, so the commit
+        // loop is as tight as possible.
+        for (transport, range) in self.shards.iter().zip(self.plan.ranges()) {
+            transport.prepare_publish(snapshot.shard(range), epoch)?;
+        }
+        let mut committed = 0;
+        for transport in &self.shards {
+            committed = transport.commit_publish(epoch)?;
         }
         debug_assert!(
             self.shards
                 .iter()
-                .all(|server| server.snapshot_version() == epoch),
+                .all(|t| t.observe_epoch().map(|e| e == epoch).unwrap_or(true)),
             "shard publications diverged under the publish lock"
         );
-        Ok(epoch)
+        self.last_epoch.fetch_max(committed, Ordering::Relaxed);
+        Ok(committed)
     }
 
     /// Exports and publishes the current state of `model`; the sharded
@@ -238,7 +400,8 @@ impl ShardRouter {
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] for out-of-vocabulary word ids,
-    /// [`ServeError::Closed`] after shutdown, and
+    /// [`ServeError::Closed`] after shutdown, [`ServeError::Transport`]
+    /// for unreachable remote shards, and
     /// [`ServeError::ShardVersionSkew`] if every retry raced a publication.
     pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
         self.route(&words, seed, None)
@@ -310,16 +473,21 @@ impl ShardRouter {
     /// them back to global word ids and keeps the overall best (ties
     /// broken by ascending word id, so the merged order is deterministic).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k >= n_topics`.
-    pub fn top_words(&self, k: usize, n: usize) -> Vec<(u32, f32)> {
-        assert!(k < self.n_topics, "topic {k} out of range");
+    /// Returns [`ServeError::BadRequest`] when `k` is outside the served
+    /// topic count, and propagates transport errors from remote shards.
+    pub fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        if k >= self.n_topics {
+            return Err(ServeError::BadRequest {
+                detail: format!("topic {k} out of range (K = {})", self.n_topics),
+            });
+        }
         let mut merged: Vec<(u32, f32)> = Vec::with_capacity(n * self.shards.len());
-        for (server, range) in self.shards.iter().zip(self.plan.ranges()) {
+        for (transport, range) in self.shards.iter().zip(self.plan.ranges()) {
             merged.extend(
-                server
-                    .top_words(k, n)
+                transport
+                    .top_words(k, n)?
                     .into_iter()
                     .map(|(local, prob)| (local + range.start, prob)),
             );
@@ -330,41 +498,70 @@ impl ShardRouter {
                 .then(a.0.cmp(&b.0))
         });
         merged.truncate(n);
-        merged
+        Ok(merged)
     }
 
     /// Fleet-wide serving counters: every shard's [`ServeStats`] merged
     /// ([`ServeStats::merge`]), histograms included — not just shard 0's
     /// view. Note that one routed document counts as one request *per
-    /// shard it touched* (per round, under EM).
+    /// shard it touched* (per round, under EM). Unreachable remote shards
+    /// contribute nothing (their counters are skipped, not invented).
     pub fn stats(&self) -> ServeStats {
-        let mut stats = self.shards[0].stats();
-        for server in &self.shards[1..] {
-            stats.merge(&server.stats());
+        let mut merged = ServeStats::default();
+        for info in self.all_shard_infos().into_iter().flatten() {
+            merged.merge(&info.stats);
         }
-        stats
+        merged
     }
 
-    /// Per-shard serving counters, in shard order.
+    /// Per-shard serving counters, in shard order; an unreachable remote
+    /// shard reports zeroed counters.
     pub fn shard_stats(&self) -> Vec<ServeStats> {
-        self.shards.iter().map(TopicServer::stats).collect()
+        self.all_shard_infos()
+            .into_iter()
+            .map(|info| info.map(|i| i.stats).unwrap_or_default())
+            .collect()
     }
 
-    /// Router-level counters (documents routed, skew retries, epoch).
+    /// Fetches every shard's info concurrently, in shard order. On a
+    /// remote fleet these are network round trips, and one down shard
+    /// must not serialise the others behind its connect timeout (a stats
+    /// scrape would otherwise stall for `n_shards × timeout`).
+    fn all_shard_infos(&self) -> Vec<Option<ShardInfo>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|transport| scope.spawn(move || transport.shard_info().ok()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().unwrap_or(None))
+                .collect()
+        })
+    }
+
+    /// Router-level counters (documents routed, skew retries, epoch,
+    /// per-shard request counts).
     pub fn router_stats(&self) -> RouterStats {
         RouterStats {
             requests: self.requests.load(Ordering::Relaxed),
             skew_retries: self.skew_retries.load(Ordering::Relaxed),
             epoch: self.epoch(),
             n_shards: self.n_shards(),
+            shard_requests: self
+                .shard_requests
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
-    /// Shuts down every shard's worker pool (also happens on drop).
+    /// Tears the router down (for a local fleet this joins every shard's
+    /// worker pool; for a remote fleet it closes the transports — the
+    /// shard processes keep running). Also happens on drop.
     pub fn shutdown(self) {
-        for server in self.shards {
-            server.shutdown();
-        }
+        drop(self);
     }
 
     /// Routes one document: split by shard, fan out, merge; retried when a
@@ -395,7 +592,16 @@ impl ShardRouter {
                     attempts += 1;
                     self.skew_retries.fetch_add(1, Ordering::Relaxed);
                 }
-                other => return other,
+                other => {
+                    if let Ok(response) = &other {
+                        // Keep the router's epoch record fresh from the
+                        // versions the shards actually answered with
+                        // (max, so a straggler cannot roll it back).
+                        self.last_epoch
+                            .fetch_max(response.snapshot_version, Ordering::Relaxed);
+                    }
+                    return other;
+                }
             }
         }
     }
@@ -410,13 +616,13 @@ impl ShardRouter {
         seed: u64,
         deadline: Option<Instant>,
     ) -> Result<InferResponse, ServeError> {
-        let receivers = self.fan_out(split, deadline, |s| PartialRequest::FoldIn {
+        let pending = self.fan_out(split, deadline, |s| PartialRequest::FoldIn {
             seed: derive_shard_seed(seed, s),
         })?;
         let mut merged = PartialFoldIn::empty(self.n_topics);
         let (mut version, mut n_oov) = (None, 0usize);
-        for (_, rx) in receivers {
-            let response = self.collect(rx, deadline)?;
+        for (_, pending) in pending {
+            let response = pending.wait(deadline)?;
             check_version(&mut version, &response)?;
             merged.merge(&response.partial);
             n_oov += response.n_oov;
@@ -437,7 +643,8 @@ impl ShardRouter {
     /// Multi-round EM fan-out: the router owns θ and synchronises it once
     /// per iteration; shards only ever compute per-word responsibility
     /// counts, which sum exactly. The version check spans *all* rounds, so
-    /// the θ trajectory is guaranteed to come from a single epoch.
+    /// the θ trajectory is guaranteed to come from a single epoch — on any
+    /// transport, since every response carries its snapshot version.
     fn attempt_em(
         &self,
         split: &[Vec<u32>],
@@ -458,12 +665,13 @@ impl ShardRouter {
         let mut theta = Arc::new(vec![1.0f64 / k as f64; k]);
         let (mut version, mut n_oov) = (None, 0usize);
         for round in 0..iterations {
-            let receivers = self.fan_out(split, deadline, |_| PartialRequest::EmRound {
+            let pending = self.fan_out(split, deadline, |_| PartialRequest::EmRound {
+                round,
                 theta: Arc::clone(&theta),
             })?;
             let mut merged = PartialFoldIn::empty(k);
-            for (_, rx) in receivers {
-                let response = self.collect(rx, deadline)?;
+            for (_, pending) in pending {
+                let response = pending.wait(deadline)?;
                 check_version(&mut version, &response)?;
                 merged.merge(&response.partial);
                 if round == 0 {
@@ -482,49 +690,25 @@ impl ShardRouter {
     }
 
     /// Submits `request_for(shard)` to every shard with words in `split`,
-    /// returning the reply channels for [`ShardRouter::collect`]. All
+    /// returning the pending handles for [`PendingPartial::wait`]. All
     /// submissions land before any reply is awaited, so shards execute
-    /// concurrently.
+    /// concurrently — in-process or across the network.
     fn fan_out(
         &self,
         split: &[Vec<u32>],
         deadline: Option<Instant>,
         request_for: impl Fn(usize) -> PartialRequest,
-    ) -> Result<Vec<(usize, Receiver<JobReply>)>, ServeError> {
-        let mut receivers = Vec::new();
+    ) -> Result<Vec<(usize, T::Pending)>, ServeError> {
+        let mut pending = Vec::new();
         for (s, words) in split.iter().enumerate() {
             if words.is_empty() {
                 continue;
             }
-            let rx = if deadline.is_some() {
-                self.shards[s].try_submit_partial(words.clone(), request_for(s))?
-            } else {
-                self.shards[s].submit_partial(words.clone(), request_for(s))?
-            };
-            receivers.push((s, rx));
+            let handle = self.shards[s].submit_partial(words.clone(), request_for(s), deadline)?;
+            self.shard_requests[s].fetch_add(1, Ordering::Relaxed);
+            pending.push((s, handle));
         }
-        Ok(receivers)
-    }
-
-    /// Awaits one shard reply, honouring the request deadline.
-    fn collect(
-        &self,
-        rx: Receiver<JobReply>,
-        deadline: Option<Instant>,
-    ) -> Result<PartialResponse, ServeError> {
-        let reply = match deadline {
-            None => rx.recv().map_err(|_| ServeError::Closed)?,
-            Some(at) => {
-                let remaining = at
-                    .checked_duration_since(Instant::now())
-                    .ok_or(ServeError::DeadlineExceeded)?;
-                rx.recv_timeout(remaining).map_err(|e| match e {
-                    std::sync::mpsc::RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
-                    std::sync::mpsc::RecvTimeoutError::Disconnected => ServeError::Closed,
-                })?
-            }
-        };
-        Ok(expect_partial(reply))
+        Ok(pending)
     }
 
     /// The uniform θ an empty document gets, cast through the same `f64 →
@@ -694,7 +878,11 @@ mod tests {
             ServeConfig::default(),
         )
         .unwrap();
-        assert_eq!(router.top_words(2, 4), direct);
+        assert_eq!(router.top_words(2, 4).unwrap(), direct);
+        assert!(matches!(
+            router.top_words(3, 4),
+            Err(ServeError::BadRequest { .. })
+        ));
         router.shutdown();
     }
 
@@ -713,7 +901,78 @@ mod tests {
         let per_shard = router.shard_stats();
         assert_eq!(per_shard.len(), 3);
         assert!(per_shard.iter().all(|s| s.requests == 6));
-        assert_eq!(router.router_stats().requests, 6);
+        let routed = router.router_stats();
+        assert_eq!(routed.requests, 6);
+        assert_eq!(
+            routed.shard_requests,
+            vec![6, 6, 6],
+            "router-side per-shard request counters"
+        );
         router.shutdown();
+    }
+
+    #[test]
+    fn with_transports_validates_the_fleet_shape() {
+        // A hand-built local fleet over mismatched plans is refused.
+        let model = planted_model(12, 3);
+        let config = ServeConfig::default();
+        let build = |range: std::ops::Range<u32>| {
+            let snapshot = InferenceSnapshot::from_model(&model, config.sampler);
+            LocalTransport::with_range(
+                TopicServer::start(snapshot.shard(range.clone()), config).unwrap(),
+                range,
+            )
+        };
+        // Wrong transport count.
+        assert!(matches!(
+            ShardRouter::with_transports(
+                ShardPlan::uniform(12, 2).unwrap(),
+                vec![build(0..6)],
+                config
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // Shard width disagrees with the plan.
+        assert!(matches!(
+            ShardRouter::with_transports(
+                ShardPlan::uniform(12, 2).unwrap(),
+                vec![build(0..6), build(6..11)],
+                config
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // Fold-in parameters disagree with the router's.
+        let em = ServeConfig {
+            fold_in: FoldInParams {
+                kind: FoldInKind::Em,
+                ..FoldInParams::default()
+            },
+            ..config
+        };
+        assert!(matches!(
+            ShardRouter::with_transports(
+                ShardPlan::uniform(12, 2).unwrap(),
+                vec![build(0..6), build(6..12)],
+                em
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // A well-formed hand-built fleet works and matches ShardRouter::start.
+        let hand_built = ShardRouter::with_transports(
+            ShardPlan::uniform(12, 2).unwrap(),
+            vec![build(0..6), build(6..12)],
+            config,
+        )
+        .unwrap();
+        let reference =
+            ShardRouter::from_model(&model, ShardPlan::uniform(12, 2).unwrap(), config).unwrap();
+        let a = hand_built.infer_topics(vec![1, 4, 7, 10], 3).unwrap();
+        let b = reference.infer_topics(vec![1, 4, 7, 10], 3).unwrap();
+        assert_eq!(
+            a.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        hand_built.shutdown();
+        reference.shutdown();
     }
 }

@@ -115,7 +115,7 @@ struct Counters {
 }
 
 /// A point-in-time copy of the server's counters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests completed.
     pub requests: u64,
@@ -204,6 +204,11 @@ pub enum PartialRequest {
     },
     /// Run one EM round against this θ and return responsibility counts.
     EmRound {
+        /// Zero-based index of the EM iteration this round belongs to. The
+        /// computation itself depends only on `theta`; the index rides the
+        /// wire so a remote shard's logs (and the golden wire fixtures) can
+        /// attribute a request to its round.
+        round: usize,
         /// The router's current θ estimate (length `K`), shared across the
         /// round's fan-out.
         theta: Arc<Vec<f64>>,
@@ -317,6 +322,30 @@ impl TopicServer {
         self.vocab_bound
             .store(snapshot.vocab_size(), Ordering::Relaxed);
         self.cell.publish(snapshot)
+    }
+
+    /// Publishes a new snapshot at a caller-chosen version, the primitive
+    /// behind a fleet's epoch-tagged remote commit: the shard lands on
+    /// exactly the epoch the router picked, even if its own publication
+    /// counter is behind (a restarted process starts back at 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `epoch` is not greater
+    /// than the currently served version — an epoch can never move
+    /// backwards, and replaying the *current* epoch is a caller-level
+    /// idempotence concern (see the HTTP commit handler).
+    pub fn publish_at(&self, snapshot: InferenceSnapshot, epoch: u64) -> Result<u64, ServeError> {
+        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let current = self.cell.version();
+        if epoch <= current {
+            return Err(ServeError::InvalidConfig {
+                detail: format!("cannot publish epoch {epoch} over current epoch {current}"),
+            });
+        }
+        self.vocab_bound
+            .store(snapshot.vocab_size(), Ordering::Relaxed);
+        Ok(self.cell.publish_with_version(snapshot, epoch))
     }
 
     /// Exports and publishes the current state of `model` using the
@@ -700,7 +729,7 @@ impl PartialRequest {
     fn into_kind(self) -> JobKind {
         match self {
             PartialRequest::FoldIn { seed } => JobKind::PartialFoldIn { seed },
-            PartialRequest::EmRound { theta } => JobKind::EmRound { theta },
+            PartialRequest::EmRound { theta, .. } => JobKind::EmRound { theta },
         }
     }
 }
@@ -828,6 +857,31 @@ mod tests {
     }
 
     #[test]
+    fn publish_at_pins_the_epoch_and_rejects_regressions() {
+        let server = small_server(1);
+        assert_eq!(server.snapshot_version(), 1);
+        let snap =
+            || InferenceSnapshot::from_model(&planted_model(12, 3), SnapshotSampler::WaryTree);
+        assert_eq!(server.publish_at(snap(), 5).unwrap(), 5);
+        assert_eq!(server.snapshot_version(), 5);
+        let response = server.infer_topics(vec![0, 3], 1).unwrap();
+        assert_eq!(response.snapshot_version, 5);
+        // Equal or backwards epochs are refused, leaving the server as-is.
+        assert!(matches!(
+            server.publish_at(snap(), 5),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            server.publish_at(snap(), 2),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert_eq!(server.snapshot_version(), 5);
+        // A regular publish continues from the pinned epoch.
+        assert_eq!(server.publish(snap()), 6);
+        server.shutdown();
+    }
+
+    #[test]
     fn out_of_range_word_ids_are_rejected_not_fatal() {
         let server = small_server(2);
         // A poison request must error out without killing a worker…
@@ -925,7 +979,7 @@ mod tests {
         // to 1).
         let theta = Arc::new(vec![1.0f64 / 3.0; 3]);
         let round = server
-            .infer_partial(words.clone(), PartialRequest::EmRound { theta })
+            .infer_partial(words.clone(), PartialRequest::EmRound { round: 0, theta })
             .unwrap();
         let total: f64 = round.partial.counts.iter().sum();
         assert!((total - words.len() as f64).abs() < 1e-9, "total = {total}");

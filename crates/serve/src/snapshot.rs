@@ -8,7 +8,9 @@
 //! and publications ([`crate::SnapshotCell`]) without synchronisation on
 //! the read path.
 
+use std::io::{Read, Write};
 use std::ops::Range;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +20,9 @@ use saber_core::infer::{
 };
 use saber_core::memory::snapshot_bytes;
 use saber_core::model::LdaModel;
+use saber_core::model_io;
 use saber_core::trees::WordSampler;
+use saber_core::SaberError;
 use saber_sparse::DenseMatrix;
 
 /// Which pre-processed per-word structure a snapshot builds for the dense
@@ -44,6 +48,22 @@ impl SnapshotSampler {
         match self {
             SnapshotSampler::WaryTree => PreprocessKind::WaryTree,
             SnapshotSampler::AliasTable => PreprocessKind::AliasTable,
+        }
+    }
+
+    /// The on-disk/wire discriminant used by [`InferenceSnapshot::save`].
+    fn code(self) -> u8 {
+        match self {
+            SnapshotSampler::WaryTree => 0,
+            SnapshotSampler::AliasTable => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(SnapshotSampler::WaryTree),
+            1 => Some(SnapshotSampler::AliasTable),
+            _ => None,
         }
     }
 }
@@ -288,6 +308,82 @@ impl InferenceSnapshot {
         assert!(k < self.n_topics(), "topic {k} out of range");
         saber_core::model::top_words_of_column(&self.bhat, k, n)
     }
+
+    /// Writes the snapshot in the versioned `SABRSNAP` binary format of
+    /// [`saber_core::model_io`]: header (dimensions, α, sampler kind) plus
+    /// the normalised `B̂` bits, little-endian and bit-exact. A process that
+    /// [`InferenceSnapshot::load`]s the result serves **identical** answers
+    /// — the per-word samplers are rebuilt deterministically from the same
+    /// `B̂` rows — so a remote shard can boot from disk (or from a wire
+    /// publication) instead of retraining.
+    ///
+    /// The publication version is *not* persisted: a loaded snapshot is
+    /// unpublished (version 0) until a cell or fleet assigns it an epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::Io`] on write failures.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), SaberError> {
+        // Stream straight from the resident matrix: cloning B̂ into an
+        // owned payload would double peak memory for exactly the large
+        // snapshots persistence exists for.
+        model_io::save_snapshot_parts(
+            self.vocab_size(),
+            self.n_topics(),
+            self.alpha,
+            self.sampler_kind.code(),
+            self.bhat.as_slice(),
+            writer,
+        )
+    }
+
+    /// Reads a snapshot previously written by [`InferenceSnapshot::save`]
+    /// and rebuilds its per-word sampling structures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::Io`] for truncated input and
+    /// [`SaberError::InvalidConfig`] for a bad magic number, unsupported
+    /// format version, implausible dimensions or unknown sampler kind.
+    pub fn load<R: Read>(reader: R) -> Result<InferenceSnapshot, SaberError> {
+        let payload = model_io::load_snapshot(reader)?;
+        let sampler_kind = SnapshotSampler::from_code(payload.sampler_code).ok_or_else(|| {
+            SaberError::InvalidConfig {
+                detail: format!("unknown snapshot sampler code {}", payload.sampler_code),
+            }
+        })?;
+        let bhat = DenseMatrix::from_vec(payload.vocab_size, payload.n_topics, payload.bhat)?;
+        let samplers = (0..bhat.rows())
+            .map(|v| WordSampler::build(sampler_kind.preprocess(), bhat.row(v)))
+            .collect();
+        Ok(InferenceSnapshot {
+            bhat,
+            samplers,
+            alpha: payload.alpha,
+            sampler_kind,
+            version: 0,
+        })
+    }
+
+    /// [`InferenceSnapshot::save`] to a file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::Io`] on failure to create or write the file.
+    pub fn save_file<P: AsRef<Path>>(&self, path: P) -> Result<(), SaberError> {
+        let file = std::fs::File::create(path)?;
+        self.save(std::io::BufWriter::new(file))
+    }
+
+    /// [`InferenceSnapshot::load`] from a file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InferenceSnapshot::load`].
+    pub fn load_file<P: AsRef<Path>>(path: P) -> Result<InferenceSnapshot, SaberError> {
+        let file = std::fs::File::open(path)?;
+        InferenceSnapshot::load(std::io::BufReader::new(file))
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +500,69 @@ pub(crate) mod tests {
         let from_shard = shard.partial_fold_in(&[2, 7, 2], 42, params);
         let from_full = snap.partial_fold_in(&[7, 12, 7], 42, params);
         assert_eq!(from_shard, from_full);
+    }
+
+    #[test]
+    fn save_load_roundtrip_serves_identical_inference() {
+        // The persistence satellite's contract: a snapshot that went
+        // through disk answers bit-identically — B̂ bits are preserved and
+        // the samplers rebuild deterministically from them.
+        let model = planted_model(20, 4);
+        for kind in [SnapshotSampler::WaryTree, SnapshotSampler::AliasTable] {
+            let original = InferenceSnapshot::from_model(&model, kind);
+            let mut buf = Vec::new();
+            original.save(&mut buf).unwrap();
+            let loaded = InferenceSnapshot::load(buf.as_slice()).unwrap();
+            assert_eq!(loaded.vocab_size(), 20);
+            assert_eq!(loaded.n_topics(), 4);
+            assert_eq!(loaded.alpha().to_bits(), original.alpha().to_bits());
+            assert_eq!(loaded.sampler_kind(), kind);
+            assert_eq!(loaded.version(), 0, "loaded snapshots are unpublished");
+            let words = [1u32, 5, 9, 13, 17, 1, 2, 19];
+            for seed in [0u64, 7, 99] {
+                for fold_kind in [FoldInKind::Esca, FoldInKind::Em] {
+                    let params = FoldInParams {
+                        kind: fold_kind,
+                        ..FoldInParams::default()
+                    };
+                    let a = original.infer_topics(&words, seed, params);
+                    let b = loaded.infer_topics(&words, seed, params);
+                    assert_eq!(
+                        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        "{kind:?}/{fold_kind:?}/seed {seed} diverged after a round trip"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_rejects_unknown_sampler_code() {
+        let model = planted_model(6, 2);
+        let snap = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let mut buf = Vec::new();
+        snap.save(&mut buf).unwrap();
+        // Byte 32 is the sampler code (8 magic + 4 version + 8 V + 8 K +
+        // 4 alpha).
+        buf[32] = 7;
+        assert!(matches!(
+            InferenceSnapshot::load(buf.as_slice()),
+            Err(SaberError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("saberlda_snapshot_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let snap = InferenceSnapshot::from_model(&planted_model(8, 2), SnapshotSampler::AliasTable);
+        snap.save_file(&path).unwrap();
+        let loaded = InferenceSnapshot::load_file(&path).unwrap();
+        assert_eq!(loaded.vocab_size(), 8);
+        assert_eq!(loaded.sampler_kind(), SnapshotSampler::AliasTable);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -143,6 +143,34 @@ impl HistogramSnapshot {
         self.counts[i]
     }
 
+    /// Sum of all recorded microseconds — with the per-bucket counts, the
+    /// full state of the histogram. This is what the shard-info wire codec
+    /// ships so a router can merge remote histograms at full fidelity
+    /// (the JSON `/stats` body only carries derived quantiles).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// Rebuilds a snapshot from sparse `(bucket index, count)` pairs and a
+    /// microsecond sum — the inverse of iterating
+    /// [`HistogramSnapshot::bucket_count`] over the non-empty buckets.
+    /// Repeated indices accumulate. Returns `None` when an index is outside
+    /// [`N_BUCKETS`].
+    pub fn from_sparse_buckets(
+        pairs: impl IntoIterator<Item = (usize, u64)>,
+        sum_micros: u64,
+    ) -> Option<HistogramSnapshot> {
+        let mut counts = [0u64; N_BUCKETS];
+        for (i, c) in pairs {
+            *counts.get_mut(i)? += c;
+        }
+        Some(HistogramSnapshot {
+            count: counts.iter().sum(),
+            counts,
+            sum_micros,
+        })
+    }
+
     /// Mean latency in microseconds, or `None` when empty.
     pub fn mean_micros(&self) -> Option<f64> {
         if self.count == 0 {
@@ -274,6 +302,26 @@ mod tests {
             2,
             "both 10 µs samples share a bucket"
         );
+    }
+
+    #[test]
+    fn sparse_bucket_roundtrip_reconstructs_the_snapshot() {
+        let hist = LatencyHistogram::new();
+        for us in [1u64, 3, 900, 900, 5_000_000] {
+            hist.record(Duration::from_micros(us));
+        }
+        let snap = hist.snapshot();
+        let sparse: Vec<(usize, u64)> = (0..N_BUCKETS)
+            .filter(|&i| snap.bucket_count(i) > 0)
+            .map(|i| (i, snap.bucket_count(i)))
+            .collect();
+        let rebuilt = HistogramSnapshot::from_sparse_buckets(sparse, snap.sum_micros()).unwrap();
+        assert_eq!(rebuilt, snap);
+        assert_eq!(
+            HistogramSnapshot::from_sparse_buckets([], 0).unwrap(),
+            HistogramSnapshot::default()
+        );
+        assert!(HistogramSnapshot::from_sparse_buckets([(N_BUCKETS, 1)], 0).is_none());
     }
 
     #[test]

@@ -51,15 +51,39 @@ impl SnapshotCell {
     /// Atomically replaces the served snapshot, assigning and returning the
     /// next version number. Readers observe the swap on their next load; the
     /// previous snapshot stays alive for requests already using it.
-    pub fn publish(&self, mut snapshot: InferenceSnapshot) -> u64 {
+    pub fn publish(&self, snapshot: InferenceSnapshot) -> u64 {
         let mut slot = self.current.lock().expect("snapshot cell poisoned");
         let version = self.version.load(Ordering::Acquire) + 1;
+        Self::store(&mut slot, &self.version, snapshot, version);
+        version
+    }
+
+    /// Like [`SnapshotCell::publish`] but with a caller-chosen version —
+    /// how a remote shard lands on the *fleet's* epoch instead of its own
+    /// local counter (a restarted shard may be several epochs behind).
+    /// `version` must be greater than the current one; the caller
+    /// serialises publications (see `TopicServer`'s publish lock).
+    pub fn publish_with_version(&self, snapshot: InferenceSnapshot, version: u64) -> u64 {
+        let mut slot = self.current.lock().expect("snapshot cell poisoned");
+        debug_assert!(
+            version > self.version.load(Ordering::Acquire),
+            "epoch-pinned publication must move the version forward"
+        );
+        Self::store(&mut slot, &self.version, snapshot, version);
+        version
+    }
+
+    fn store(
+        slot: &mut Arc<InferenceSnapshot>,
+        cell_version: &AtomicU64,
+        mut snapshot: InferenceSnapshot,
+        version: u64,
+    ) {
         snapshot.set_version(version);
         *slot = Arc::new(snapshot);
         // Publish the version only after the slot holds the new snapshot, so
         // `load_if_newer` can never see the new version with the old data.
-        self.version.store(version, Ordering::Release);
-        version
+        cell_version.store(version, Ordering::Release);
     }
 
     /// The currently served snapshot.
@@ -114,6 +138,16 @@ mod tests {
         cell.publish(tiny_snapshot());
         assert_eq!(held.version(), 1, "in-flight reader must keep its snapshot");
         assert_eq!(cell.load().version(), 2);
+    }
+
+    #[test]
+    fn publish_with_version_lands_on_the_requested_epoch() {
+        let cell = SnapshotCell::new(tiny_snapshot());
+        assert_eq!(cell.publish_with_version(tiny_snapshot(), 7), 7);
+        assert_eq!(cell.version(), 7);
+        assert_eq!(cell.load().version(), 7);
+        // A regular publish continues from there.
+        assert_eq!(cell.publish(tiny_snapshot()), 8);
     }
 
     #[test]

@@ -1,0 +1,860 @@
+//! The transport seam between a [`ShardRouter`](crate::ShardRouter) and its
+//! shards.
+//!
+//! PR 4's router assumed its shards were function calls away: it held
+//! [`TopicServer`] handles and pushed jobs straight into their queues. The
+//! [`ShardTransport`] trait re-cuts that seam so the router only speaks a
+//! small protocol — submit a partial fold-in, fetch top-words rows, read
+//! shard stats/health, observe the snapshot epoch, and stage/commit an
+//! epoch publication — and *where* the shard lives becomes an
+//! implementation detail:
+//!
+//! * [`LocalTransport`] wraps an in-process [`TopicServer`], preserving PR
+//!   4's behaviour bit for bit (same queues, same seeds, same float
+//!   sequences — the differential suite in `tests/sharded_serving.rs` runs
+//!   unchanged against it).
+//! * [`HttpTransport`] speaks the crate's existing HTTP/1.1 wire format
+//!   (`POST /infer-partial`, `GET /shard-info`, `POST /publish-shard`,
+//!   `POST /commit-epoch`; see [`crate::wire`]) to a shard process on
+//!   another machine. Because the JSON codec round-trips `f64`s exactly,
+//!   a remote EM fan-out reproduces the local one bit for bit, and the
+//!   router's epoch-skew detection works identically: every partial
+//!   response carries the snapshot version that produced it.
+//!
+//! Publication is where the two transports genuinely differ, so the trait
+//! splits it into the two phases a fleet-wide all-or-nothing swap needs:
+//! [`ShardTransport::prepare_publish`] stages an epoch-tagged snapshot
+//! slice on every shard (local: a stash behind a mutex; remote: an upload),
+//! and only when *every* stage succeeded does the router run the cheap
+//! [`ShardTransport::commit_publish`] loop that actually swaps — keeping
+//! the mixed-version window as tight as a single in-process Arc swap.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::ops::Range;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::server::{expect_partial, JobReply, PartialRequest, PartialResponse};
+use crate::snapshot::{FoldInParams, InferenceSnapshot};
+use crate::wire;
+use crate::{ServeError, ServeStats, TopicServer};
+
+/// A shard's self-description, as reported by [`ShardTransport::shard_info`]
+/// (and served remotely as `GET /shard-info`). The router validates a fleet
+/// against this before fanning anything out, and reads the embedded
+/// [`ServeStats`] for its fleet-wide observability view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInfo {
+    /// The snapshot version the shard currently serves.
+    pub epoch: u64,
+    /// Number of vocabulary words the shard holds (its local id space is
+    /// `0..vocab_size`).
+    pub vocab_size: usize,
+    /// Topic count `K` — must agree across the fleet.
+    pub n_topics: usize,
+    /// Document–topic smoothing α — must agree across the fleet (it enters
+    /// the router-side merge).
+    pub alpha: f32,
+    /// The global word-id range `[start, end)` the shard was configured to
+    /// serve, when known; defaults to the local `[0, vocab_size)`.
+    pub shard_range: (u32, u32),
+    /// The fold-in parameters the shard applies to partial requests — must
+    /// agree with the router's, or merged answers silently change meaning.
+    pub fold_in: FoldInParams,
+    /// The shard's serving counters, histogram included (lossless over the
+    /// wire; see [`crate::wire::encode_shard_info`]).
+    pub stats: ServeStats,
+}
+
+/// A submitted-but-not-yet-answered partial request; the other half of
+/// [`ShardTransport::submit_partial`]. Splitting submission from the wait
+/// is what lets the router land every shard's request before blocking on
+/// any reply, so shards execute concurrently.
+pub trait PendingPartial {
+    /// Awaits the shard's reply, honouring the request deadline the router
+    /// passed at submission.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DeadlineExceeded`] past the deadline,
+    /// [`ServeError::Closed`] when the shard (or its transport) has shut
+    /// down, and transport- or shard-reported errors otherwise.
+    fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError>;
+}
+
+/// How a [`ShardRouter`](crate::ShardRouter) reaches one shard.
+///
+/// Implementations must be usable from many router threads at once (the
+/// router fans out concurrently), and every operation must report the
+/// shard's snapshot version faithfully — the router's mixed-epoch
+/// detection depends on it.
+pub trait ShardTransport: Send + Sync + std::fmt::Debug {
+    /// The in-flight handle [`ShardTransport::submit_partial`] returns.
+    type Pending: PendingPartial;
+
+    /// Submits one partial fold-in (ESCA chain or EM round) over
+    /// shard-local word ids. With a deadline the submission must be
+    /// fail-fast ([`ServeError::Overloaded`] instead of blocking on a full
+    /// queue); without one it may block.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] on fail-fast admission, transport errors
+    /// for unreachable shards, [`ServeError::Closed`] after shutdown.
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+    ) -> Result<Self::Pending, ServeError>;
+
+    /// The `n` highest-probability words of topic `k`, in *shard-local* ids
+    /// (the router re-bases them to global ids).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or the shard's own rejection of `k`.
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError>;
+
+    /// The shard's self-description and full serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors for unreachable shards.
+    fn shard_info(&self) -> Result<ShardInfo, ServeError>;
+
+    /// The snapshot version the shard currently serves — the cheap epoch
+    /// probe (`GET /healthz` remotely; an atomic load locally).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors for unreachable shards.
+    fn observe_epoch(&self) -> Result<u64, ServeError>;
+
+    /// Stages `slice` as the shard's next snapshot, tagged with the fleet
+    /// epoch it will serve as. Staging does **not** change what the shard
+    /// serves; the router stages every shard before committing any, so a
+    /// failure here aborts the publication with the old epoch intact
+    /// everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or shard-side rejection (shape mismatch, epoch
+    /// not ahead of the current one).
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError>;
+
+    /// Commits the staged snapshot: the shard swaps to `epoch` and serves
+    /// it from its next batch. Idempotent when the shard already serves
+    /// `epoch` (a retried commit must not fail the publication).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServeError::InvalidConfig`] when nothing is
+    /// staged for `epoch`.
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError>;
+}
+
+/// The staged-epoch slot shared by [`LocalTransport`] and the HTTP shard
+/// endpoints, so the subtle commit rule lives in exactly one place:
+/// staging replaces any previous stage (the router serialises
+/// publications, so a leftover stage is an aborted one); a commit is
+/// idempotent for the epoch already served and consumes the stage only
+/// when it matches — in particular, a stale duplicate commit must never
+/// discard a snapshot staged for a newer epoch.
+#[derive(Debug, Default)]
+pub(crate) struct StagedEpoch(Mutex<Option<(u64, InferenceSnapshot)>>);
+
+/// What a commit request should do, per the rule in [`StagedEpoch`].
+pub(crate) enum CommitAction {
+    /// The shard already serves this epoch; acknowledge without touching
+    /// anything (including any newer staged snapshot).
+    AlreadyServed,
+    /// Publish this snapshot at the committed epoch.
+    Publish(InferenceSnapshot),
+    /// Nothing is staged for this epoch.
+    Missing,
+}
+
+impl StagedEpoch {
+    pub(crate) fn stage(&self, epoch: u64, snapshot: InferenceSnapshot) {
+        *self.0.lock().expect("staged snapshot lock poisoned") = Some((epoch, snapshot));
+    }
+
+    pub(crate) fn take_for_commit(&self, epoch: u64, served_epoch: u64) -> CommitAction {
+        if served_epoch == epoch {
+            return CommitAction::AlreadyServed;
+        }
+        let mut staged = self.0.lock().expect("staged snapshot lock poisoned");
+        match staged.take_if(|(staged_epoch, _)| *staged_epoch == epoch) {
+            Some((_, snapshot)) => CommitAction::Publish(snapshot),
+            None => CommitAction::Missing,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local transport: in-process TopicServer, PR 4 behaviour bit for bit.
+// ---------------------------------------------------------------------------
+
+/// [`ShardTransport`] over an in-process [`TopicServer`] — the fan-out path
+/// PR 4 hard-wired, now behind the trait. Submission pushes into the
+/// server's bounded queue exactly as before, so sharded answers remain
+/// bit-identical to the pre-trait router.
+#[derive(Debug)]
+pub struct LocalTransport {
+    server: TopicServer,
+    /// The global word-id range this shard serves, when the builder knows
+    /// it (the router's own fleets always do).
+    range: Option<Range<u32>>,
+    /// The epoch-tagged snapshot staged by [`ShardTransport::prepare_publish`],
+    /// waiting for its commit.
+    staged: StagedEpoch,
+}
+
+impl LocalTransport {
+    /// Wraps `server` as a shard transport.
+    pub fn new(server: TopicServer) -> Self {
+        LocalTransport {
+            server,
+            range: None,
+            staged: StagedEpoch::default(),
+        }
+    }
+
+    /// Wraps `server` and records the global word-id range it serves
+    /// (reported through [`ShardInfo::shard_range`]).
+    pub fn with_range(server: TopicServer, range: Range<u32>) -> Self {
+        LocalTransport {
+            server,
+            range: Some(range),
+            staged: StagedEpoch::default(),
+        }
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &TopicServer {
+        &self.server
+    }
+}
+
+/// The pending handle of a [`LocalTransport`] submission: the reply channel
+/// of the job sitting in the server's queue.
+#[derive(Debug)]
+pub struct LocalPending(Receiver<JobReply>);
+
+impl PendingPartial for LocalPending {
+    fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
+        let reply = match deadline {
+            None => self.0.recv().map_err(|_| ServeError::Closed)?,
+            Some(at) => {
+                let remaining = at
+                    .checked_duration_since(Instant::now())
+                    .ok_or(ServeError::DeadlineExceeded)?;
+                self.0.recv_timeout(remaining).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
+                    RecvTimeoutError::Disconnected => ServeError::Closed,
+                })?
+            }
+        };
+        Ok(expect_partial(reply))
+    }
+}
+
+impl ShardTransport for LocalTransport {
+    type Pending = LocalPending;
+
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+    ) -> Result<LocalPending, ServeError> {
+        let rx = if deadline.is_some() {
+            self.server.try_submit_partial(words, request)?
+        } else {
+            self.server.submit_partial(words, request)?
+        };
+        Ok(LocalPending(rx))
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        let snapshot = self.server.snapshot();
+        if k >= snapshot.n_topics() {
+            return Err(ServeError::BadRequest {
+                detail: format!("topic {k} out of range (K = {})", snapshot.n_topics()),
+            });
+        }
+        Ok(snapshot.top_words(k, n))
+    }
+
+    fn shard_info(&self) -> Result<ShardInfo, ServeError> {
+        let snapshot = self.server.snapshot();
+        let vocab_size = snapshot.vocab_size();
+        let shard_range = match &self.range {
+            Some(range) => (range.start, range.end),
+            None => (0, vocab_size as u32),
+        };
+        Ok(ShardInfo {
+            epoch: snapshot.version(),
+            vocab_size,
+            n_topics: snapshot.n_topics(),
+            alpha: snapshot.alpha(),
+            shard_range,
+            fold_in: self.server.config().fold_in,
+            stats: self.server.stats(),
+        })
+    }
+
+    fn observe_epoch(&self) -> Result<u64, ServeError> {
+        Ok(self.server.snapshot_version())
+    }
+
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
+        self.staged.stage(epoch, slice);
+        Ok(())
+    }
+
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
+        match self
+            .staged
+            .take_for_commit(epoch, self.server.snapshot_version())
+        {
+            CommitAction::AlreadyServed => Ok(epoch),
+            CommitAction::Publish(slice) => self.server.publish_at(slice, epoch),
+            CommitAction::Missing => Err(ServeError::InvalidConfig {
+                detail: format!("no staged snapshot for epoch {epoch}"),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP transport: a shard process on the other end of a TCP connection.
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs of an [`HttpTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpTransportConfig {
+    /// Persistent keep-alive connections to the shard (each owned by one
+    /// sender thread); bounds the transport's request concurrency.
+    pub connections: usize,
+    /// Budget for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout per I/O operation; a shard that stops
+    /// responding mid-exchange surfaces as a transport error after this
+    /// long instead of hanging a router thread.
+    pub io_timeout: Duration,
+    /// Capacity of the transport's job queue. Deadline-bounded submissions
+    /// fail fast with [`ServeError::Overloaded`] when it is full, exactly
+    /// like a local server's bounded queue.
+    pub queue_depth: usize,
+    /// How long control calls (`shard_info`, `top_words`, epoch probes,
+    /// commits) wait for their reply before giving up.
+    pub control_wait: Duration,
+    /// How long a staged-snapshot upload may take; snapshots are the
+    /// largest messages on this protocol.
+    pub publish_wait: Duration,
+}
+
+impl Default for HttpTransportConfig {
+    fn default() -> Self {
+        HttpTransportConfig {
+            connections: 4,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            queue_depth: 128,
+            control_wait: Duration::from_secs(5),
+            publish_wait: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Largest HTTP response body the client accepts (a defensive bound; real
+/// responses are a few KB).
+const MAX_RESPONSE_BYTES: usize = 64 << 20;
+
+/// The outcome of one raw HTTP exchange: status + body, or the transport
+/// error that prevented it.
+type HttpOutcome = Result<(u16, Vec<u8>), ServeError>;
+
+struct HttpJob {
+    request: Vec<u8>,
+    reply: SyncSender<HttpOutcome>,
+}
+
+/// [`ShardTransport`] over the crate's own HTTP/1.1 wire format — the
+/// remote half of cross-machine sharding. A small pool of sender threads
+/// holds persistent connections to the shard process; requests are
+/// serialised by [`crate::wire`] codecs whose `f64` round trip is exact,
+/// so remote merges match local ones bit for bit.
+///
+/// The shard on the other end is any [`crate::HttpServer`] fronting a
+/// [`TopicServer`] — typically one started by the `saber_shardd` example
+/// or your own process that loads an [`InferenceSnapshot`] from disk.
+pub struct HttpTransport {
+    addr: SocketAddr,
+    queue: Option<SyncSender<HttpJob>>,
+    senders: Vec<JoinHandle<()>>,
+    config: HttpTransportConfig,
+}
+
+impl std::fmt::Debug for HttpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpTransport")
+            .field("addr", &self.addr)
+            .field("connections", &self.config.connections)
+            .finish()
+    }
+}
+
+impl HttpTransport {
+    /// Creates a transport to the shard at `addr` with default tuning.
+    /// Connections are established lazily (and re-established after
+    /// errors), so this does not require the shard to be up yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `addr` does not resolve.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        HttpTransport::connect_with(addr, HttpTransportConfig::default())
+    }
+
+    /// [`HttpTransport::connect`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when `addr` does not resolve
+    /// or `config.connections`/`queue_depth` is zero.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: HttpTransportConfig,
+    ) -> Result<Self, ServeError> {
+        if config.connections == 0 || config.queue_depth == 0 {
+            return Err(ServeError::InvalidConfig {
+                detail: "transport connections and queue_depth must be at least 1".into(),
+            });
+        }
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::InvalidConfig {
+                detail: format!("shard address does not resolve: {e}"),
+            })?
+            .next()
+            .ok_or_else(|| ServeError::InvalidConfig {
+                detail: "shard address resolves to nothing".into(),
+            })?;
+        let (tx, rx) = sync_channel::<HttpJob>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let senders = (0..config.connections)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("saber-shard-tx-{i}"))
+                    .spawn(move || sender_loop(&rx, addr, config))
+                    .expect("failed to spawn shard transport sender")
+            })
+            .collect();
+        Ok(HttpTransport {
+            addr,
+            queue: Some(tx),
+            senders,
+            config,
+        })
+    }
+
+    /// The resolved shard address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Builds one HTTP/1.1 request as bytes (keep-alive implied).
+    fn request_bytes(
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+        epoch: Option<u64>,
+    ) -> Vec<u8> {
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: shard\r\nContent-Length: {}\r\n",
+            body.len()
+        );
+        if !body.is_empty() {
+            head.push_str(&format!("Content-Type: {content_type}\r\n"));
+        }
+        if let Some(epoch) = epoch {
+            head.push_str(&format!("X-Saber-Epoch: {epoch}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut request = head.into_bytes();
+        request.extend_from_slice(body);
+        request
+    }
+
+    /// Enqueues a request without waiting (the fan-out path).
+    fn enqueue(
+        &self,
+        request: Vec<u8>,
+        fail_fast: bool,
+    ) -> Result<Receiver<HttpOutcome>, ServeError> {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = HttpJob {
+            request,
+            reply: reply_tx,
+        };
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        if fail_fast {
+            match queue.try_send(job) {
+                Ok(()) => Ok(reply_rx),
+                Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+            }
+        } else {
+            queue.send(job).map_err(|_| ServeError::Closed)?;
+            Ok(reply_rx)
+        }
+    }
+
+    /// Round-trips one request synchronously with a bounded wait (the
+    /// control path: info, stats, publication).
+    fn call(&self, request: Vec<u8>, wait: Duration) -> Result<(u16, Vec<u8>), ServeError> {
+        let rx = self.enqueue(request, false)?;
+        match rx.recv_timeout(wait) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+        }
+    }
+}
+
+impl Drop for HttpTransport {
+    fn drop(&mut self) {
+        self.queue = None;
+        for sender in self.senders.drain(..) {
+            let _ = sender.join();
+        }
+    }
+}
+
+/// The pending handle of an [`HttpTransport`] submission.
+#[derive(Debug)]
+pub struct HttpPending(Receiver<HttpOutcome>);
+
+impl PendingPartial for HttpPending {
+    fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
+        let outcome = match deadline {
+            None => self.0.recv().map_err(|_| ServeError::Closed)?,
+            Some(at) => {
+                let remaining = at
+                    .checked_duration_since(Instant::now())
+                    .ok_or(ServeError::DeadlineExceeded)?;
+                self.0.recv_timeout(remaining).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
+                    RecvTimeoutError::Disconnected => ServeError::Closed,
+                })?
+            }
+        };
+        let (status, body) = outcome?;
+        decode_body(status, &body, wire::decode_partial_response)
+    }
+}
+
+/// Parses a 200 body with `decode`, or maps the shard's error status onto
+/// the [`ServeError`] it encodes.
+fn decode_body<T>(
+    status: u16,
+    body: &[u8],
+    decode: impl FnOnce(&str) -> Result<T, wire::WireError>,
+) -> Result<T, ServeError> {
+    let text = std::str::from_utf8(body).map_err(|_| ServeError::Transport {
+        detail: "shard response is not valid UTF-8".into(),
+    })?;
+    if status == 200 {
+        decode(text).map_err(|e| ServeError::Transport {
+            detail: format!("malformed shard response: {e}"),
+        })
+    } else {
+        Err(wire::decode_serve_error(status, text))
+    }
+}
+
+impl ShardTransport for HttpTransport {
+    type Pending = HttpPending;
+
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+    ) -> Result<HttpPending, ServeError> {
+        let body = wire::encode_partial_request(&words, &request).to_string();
+        let request = Self::request_bytes(
+            "POST",
+            "/infer-partial",
+            "application/json",
+            body.as_bytes(),
+            None,
+        );
+        Ok(HttpPending(self.enqueue(request, deadline.is_some())?))
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        let request = Self::request_bytes(
+            "GET",
+            &format!("/top-words?topic={k}&n={n}"),
+            "application/json",
+            &[],
+            None,
+        );
+        let (status, body) = self.call(request, self.config.control_wait)?;
+        decode_body(status, &body, wire::decode_top_words)
+    }
+
+    fn shard_info(&self) -> Result<ShardInfo, ServeError> {
+        let request = Self::request_bytes("GET", "/shard-info", "application/json", &[], None);
+        let (status, body) = self.call(request, self.config.control_wait)?;
+        decode_body(status, &body, wire::decode_shard_info)
+    }
+
+    fn observe_epoch(&self) -> Result<u64, ServeError> {
+        let request = Self::request_bytes("GET", "/healthz", "application/json", &[], None);
+        let (status, body) = self.call(request, self.config.control_wait)?;
+        decode_body(status, &body, wire::decode_healthz_version)
+    }
+
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
+        let mut body = Vec::new();
+        slice.save(&mut body).map_err(|e| ServeError::Transport {
+            detail: format!("failed to serialise snapshot slice: {e}"),
+        })?;
+        let request = Self::request_bytes(
+            "POST",
+            "/publish-shard",
+            "application/octet-stream",
+            &body,
+            Some(epoch),
+        );
+        let (status, body) = self.call(request, self.config.publish_wait)?;
+        decode_body(status, &body, |_| Ok(()))
+    }
+
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
+        let body = format!("{{\"epoch\":{epoch}}}");
+        let request = Self::request_bytes(
+            "POST",
+            "/commit-epoch",
+            "application/json",
+            body.as_bytes(),
+            None,
+        );
+        let (status, body) = self.call(request, self.config.control_wait)?;
+        decode_body(status, &body, wire::decode_healthz_version)?;
+        Ok(epoch)
+    }
+}
+
+/// One sender thread: owns (at most) one keep-alive connection, drains the
+/// shared job queue, and reconnects on I/O failure — retrying the in-hand
+/// request once on a fresh connection, since every message on this
+/// protocol is safe to replay (partials are pure computation, staging and
+/// commits are idempotent).
+fn sender_loop(rx: &Mutex<Receiver<HttpJob>>, addr: SocketAddr, config: HttpTransportConfig) {
+    let mut connection: Option<BufReader<TcpStream>> = None;
+    loop {
+        let job = {
+            let guard = rx.lock().expect("shard transport queue poisoned");
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            }
+        };
+        let mut result = exchange(&mut connection, addr, &config, &job.request);
+        if result.is_err() {
+            // The keep-alive connection may simply have been closed by the
+            // shard between requests; one fresh-connection retry
+            // distinguishes that from a shard that is actually down.
+            connection = None;
+            result = exchange(&mut connection, addr, &config, &job.request);
+            if result.is_err() {
+                connection = None;
+            }
+        }
+        // A send fails only when the requester stopped waiting; fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Writes one request and reads one response over the (re)used connection.
+fn exchange(
+    connection: &mut Option<BufReader<TcpStream>>,
+    addr: SocketAddr,
+    config: &HttpTransportConfig,
+    request: &[u8],
+) -> Result<(u16, Vec<u8>), ServeError> {
+    let transport_err = |detail: String| ServeError::Transport { detail };
+    if connection.is_none() {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
+            .map_err(|e| transport_err(format!("cannot connect to shard {addr}: {e}")))?;
+        let _ = stream.set_read_timeout(Some(config.io_timeout));
+        let _ = stream.set_write_timeout(Some(config.io_timeout));
+        let _ = stream.set_nodelay(true);
+        *connection = Some(BufReader::new(stream));
+    }
+    let reader = connection.as_mut().expect("connection just established");
+    reader
+        .get_mut()
+        .write_all(request)
+        .and_then(|_| reader.get_mut().flush())
+        .map_err(|e| transport_err(format!("write to shard {addr} failed: {e}")))?;
+    read_response(reader).map_err(|e| transport_err(format!("read from shard {addr} failed: {e}")))
+}
+
+/// Reads one `Content-Length`-framed HTTP/1.1 response.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(u16, Vec<u8>)> {
+    use std::io::{Error, ErrorKind};
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "malformed status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "EOF in headers"));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Error::new(ErrorKind::InvalidData, "bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_RESPONSE_BYTES {
+        return Err(Error::new(ErrorKind::InvalidData, "response too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests::planted_model;
+    use crate::snapshot::SnapshotSampler;
+    use crate::ServeConfig;
+
+    fn transport() -> LocalTransport {
+        let server =
+            TopicServer::from_model(&planted_model(12, 3), ServeConfig::default()).unwrap();
+        LocalTransport::with_range(server, 0..12)
+    }
+
+    #[test]
+    fn local_transport_reports_shard_info() {
+        let transport = transport();
+        let info = transport.shard_info().unwrap();
+        assert_eq!(info.epoch, 1);
+        assert_eq!(info.vocab_size, 12);
+        assert_eq!(info.n_topics, 3);
+        assert_eq!(info.shard_range, (0, 12));
+        assert_eq!(info.fold_in, ServeConfig::default().fold_in);
+        assert_eq!(info.stats.requests, 0);
+        assert_eq!(transport.observe_epoch().unwrap(), 1);
+    }
+
+    #[test]
+    fn local_submit_and_wait_round_trip() {
+        let transport = transport();
+        let pending = transport
+            .submit_partial(vec![0, 3, 6], PartialRequest::FoldIn { seed: 4 }, None)
+            .unwrap();
+        let response = pending.wait(None).unwrap();
+        assert_eq!(response.snapshot_version, 1);
+        assert_eq!(response.partial.n_words, 3);
+    }
+
+    #[test]
+    fn local_prepare_commit_swaps_on_commit_only() {
+        let transport = transport();
+        let slice = InferenceSnapshot::from_model(&planted_model(12, 3), SnapshotSampler::WaryTree);
+        transport.prepare_publish(slice, 2).unwrap();
+        assert_eq!(
+            transport.observe_epoch().unwrap(),
+            1,
+            "staging must not swap"
+        );
+        assert_eq!(transport.commit_publish(2).unwrap(), 2);
+        assert_eq!(transport.observe_epoch().unwrap(), 2);
+        // Re-committing the served epoch is idempotent…
+        assert_eq!(transport.commit_publish(2).unwrap(), 2);
+        // …but committing an epoch that was never staged fails.
+        assert!(matches!(
+            transport.commit_publish(5),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        // A delayed duplicate commit of the served epoch must NOT consume
+        // a snapshot already staged for the next one.
+        let next = InferenceSnapshot::from_model(&planted_model(12, 3), SnapshotSampler::WaryTree);
+        transport.prepare_publish(next, 3).unwrap();
+        assert_eq!(transport.commit_publish(2).unwrap(), 2, "stale duplicate");
+        assert_eq!(
+            transport.commit_publish(3).unwrap(),
+            3,
+            "the staged epoch-3 snapshot must survive the stale commit"
+        );
+        assert_eq!(transport.observe_epoch().unwrap(), 3);
+    }
+
+    #[test]
+    fn http_transport_rejects_unresolvable_addresses() {
+        assert!(matches!(
+            HttpTransport::connect("definitely-not-a-host.invalid:80"),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            HttpTransport::connect_with(
+                "127.0.0.1:1",
+                HttpTransportConfig {
+                    connections: 0,
+                    ..HttpTransportConfig::default()
+                }
+            ),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn http_transport_surfaces_unreachable_shards_as_transport_errors() {
+        // Port 1 on loopback is essentially never listening; the control
+        // call must fail with a transport error, not hang.
+        let transport = HttpTransport::connect_with(
+            "127.0.0.1:1",
+            HttpTransportConfig {
+                connections: 1,
+                connect_timeout: Duration::from_millis(200),
+                control_wait: Duration::from_secs(2),
+                ..HttpTransportConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            transport.observe_epoch(),
+            Err(ServeError::Transport { .. })
+        ));
+    }
+}

@@ -24,12 +24,19 @@
 //! assert!(matches!(raw.body, InferBody::Tokens { .. }));
 //! ```
 
+use std::sync::Arc;
+
+use saber_core::infer::PartialFoldIn;
 use saber_core::json::{self, JsonValue};
 use saber_corpus::{OovPolicy, Vocabulary};
 
 use crate::http::HttpStats;
-use crate::server::{InferResponse, ServeStats};
-use crate::stats::HistogramSnapshot;
+use crate::router::RouterStats;
+use crate::server::{InferResponse, PartialRequest, PartialResponse, ServeStats};
+use crate::snapshot::{FoldInKind, FoldInParams};
+use crate::stats::{HistogramSnapshot, N_BUCKETS};
+use crate::transport::ShardInfo;
+use crate::ServeError;
 
 /// A malformed request body or query string; the HTTP layer answers `400`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -257,44 +264,70 @@ pub fn encode_stats_body(
     snapshot_version: u64,
     n_shards: usize,
     http: &HttpStats,
+    router: Option<&RouterStats>,
 ) -> JsonValue {
+    let mut members = vec![(
+        "server",
+        JsonValue::object([
+            ("requests", JsonValue::from(server.requests)),
+            ("tokens", JsonValue::from(server.tokens)),
+            ("batches", JsonValue::from(server.batches)),
+            ("swaps_observed", JsonValue::from(server.swaps_observed)),
+            (
+                "mean_batch_size",
+                JsonValue::Number(server.mean_batch_size()),
+            ),
+            ("snapshot_version", JsonValue::from(snapshot_version)),
+            ("shards", JsonValue::from(n_shards)),
+            ("latency", encode_histogram(&server.latency)),
+        ]),
+    )];
+    if let Some(router) = router {
+        members.push(("router", encode_router_stats(router)));
+    }
+    members.push((
+        "http",
+        JsonValue::object([
+            ("requests", JsonValue::from(http.requests)),
+            ("errors", JsonValue::from(http.errors)),
+            (
+                "active_connections",
+                JsonValue::from(http.active_connections),
+            ),
+            (
+                "endpoints",
+                JsonValue::object([
+                    ("infer", encode_histogram(&http.infer)),
+                    ("top_words", encode_histogram(&http.top_words)),
+                    ("similar", encode_histogram(&http.similar)),
+                    ("stats", encode_histogram(&http.stats)),
+                    ("healthz", encode_histogram(&http.healthz)),
+                ]),
+            ),
+        ]),
+    ));
+    JsonValue::object(members)
+}
+
+/// Encodes the router-level counters complementing the shard-aggregated
+/// `server` block of `GET /stats`: the fleet epoch, skew retries, documents
+/// routed, and how many shard requests each shard received. Absent from
+/// direct (unsharded) servers.
+fn encode_router_stats(router: &RouterStats) -> JsonValue {
     JsonValue::object([
+        ("requests", JsonValue::from(router.requests)),
+        ("skew_retries", JsonValue::from(router.skew_retries)),
+        ("epoch", JsonValue::from(router.epoch)),
+        ("shards", JsonValue::from(router.n_shards)),
         (
-            "server",
-            JsonValue::object([
-                ("requests", JsonValue::from(server.requests)),
-                ("tokens", JsonValue::from(server.tokens)),
-                ("batches", JsonValue::from(server.batches)),
-                ("swaps_observed", JsonValue::from(server.swaps_observed)),
-                (
-                    "mean_batch_size",
-                    JsonValue::Number(server.mean_batch_size()),
-                ),
-                ("snapshot_version", JsonValue::from(snapshot_version)),
-                ("shards", JsonValue::from(n_shards)),
-                ("latency", encode_histogram(&server.latency)),
-            ]),
-        ),
-        (
-            "http",
-            JsonValue::object([
-                ("requests", JsonValue::from(http.requests)),
-                ("errors", JsonValue::from(http.errors)),
-                (
-                    "active_connections",
-                    JsonValue::from(http.active_connections),
-                ),
-                (
-                    "endpoints",
-                    JsonValue::object([
-                        ("infer", encode_histogram(&http.infer)),
-                        ("top_words", encode_histogram(&http.top_words)),
-                        ("similar", encode_histogram(&http.similar)),
-                        ("stats", encode_histogram(&http.stats)),
-                        ("healthz", encode_histogram(&http.healthz)),
-                    ]),
-                ),
-            ]),
+            "shard_requests",
+            JsonValue::Array(
+                router
+                    .shard_requests
+                    .iter()
+                    .map(|&n| JsonValue::from(n))
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -305,6 +338,538 @@ pub fn encode_error(status: u16, detail: &str) -> JsonValue {
         ("error", JsonValue::from(detail)),
         ("status", JsonValue::from(u64::from(status))),
     ])
+}
+
+/// Upper bucket bounds (microseconds) of the Prometheus latency
+/// histograms: 100 µs to 10 s in decades, plus the implicit `+Inf`. The
+/// internal log₂ buckets are folded into these (a log₂ bucket counts
+/// toward every exposition bound at or above its upper edge), trading the
+/// 40-bucket fidelity for a stable, dashboard-friendly bound set.
+const PROMETHEUS_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+fn prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    label: Option<(&str, &str)>,
+    h: &HistogramSnapshot,
+) {
+    use std::fmt::Write as _;
+    let mut cumulative = [0u64; PROMETHEUS_BOUNDS_US.len()];
+    for i in 0..N_BUCKETS {
+        let count = h.bucket_count(i);
+        if count == 0 {
+            continue;
+        }
+        let (_, high) = crate::stats::LatencyHistogram::bucket_bounds(i);
+        for (j, &bound) in PROMETHEUS_BOUNDS_US.iter().enumerate() {
+            if high <= bound {
+                cumulative[j] += count;
+            }
+        }
+    }
+    let plain = match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+        None => String::new(),
+    };
+    let with_le = |le: &str| match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    for (j, &bound) in PROMETHEUS_BOUNDS_US.iter().enumerate() {
+        let le = format!("{}", bound as f64 / 1e6);
+        let _ = writeln!(out, "{name}_bucket{} {}", with_le(&le), cumulative[j]);
+    }
+    let _ = writeln!(out, "{name}_bucket{} {}", with_le("+Inf"), h.count());
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum_micros() as f64 / 1e6);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count());
+}
+
+/// Encodes the `GET /metrics` body in Prometheus text exposition format:
+/// the serving and HTTP counters of [`encode_stats_body`] as
+/// `saber_*`-prefixed counters and gauges, plus per-endpoint latency
+/// histograms with cumulative buckets over fixed decade bounds (100 µs to
+/// 10 s; internal log₂ buckets fold conservatively into the first bound
+/// at or above their upper edge).
+/// Router-backed servers additionally expose the fleet epoch, skew retries
+/// and per-shard request counters.
+pub fn encode_prometheus(
+    server: &ServeStats,
+    snapshot_version: u64,
+    n_shards: usize,
+    http: &HttpStats,
+    router: Option<&RouterStats>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut counter = |name: &str, value: u64| {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    };
+    counter("saber_http_requests_total", http.requests);
+    counter("saber_http_errors_total", http.errors);
+    counter("saber_serve_requests_total", server.requests);
+    counter("saber_serve_tokens_total", server.tokens);
+    counter("saber_serve_batches_total", server.batches);
+    counter("saber_serve_swaps_observed_total", server.swaps_observed);
+    let mut gauge = |name: &str, value: u64| {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    };
+    gauge(
+        "saber_http_active_connections",
+        http.active_connections as u64,
+    );
+    gauge("saber_snapshot_epoch", snapshot_version);
+    gauge("saber_shards", n_shards as u64);
+    if let Some(router) = router {
+        let mut counter = |name: &str, value: u64| {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        };
+        counter("saber_router_requests_total", router.requests);
+        counter("saber_router_skew_retries_total", router.skew_retries);
+        let _ = writeln!(out, "# TYPE saber_router_shard_requests_total counter");
+        for (s, &n) in router.shard_requests.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "saber_router_shard_requests_total{{shard=\"{s}\"}} {n}"
+            );
+        }
+    }
+    // Exactly one TYPE line per metric name: the five endpoint series
+    // share one histogram declaration (spec-conforming parsers reject a
+    // repeated TYPE line for the same name).
+    let _ = writeln!(out, "# TYPE saber_serve_latency_seconds histogram");
+    prometheus_histogram(
+        &mut out,
+        "saber_serve_latency_seconds",
+        None,
+        &server.latency,
+    );
+    let _ = writeln!(out, "# TYPE saber_http_request_duration_seconds histogram");
+    for (endpoint, histogram) in [
+        ("infer", &http.infer),
+        ("top_words", &http.top_words),
+        ("similar", &http.similar),
+        ("stats", &http.stats),
+        ("healthz", &http.healthz),
+    ] {
+        prometheus_histogram(
+            &mut out,
+            "saber_http_request_duration_seconds",
+            Some(("endpoint", endpoint)),
+            histogram,
+        );
+    }
+    out
+}
+
+/// Maps a non-2xx shard response back onto the [`ServeError`] the shard's
+/// HTTP layer encoded, so the router's error handling (and its skew-retry
+/// loop) behaves identically whether the shard is a function call or a
+/// socket away. The mapping inverts `http::serve_error`: the status picks
+/// the family and, where one status covers several errors (503), the
+/// canonical `Display` text disambiguates.
+pub fn decode_serve_error(status: u16, body: &str) -> ServeError {
+    let detail = json::parse(body)
+        .ok()
+        .and_then(|v| v.get("error").and_then(|e| e.as_str().map(str::to_string)))
+        .unwrap_or_else(|| format!("shard answered HTTP {status}"));
+    match status {
+        429 => ServeError::Overloaded,
+        400 => ServeError::BadRequest { detail },
+        503 if detail.contains("deadline") => ServeError::DeadlineExceeded,
+        503 if detail.contains("diverged") => ServeError::ShardVersionSkew,
+        // A shard at its connection cap is busy, not gone: retryable.
+        503 if detail.contains("connection limit") => ServeError::Overloaded,
+        503 => ServeError::Closed,
+        _ => ServeError::Transport {
+            detail: format!("shard answered HTTP {status}: {detail}"),
+        },
+    }
+}
+
+fn f64_array(values: &[f64]) -> JsonValue {
+    JsonValue::Array(values.iter().map(|&x| JsonValue::Number(x)).collect())
+}
+
+/// Decodes an array of finite `f64`s (θ or partial counts). Exactness
+/// note: the serialiser prints shortest-round-trip representations, so a
+/// value decoded here is bit-identical to the one encoded — which is what
+/// keeps remote EM merges algebraically exact.
+fn decode_f64_array(value: &JsonValue, what: &str) -> Result<Vec<f64>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::new(format!("'{what}' must be an array of numbers")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| WireError::new(format!("'{what}' must hold finite numbers")))
+        })
+        .collect()
+}
+
+/// Encodes a `POST /infer-partial` request body: the shard-local word ids
+/// plus either the derived ESCA chain seed or one EM round's index and θ.
+pub fn encode_partial_request(words: &[u32], request: &PartialRequest) -> JsonValue {
+    let words = JsonValue::Array(
+        words
+            .iter()
+            .map(|&w| JsonValue::from(u64::from(w)))
+            .collect(),
+    );
+    match request {
+        PartialRequest::FoldIn { seed } => JsonValue::object([
+            ("words", words),
+            (
+                "esca",
+                JsonValue::object([("seed", JsonValue::from(*seed))]),
+            ),
+        ]),
+        PartialRequest::EmRound { round, theta } => JsonValue::object([
+            ("words", words),
+            (
+                "em",
+                JsonValue::object([
+                    ("round", JsonValue::from(*round)),
+                    ("theta", f64_array(theta)),
+                ]),
+            ),
+        ]),
+    }
+}
+
+/// Decodes a `POST /infer-partial` body into the word list and request the
+/// shard-side server executes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for invalid JSON, a missing/duplicated request
+/// member, word ids outside `u32`, or a non-finite θ.
+pub fn decode_partial_request(body: &str) -> Result<(Vec<u32>, PartialRequest), WireError> {
+    let value = json::parse(body)?;
+    if !matches!(value, JsonValue::Object(_)) {
+        return Err(WireError::new("request body must be a JSON object"));
+    }
+    let words = decode_word_ids(
+        value
+            .get("words")
+            .ok_or_else(|| WireError::new("request must carry a 'words' array"))?,
+    )?;
+    let request = match (value.get("esca"), value.get("em")) {
+        (Some(esca), None) => {
+            let seed = esca
+                .get("seed")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| WireError::new("'esca.seed' must be an unsigned 64-bit integer"))?;
+            PartialRequest::FoldIn { seed }
+        }
+        (None, Some(em)) => {
+            let round = em
+                .get("round")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| WireError::new("'em.round' must be an unsigned integer"))?
+                as usize;
+            let theta = decode_f64_array(
+                em.get("theta")
+                    .ok_or_else(|| WireError::new("'em' must carry a 'theta' array"))?,
+                "em.theta",
+            )?;
+            PartialRequest::EmRound {
+                round,
+                theta: Arc::new(theta),
+            }
+        }
+        (Some(_), Some(_)) => {
+            return Err(WireError::new(
+                "request must carry 'esca' or 'em', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(WireError::new(
+                "request must carry an 'esca' (chain seed) or 'em' (round + theta) member",
+            ))
+        }
+    };
+    Ok((words, request))
+}
+
+/// Encodes a `POST /infer-partial` response: the raw per-topic counts plus
+/// the snapshot version the router's epoch-skew detection keys on and the
+/// word-id range this shard serves (informational; `[start, end)`).
+pub fn encode_partial_response(response: &PartialResponse, shard: (u32, u32)) -> JsonValue {
+    JsonValue::object([
+        ("counts", f64_array(&response.partial.counts)),
+        ("n_words", JsonValue::from(response.partial.n_words)),
+        (
+            "snapshot_version",
+            JsonValue::from(response.snapshot_version),
+        ),
+        ("n_oov", JsonValue::from(response.n_oov)),
+        ("shard", shard_range_json(shard)),
+    ])
+}
+
+/// Decodes a `POST /infer-partial` response body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any member is missing or mistyped.
+pub fn decode_partial_response(body: &str) -> Result<PartialResponse, WireError> {
+    let value = json::parse(body)?;
+    let counts = decode_f64_array(
+        value
+            .get("counts")
+            .ok_or_else(|| WireError::new("response must carry a 'counts' array"))?,
+        "counts",
+    )?;
+    let n_words = value
+        .get("n_words")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("'n_words' must be an unsigned integer"))?
+        as usize;
+    let snapshot_version = value
+        .get("snapshot_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("'snapshot_version' must be an unsigned integer"))?;
+    let n_oov = value
+        .get("n_oov")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("'n_oov' must be an unsigned integer"))?
+        as usize;
+    Ok(PartialResponse {
+        partial: PartialFoldIn { counts, n_words },
+        snapshot_version,
+        n_oov,
+    })
+}
+
+fn shard_range_json(shard: (u32, u32)) -> JsonValue {
+    JsonValue::Array(vec![
+        JsonValue::from(u64::from(shard.0)),
+        JsonValue::from(u64::from(shard.1)),
+    ])
+}
+
+fn decode_shard_range(value: &JsonValue) -> Result<(u32, u32), WireError> {
+    let err = || WireError::new("'shard' must be a [start, end) pair of word ids");
+    let pair = value.as_array().ok_or_else(err)?;
+    match pair {
+        [a, b] => {
+            let a = a
+                .as_u64()
+                .filter(|&v| v <= u64::from(u32::MAX))
+                .ok_or_else(err)?;
+            let b = b
+                .as_u64()
+                .filter(|&v| v <= u64::from(u32::MAX))
+                .ok_or_else(err)?;
+            Ok((a as u32, b as u32))
+        }
+        _ => Err(err()),
+    }
+}
+
+fn encode_fold_in(params: &FoldInParams) -> JsonValue {
+    JsonValue::object([
+        (
+            "kind",
+            JsonValue::from(match params.kind {
+                FoldInKind::Esca => "esca",
+                FoldInKind::Em => "em",
+            }),
+        ),
+        ("burn_in", JsonValue::from(params.burn_in)),
+        ("samples", JsonValue::from(params.samples)),
+    ])
+}
+
+fn decode_fold_in(value: &JsonValue) -> Result<FoldInParams, WireError> {
+    let kind = match value.get("kind").and_then(JsonValue::as_str) {
+        Some("esca") => FoldInKind::Esca,
+        Some("em") => FoldInKind::Em,
+        _ => return Err(WireError::new("'fold_in.kind' must be \"esca\" or \"em\"")),
+    };
+    let count = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| WireError::new(format!("'fold_in.{name}' must be an unsigned integer")))
+    };
+    Ok(FoldInParams {
+        burn_in: count("burn_in")?,
+        samples: count("samples")?,
+        kind,
+    })
+}
+
+/// Encodes a full [`ServeStats`], histogram buckets included — unlike the
+/// human-facing `/stats` body (which only derives quantiles), this is
+/// lossless, so a router can merge remote shard histograms exactly.
+fn encode_serve_stats(stats: &ServeStats) -> JsonValue {
+    let buckets: Vec<JsonValue> = (0..N_BUCKETS)
+        .filter(|&i| stats.latency.bucket_count(i) > 0)
+        .map(|i| {
+            JsonValue::Array(vec![
+                JsonValue::from(i),
+                JsonValue::from(stats.latency.bucket_count(i)),
+            ])
+        })
+        .collect();
+    JsonValue::object([
+        ("requests", JsonValue::from(stats.requests)),
+        ("tokens", JsonValue::from(stats.tokens)),
+        ("batches", JsonValue::from(stats.batches)),
+        ("swaps_observed", JsonValue::from(stats.swaps_observed)),
+        (
+            "latency",
+            JsonValue::object([
+                ("sum_us", JsonValue::from(stats.latency.sum_micros())),
+                ("buckets", JsonValue::Array(buckets)),
+            ]),
+        ),
+    ])
+}
+
+fn decode_serve_stats(value: &JsonValue) -> Result<ServeStats, WireError> {
+    let counter = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new(format!("'stats.{name}' must be an unsigned integer")))
+    };
+    let latency = value
+        .get("latency")
+        .ok_or_else(|| WireError::new("'stats' must carry a 'latency' member"))?;
+    let sum_us = latency
+        .get("sum_us")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("'latency.sum_us' must be an unsigned integer"))?;
+    let pairs = latency
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| WireError::new("'latency.buckets' must be an array"))?
+        .iter()
+        .map(|pair| {
+            let err = || WireError::new("'latency.buckets' entries must be [index, count]");
+            match pair.as_array().ok_or_else(err)? {
+                [i, c] => {
+                    let i = i.as_u64().ok_or_else(err)? as usize;
+                    let c = c.as_u64().ok_or_else(err)?;
+                    Ok((i, c))
+                }
+                _ => Err(err()),
+            }
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let latency = HistogramSnapshot::from_sparse_buckets(pairs, sum_us)
+        .ok_or_else(|| WireError::new("'latency.buckets' index out of range"))?;
+    Ok(ServeStats {
+        requests: counter("requests")?,
+        tokens: counter("tokens")?,
+        batches: counter("batches")?,
+        swaps_observed: counter("swaps_observed")?,
+        latency,
+    })
+}
+
+/// Encodes a `GET /shard-info` response: everything a router needs to
+/// validate a shard before fanning out to it, plus the shard's full serving
+/// counters (lossless histogram included).
+pub fn encode_shard_info(info: &ShardInfo) -> JsonValue {
+    JsonValue::object([
+        ("epoch", JsonValue::from(info.epoch)),
+        ("vocab_size", JsonValue::from(info.vocab_size)),
+        ("n_topics", JsonValue::from(info.n_topics)),
+        ("alpha", JsonValue::Number(f64::from(info.alpha))),
+        ("shard", shard_range_json(info.shard_range)),
+        ("fold_in", encode_fold_in(&info.fold_in)),
+        ("stats", encode_serve_stats(&info.stats)),
+    ])
+}
+
+/// Decodes a `GET /shard-info` response body.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any member is missing or mistyped.
+pub fn decode_shard_info(body: &str) -> Result<ShardInfo, WireError> {
+    let value = json::parse(body)?;
+    let uint = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new(format!("'{name}' must be an unsigned integer")))
+    };
+    let alpha = value
+        .get("alpha")
+        .and_then(JsonValue::as_f64)
+        .filter(|a| a.is_finite())
+        .ok_or_else(|| WireError::new("'alpha' must be a finite number"))? as f32;
+    let shard_range = decode_shard_range(
+        value
+            .get("shard")
+            .ok_or_else(|| WireError::new("response must carry a 'shard' range"))?,
+    )?;
+    let fold_in = decode_fold_in(
+        value
+            .get("fold_in")
+            .ok_or_else(|| WireError::new("response must carry a 'fold_in' member"))?,
+    )?;
+    let stats = decode_serve_stats(
+        value
+            .get("stats")
+            .ok_or_else(|| WireError::new("response must carry a 'stats' member"))?,
+    )?;
+    Ok(ShardInfo {
+        epoch: uint("epoch")?,
+        vocab_size: uint("vocab_size")? as usize,
+        n_topics: uint("n_topics")? as usize,
+        alpha,
+        shard_range,
+        fold_in,
+        stats,
+    })
+}
+
+/// Decodes a `GET /top-words` response into `(word id, probability)` pairs
+/// — the client half of [`encode_top_words`] a remote transport uses.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the body is not a top-words response.
+pub fn decode_top_words(body: &str) -> Result<Vec<(u32, f32)>, WireError> {
+    let value = json::parse(body)?;
+    value
+        .get("words")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| WireError::new("response must carry a 'words' array"))?
+        .iter()
+        .map(|entry| {
+            let word = entry
+                .get("word")
+                .and_then(JsonValue::as_u64)
+                .filter(|&w| w <= u64::from(u32::MAX))
+                .ok_or_else(|| WireError::new("'word' must be an unsigned 32-bit integer"))?;
+            let prob = entry
+                .get("prob")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| WireError::new("'prob' must be a number"))?;
+            Ok((word as u32, prob as f32))
+        })
+        .collect()
+}
+
+/// Extracts the served snapshot version from a `GET /healthz` body — the
+/// cheap epoch probe a remote transport polls.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the body has no `snapshot_version`.
+pub fn decode_healthz_version(body: &str) -> Result<u64, WireError> {
+    json::parse(body)?
+        .get("snapshot_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("response must carry a 'snapshot_version'"))
 }
 
 #[cfg(test)]

@@ -18,8 +18,9 @@ use std::time::Duration;
 use saberlda::serve::stats::LatencyHistogram;
 use saberlda::serve::wire;
 use saberlda::serve::{
-    HttpConfig, HttpServer, HttpStats, InferResponse, ServeConfig, ServeStats, ShardPlan,
-    ShardRouter, TopicServer,
+    FoldInParams, HttpConfig, HttpServer, HttpStats, InferResponse, PartialRequest,
+    PartialResponse, RouterStats, ServeConfig, ServeStats, ShardInfo, ShardPlan, ShardRouter,
+    TopicServer,
 };
 use saberlda::{LdaModel, Vocabulary};
 
@@ -107,7 +108,7 @@ fn stats_body_bytes_are_stable() {
         healthz: empty(),
     };
     assert_eq!(
-        wire::encode_stats_body(&serve, 4, 3, &http).to_string(),
+        wire::encode_stats_body(&serve, 4, 3, &http, None).to_string(),
         concat!(
             r#"{"server":{"requests":3,"tokens":42,"batches":2,"swaps_observed":1,"#,
             r#""mean_batch_size":1.5,"snapshot_version":4,"shards":3,"#,
@@ -122,6 +123,241 @@ fn stats_body_bytes_are_stable() {
             r#""healthz":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}}}}"#,
         ),
     );
+}
+
+#[test]
+fn partial_request_bytes_are_stable() {
+    // The shard fan-out protocol (ISSUE 5): both request kinds, pinned.
+    assert_eq!(
+        wire::encode_partial_request(&[0, 3], &PartialRequest::FoldIn { seed: 7 }).to_string(),
+        r#"{"words":[0,3],"esca":{"seed":7}}"#,
+    );
+    let em = PartialRequest::EmRound {
+        round: 1,
+        theta: std::sync::Arc::new(vec![0.5, 1.0 / 3.0, 0.1]),
+    };
+    assert_eq!(
+        wire::encode_partial_request(&[2], &em).to_string(),
+        r#"{"words":[2],"em":{"round":1,"theta":[0.5,0.3333333333333333,0.1]}}"#,
+    );
+    // Decode is the exact inverse — bit-for-bit on θ, which is what keeps
+    // remote EM merges algebraically exact.
+    let (words, decoded) = wire::decode_partial_request(
+        r#"{"words":[2],"em":{"round":1,"theta":[0.5,0.3333333333333333,0.1]}}"#,
+    )
+    .unwrap();
+    assert_eq!(words, vec![2]);
+    match decoded {
+        PartialRequest::EmRound { round, theta } => {
+            assert_eq!(round, 1);
+            let expect = [0.5f64, 1.0 / 3.0, 0.1];
+            assert_eq!(
+                theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                expect.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            );
+        }
+        other => panic!("decoded the wrong request kind: {other:?}"),
+    }
+}
+
+#[test]
+fn partial_response_bytes_are_stable() {
+    let response = PartialResponse {
+        partial: saberlda::core::infer::PartialFoldIn {
+            counts: vec![4.5, 1.5, 0.0],
+            n_words: 6,
+        },
+        snapshot_version: 3,
+        n_oov: 1,
+    };
+    let encoded = wire::encode_partial_response(&response, (12, 24)).to_string();
+    assert_eq!(
+        encoded,
+        r#"{"counts":[4.5,1.5,0],"n_words":6,"snapshot_version":3,"n_oov":1,"shard":[12,24]}"#,
+    );
+    let decoded = wire::decode_partial_response(&encoded).unwrap();
+    assert_eq!(decoded, response);
+}
+
+#[test]
+fn shard_info_bytes_are_stable() {
+    let latency = LatencyHistogram::new();
+    latency.record(Duration::from_micros(800));
+    latency.record(Duration::from_micros(900));
+    latency.record(Duration::from_millis(90));
+    let info = ShardInfo {
+        epoch: 2,
+        vocab_size: 12,
+        n_topics: 3,
+        alpha: 0.05,
+        shard_range: (0, 12),
+        fold_in: FoldInParams::default(),
+        stats: ServeStats {
+            requests: 3,
+            tokens: 9,
+            batches: 2,
+            swaps_observed: 1,
+            latency: latency.snapshot(),
+        },
+    };
+    let encoded = wire::encode_shard_info(&info).to_string();
+    assert_eq!(
+        encoded,
+        concat!(
+            r#"{"epoch":2,"vocab_size":12,"n_topics":3,"alpha":0.05000000074505806,"#,
+            r#""shard":[0,12],"fold_in":{"kind":"esca","burn_in":5,"samples":8},"#,
+            r#""stats":{"requests":3,"tokens":9,"batches":2,"swaps_observed":1,"#,
+            r#""latency":{"sum_us":91700,"buckets":[[9,2],[16,1]]}}}"#,
+        ),
+    );
+    // The histogram survives the wire losslessly: same buckets, same sum,
+    // same quantiles.
+    let decoded = wire::decode_shard_info(&encoded).unwrap();
+    assert_eq!(decoded, info);
+    assert_eq!(decoded.stats.latency.p99(), info.stats.latency.p99());
+}
+
+#[test]
+fn prometheus_bytes_are_stable() {
+    let latency = LatencyHistogram::new();
+    latency.record(Duration::from_micros(800));
+    latency.record(Duration::from_millis(90));
+    let serve = ServeStats {
+        requests: 2,
+        tokens: 10,
+        batches: 1,
+        swaps_observed: 0,
+        latency: latency.snapshot(),
+    };
+    let infer = LatencyHistogram::new();
+    infer.record(Duration::from_micros(900));
+    let empty = || LatencyHistogram::new().snapshot();
+    let http = HttpStats {
+        requests: 5,
+        errors: 1,
+        active_connections: 2,
+        infer: infer.snapshot(),
+        top_words: empty(),
+        similar: empty(),
+        stats: empty(),
+        healthz: empty(),
+    };
+    let router = RouterStats {
+        requests: 4,
+        skew_retries: 1,
+        epoch: 2,
+        n_shards: 2,
+        shard_requests: vec![3, 1],
+    };
+    let text = wire::encode_prometheus(&serve, 2, 2, &http, Some(&router));
+    // Spot-pin the counters and the serve histogram; the endpoint
+    // histograms follow the same shape.
+    let expected_prefix = "\
+# TYPE saber_http_requests_total counter\n\
+saber_http_requests_total 5\n\
+# TYPE saber_http_errors_total counter\n\
+saber_http_errors_total 1\n\
+# TYPE saber_serve_requests_total counter\n\
+saber_serve_requests_total 2\n\
+# TYPE saber_serve_tokens_total counter\n\
+saber_serve_tokens_total 10\n\
+# TYPE saber_serve_batches_total counter\n\
+saber_serve_batches_total 1\n\
+# TYPE saber_serve_swaps_observed_total counter\n\
+saber_serve_swaps_observed_total 0\n\
+# TYPE saber_http_active_connections gauge\n\
+saber_http_active_connections 2\n\
+# TYPE saber_snapshot_epoch gauge\n\
+saber_snapshot_epoch 2\n\
+# TYPE saber_shards gauge\n\
+saber_shards 2\n\
+# TYPE saber_router_requests_total counter\n\
+saber_router_requests_total 4\n\
+# TYPE saber_router_skew_retries_total counter\n\
+saber_router_skew_retries_total 1\n\
+# TYPE saber_router_shard_requests_total counter\n\
+saber_router_shard_requests_total{shard=\"0\"} 3\n\
+saber_router_shard_requests_total{shard=\"1\"} 1\n\
+# TYPE saber_serve_latency_seconds histogram\n\
+saber_serve_latency_seconds_bucket{le=\"0.0001\"} 0\n\
+saber_serve_latency_seconds_bucket{le=\"0.001\"} 0\n\
+saber_serve_latency_seconds_bucket{le=\"0.01\"} 1\n\
+saber_serve_latency_seconds_bucket{le=\"0.1\"} 1\n\
+saber_serve_latency_seconds_bucket{le=\"1\"} 2\n\
+saber_serve_latency_seconds_bucket{le=\"10\"} 2\n\
+saber_serve_latency_seconds_bucket{le=\"+Inf\"} 2\n\
+saber_serve_latency_seconds_sum 0.0908\n\
+saber_serve_latency_seconds_count 2\n";
+    assert!(
+        text.starts_with(expected_prefix),
+        "prometheus exposition diverged:\n{text}"
+    );
+    // The 900 µs sample's log₂ bucket spans [512 µs, 1024 µs); its upper
+    // edge exceeds the 1 ms bound, so it folds conservatively upward.
+    assert!(text.contains(
+        "saber_http_request_duration_seconds_bucket{endpoint=\"infer\",le=\"0.001\"} 0\n"
+    ));
+    assert!(text.contains(
+        "saber_http_request_duration_seconds_bucket{endpoint=\"infer\",le=\"0.01\"} 1\n"
+    ));
+    assert!(text.contains("saber_http_request_duration_seconds_count{endpoint=\"healthz\"} 0\n"));
+    // Every line is a comment or `name{labels} value` — no stray output.
+    for line in text.lines() {
+        assert!(
+            line.starts_with("# TYPE ") || line.contains(' '),
+            "malformed exposition line: {line}"
+        );
+    }
+    // Exactly one TYPE line per metric name: spec-conforming Prometheus
+    // parsers reject a repeated declaration, so the five endpoint series
+    // must share one.
+    assert_eq!(
+        text.matches("# TYPE saber_http_request_duration_seconds histogram")
+            .count(),
+        1
+    );
+    assert_eq!(
+        text.matches("# TYPE saber_serve_latency_seconds histogram")
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn stats_body_with_router_member_is_stable() {
+    // Satellite bugfix of ISSUE 5: router-backed /stats now carries the
+    // RouterStats block between "server" and "http".
+    let serve = ServeStats::default();
+    let empty = || LatencyHistogram::new().snapshot();
+    let http = HttpStats {
+        requests: 1,
+        errors: 0,
+        active_connections: 1,
+        infer: empty(),
+        top_words: empty(),
+        similar: empty(),
+        stats: empty(),
+        healthz: empty(),
+    };
+    let router = RouterStats {
+        requests: 6,
+        skew_retries: 1,
+        epoch: 2,
+        n_shards: 3,
+        shard_requests: vec![6, 5, 4],
+    };
+    let body = wire::encode_stats_body(&serve, 2, 3, &http, Some(&router)).to_string();
+    assert!(
+        body.contains(
+            r#""router":{"requests":6,"skew_retries":1,"epoch":2,"shards":3,"shard_requests":[6,5,4]}"#
+        ),
+        "stats body missing the router block: {body}"
+    );
+    // Direct servers (router = None) keep the PR 4 bytes exactly — pinned
+    // by `stats_body_bytes_are_stable` above.
+    assert!(!wire::encode_stats_body(&serve, 2, 1, &http, None)
+        .to_string()
+        .contains("router"));
 }
 
 /// The deterministic planted model behind the full-stack fixtures.
@@ -200,6 +436,143 @@ fn http_bodies_are_stable_end_to_end_for_a_sharded_router() {
         INFER_REQUEST_BODY
     );
     assert_eq!(http_body(http.local_addr(), &request), INFER_EXPECTED);
+    http.shutdown();
+}
+
+/// One request over a real socket; returns the full raw reply (headers
+/// included), for tests that also pin transport-level framing.
+fn http_reply(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(request.as_bytes()).unwrap();
+    let mut reply = String::new();
+    conn.read_to_string(&mut reply).unwrap();
+    reply
+}
+
+#[test]
+fn shard_endpoints_are_stable_end_to_end_over_tcp() {
+    // A shard process as the router sees it: a direct server whose HTTP
+    // config declares the global range it serves.
+    let server = Arc::new(TopicServer::from_model(&model(), ServeConfig::default()).unwrap());
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        None,
+        HttpConfig {
+            shard_range: Some((24, 36)),
+            ..HttpConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        http_body(
+            http.local_addr(),
+            "GET /shard-info HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        ),
+        concat!(
+            r#"{"epoch":1,"vocab_size":12,"n_topics":3,"alpha":0.05000000074505806,"#,
+            r#""shard":[24,36],"fold_in":{"kind":"esca","burn_in":5,"samples":8},"#,
+            r#""stats":{"requests":0,"tokens":0,"batches":0,"swaps_observed":0,"#,
+            r#""latency":{"sum_us":0,"buckets":[]}}}"#,
+        ),
+    );
+    // The fan-out request itself: same planted document and seed as the
+    // full /infer fixture, as the partial protocol carries it.
+    let body = r#"{"words":[0,3,6,9,0,3],"esca":{"seed":7}}"#;
+    let request = format!(
+        "POST /infer-partial HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    assert_eq!(
+        http_body(http.local_addr(), &request),
+        r#"{"counts":[48,0,0],"n_words":6,"snapshot_version":1,"n_oov":0,"shard":[24,36]}"#,
+    );
+    // An EM round over a uniform θ: responsibility counts sum to the
+    // document length, deterministically.
+    let body = r#"{"words":[0,3,6],"em":{"round":0,"theta":[0.3333333333333333,0.3333333333333333,0.3333333333333333]}}"#;
+    let request = format!(
+        "POST /infer-partial HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    assert_eq!(
+        http_body(http.local_addr(), &request),
+        concat!(
+            r#"{"counts":[2.9988007195544726,0.0005996402227639496,0.0005996402227639496],"#,
+            r#""n_words":3,"snapshot_version":1,"n_oov":0,"shard":[24,36]}"#,
+        ),
+    );
+    http.shutdown();
+}
+
+#[test]
+fn metrics_exposition_is_stable_end_to_end_over_tcp() {
+    // The very first request a fresh server handles is a /metrics scrape:
+    // every counter is deterministic (requests=1 — the scrape itself —
+    // one live connection, everything else zero).
+    let server = Arc::new(TopicServer::from_model(&model(), ServeConfig::default()).unwrap());
+    let http = HttpServer::bind("127.0.0.1:0", server, None, HttpConfig::default()).unwrap();
+    let reply = http_reply(
+        http.local_addr(),
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(
+        reply.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+        "{reply}"
+    );
+    let observed = reply.split("\r\n\r\n").nth(1).unwrap();
+    let scrape_time_http = HttpStats {
+        requests: 1,
+        errors: 0,
+        active_connections: 1,
+        infer: LatencyHistogram::new().snapshot(),
+        top_words: LatencyHistogram::new().snapshot(),
+        similar: LatencyHistogram::new().snapshot(),
+        stats: LatencyHistogram::new().snapshot(),
+        healthz: LatencyHistogram::new().snapshot(),
+    };
+    let expected = wire::encode_prometheus(&ServeStats::default(), 1, 1, &scrape_time_http, None);
+    assert_eq!(observed, expected, "live /metrics diverged from the codec");
+    http.shutdown();
+}
+
+#[test]
+fn router_backed_stats_carry_the_router_block_over_tcp() {
+    let router = Arc::new(
+        ShardRouter::from_model(
+            &model(),
+            ShardPlan::uniform(12, 3).unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap(),
+    );
+    let http = HttpServer::bind("127.0.0.1:0", router, None, HttpConfig::default()).unwrap();
+    let stats_body = http_body(
+        http.local_addr(),
+        "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    assert!(
+        stats_body.contains(
+            r#""router":{"requests":0,"skew_retries":0,"epoch":1,"shards":3,"shard_requests":[0,0,0]}"#
+        ),
+        "router-backed /stats lost its RouterStats: {stats_body}"
+    );
+    let metrics_body = http_body(
+        http.local_addr(),
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+    );
+    for line in [
+        "saber_router_requests_total 0\n",
+        "saber_router_skew_retries_total 0\n",
+        "saber_router_shard_requests_total{shard=\"2\"} 0\n",
+        "saber_shards 3\n",
+    ] {
+        assert!(
+            metrics_body.contains(line),
+            "missing {line:?}:\n{metrics_body}"
+        );
+    }
     http.shutdown();
 }
 
