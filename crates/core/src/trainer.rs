@@ -126,6 +126,8 @@ impl SaberLda {
 
     /// Runs one full iteration and returns its statistics.
     pub fn iterate(&mut self) -> IterationStats {
+        // saber-lint: allow(determinism) wall-clock time is reported in
+        // IterationStats for operators, never fed back into sampling.
         let wall_start = Instant::now();
         let device_l2 = self.config.device.l2_cache_bytes;
 

@@ -787,7 +787,7 @@ fn serve_error(e: &ServeError) -> (u16, String) {
         ServeError::DeadlineExceeded | ServeError::Closed | ServeError::ShardVersionSkew => 503,
         ServeError::BadRequest { .. } | ServeError::Corpus(_) => 400,
         ServeError::Transport { .. } => 502,
-        ServeError::InvalidConfig { .. } => 500,
+        ServeError::InvalidConfig { .. } | ServeError::Internal { .. } => 500,
     };
     error(status, &e.to_string())
 }
@@ -1159,5 +1159,46 @@ mod tests {
             serve_error(&ServeError::Transport { detail: "x".into() }).0,
             502
         );
+    }
+
+    /// Every [`ServeError`] variant must map to an explicit HTTP status:
+    /// the `match` below has no wildcard arm, so adding a variant without
+    /// deciding its status is a compile error, and the assertions pin each
+    /// decision. This is the contract `wire::decode_serve_error` inverts.
+    #[test]
+    fn serve_error_mapping_is_exhaustive() {
+        let corpus_error = saber_corpus::Vocabulary::synthetic(1)
+            .encode(["not-in-vocab"], saber_corpus::OovPolicy::Fail)
+            .expect_err("encoding an unknown token under Fail must fail");
+        let every_variant = [
+            ServeError::InvalidConfig { detail: "x".into() },
+            ServeError::Closed,
+            ServeError::Overloaded,
+            ServeError::DeadlineExceeded,
+            ServeError::BadRequest { detail: "x".into() },
+            ServeError::ShardVersionSkew,
+            ServeError::Transport { detail: "x".into() },
+            ServeError::Corpus(corpus_error),
+            ServeError::Internal { detail: "x".into() },
+        ];
+        for e in &every_variant {
+            let expected = match e {
+                ServeError::Overloaded => 429,
+                ServeError::Closed => 503,
+                ServeError::DeadlineExceeded => 503,
+                ServeError::ShardVersionSkew => 503,
+                ServeError::BadRequest { .. } => 400,
+                ServeError::Corpus(_) => 400,
+                ServeError::Transport { .. } => 502,
+                ServeError::InvalidConfig { .. } => 500,
+                ServeError::Internal { .. } => 500,
+            };
+            let (status, body) = serve_error(e);
+            assert_eq!(status, expected, "{e}");
+            // The body is the canonical error JSON, carrying the same
+            // status and the variant's Display text.
+            assert!(body.contains(&format!("\"status\":{status}")), "{body}");
+            assert!(status_text(status) != "Unknown", "{status}");
+        }
     }
 }

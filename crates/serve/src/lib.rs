@@ -401,6 +401,15 @@ pub enum ServeError {
     /// Raw-token encoding failed (e.g. out-of-vocabulary word under
     /// [`saber_corpus::OovPolicy::Fail`]).
     Corpus(saber_corpus::CorpusError),
+    /// A broken internal invariant that would previously have panicked a
+    /// serving thread: a worker answered with the wrong reply kind, the OS
+    /// refused to spawn a thread, a router observed an impossible state.
+    /// Serving degrades to a 500 on the one request instead of killing the
+    /// shard for everyone.
+    Internal {
+        /// Human readable description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -416,6 +425,7 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Transport { detail } => write!(f, "shard transport error: {detail}"),
             ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
+            ServeError::Internal { detail } => write!(f, "internal serving error: {detail}"),
         }
     }
 }

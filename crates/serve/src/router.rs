@@ -361,7 +361,7 @@ impl<T: ShardTransport> ShardRouter<T> {
                 ),
             });
         }
-        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let _guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
         let epoch = self.shards[0].observe_epoch()? + 1;
         // Stage every shard before committing any: slicing and (for remote
         // fleets) uploading happen outside the swap window, so the commit
@@ -633,9 +633,12 @@ impl<T: ShardTransport> ShardRouter<T> {
             self.config.fold_in.samples,
             self.alpha,
         );
+        let snapshot_version = version.ok_or_else(|| ServeError::Internal {
+            detail: "non-empty document produced no shard responses".to_string(),
+        })?;
         Ok(InferResponse {
             theta: theta.into_iter().map(|p| p as f32).collect(),
-            snapshot_version: version.expect("non-empty documents touch at least one shard"),
+            snapshot_version,
             n_oov,
         })
     }
@@ -682,9 +685,12 @@ impl<T: ShardTransport> ShardRouter<T> {
             em_update(&mut next, &merged.counts, merged.n_words, self.alpha);
             theta = Arc::new(next);
         }
+        let snapshot_version = version.ok_or_else(|| ServeError::Internal {
+            detail: "non-empty document produced no shard responses".to_string(),
+        })?;
         Ok(InferResponse {
             theta: theta.iter().map(|&p| p as f32).collect(),
-            snapshot_version: version.expect("non-empty documents touch at least one shard"),
+            snapshot_version,
             n_oov,
         })
     }

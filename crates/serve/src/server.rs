@@ -289,9 +289,11 @@ impl TopicServer {
                 std::thread::Builder::new()
                     .name(format!("saber-serve-{i}"))
                     .spawn(move || worker_loop(&rx, &cell, &counters, fold_in, max_batch))
-                    .expect("failed to spawn serving worker")
+                    .map_err(|e| ServeError::Internal {
+                        detail: format!("failed to spawn serving worker: {e}"),
+                    })
             })
-            .collect();
+            .collect::<Result<Vec<_>, ServeError>>()?;
         let vocab_bound = AtomicUsize::new(cell.load().vocab_size());
         Ok(TopicServer {
             cell,
@@ -318,7 +320,9 @@ impl TopicServer {
     /// Publishes a new snapshot; returns its version. In-flight batches
     /// finish on the snapshot they started with.
     pub fn publish(&self, snapshot: InferenceSnapshot) -> u64 {
-        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        // A poisoned publish lock only means another publisher panicked
+        // mid-publish; the cell itself swaps atomically, so recover.
+        let _guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
         self.vocab_bound
             .store(snapshot.vocab_size(), Ordering::Relaxed);
         self.cell.publish(snapshot)
@@ -336,7 +340,7 @@ impl TopicServer {
     /// backwards, and replaying the *current* epoch is a caller-level
     /// idempotence concern (see the HTTP commit handler).
     pub fn publish_at(&self, snapshot: InferenceSnapshot, epoch: u64) -> Result<u64, ServeError> {
-        let _guard = self.publish_lock.lock().expect("publish lock poisoned");
+        let _guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
         let current = self.cell.version();
         if epoch <= current {
             return Err(ServeError::InvalidConfig {
@@ -374,7 +378,9 @@ impl TopicServer {
     /// down.
     pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
         let rx = self.submit(words, JobKind::Infer { seed })?;
-        rx.recv().map_err(|_| ServeError::Closed).map(expect_infer)
+        rx.recv()
+            .map_err(|_| ServeError::Closed)
+            .and_then(expect_infer)
     }
 
     /// Like [`TopicServer::infer_topics`] but fails fast with
@@ -391,7 +397,7 @@ impl TopicServer {
             Ok(()) => reply_rx
                 .recv()
                 .map_err(|_| ServeError::Closed)
-                .map(expect_infer),
+                .and_then(expect_infer),
             Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
@@ -414,7 +420,7 @@ impl TopicServer {
         let rx = self.submit(words, request.into_kind())?;
         rx.recv()
             .map_err(|_| ServeError::Closed)
-            .map(expect_partial)
+            .and_then(expect_partial)
     }
 
     /// [`TopicServer::infer_partial`] with fail-fast admission and a reply
@@ -436,7 +442,7 @@ impl TopicServer {
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => match reply_rx.recv_timeout(deadline) {
-                Ok(reply) => Ok(expect_partial(reply)),
+                Ok(reply) => expect_partial(reply),
                 Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
                 Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
             },
@@ -471,7 +477,7 @@ impl TopicServer {
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => match reply_rx.recv_timeout(deadline) {
-                Ok(reply) => Ok(expect_infer(reply)),
+                Ok(reply) => expect_infer(reply),
                 Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
                 Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
             },
@@ -495,7 +501,11 @@ impl TopicServer {
             .collect::<Result<_, _>>()?;
         receivers
             .into_iter()
-            .map(|rx| rx.recv().map_err(|_| ServeError::Closed).map(expect_infer))
+            .map(|rx| {
+                rx.recv()
+                    .map_err(|_| ServeError::Closed)
+                    .and_then(expect_infer)
+            })
             .collect()
     }
 
@@ -668,7 +678,10 @@ fn worker_loop(
         // the batch cap. Holding the queue lock while blocked parks this
         // worker and lets siblings wake in turn; submissions never take it.
         {
-            let guard = rx.lock().expect("serve queue poisoned");
+            // Sibling workers never panic while holding this lock (the loop
+            // body below catches every per-job hazard), but recover from
+            // poison anyway: a wedged queue would strand all requesters.
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             match guard.recv() {
                 Ok(job) => batch.push(job),
                 Err(_) => return,
@@ -735,18 +748,24 @@ impl PartialRequest {
 }
 
 /// Workers answer every [`JobKind`] with its matching [`JobReply`] variant,
-/// so a mismatch is a serving-crate bug, not a caller error.
-fn expect_infer(reply: JobReply) -> InferResponse {
+/// so a mismatch is a serving-crate bug, not a caller error — but a bug in
+/// one code path must degrade that request to [`ServeError::Internal`], not
+/// kill the calling thread.
+fn expect_infer(reply: JobReply) -> Result<InferResponse, ServeError> {
     match reply {
-        JobReply::Infer(response) => response,
-        JobReply::Partial(_) => unreachable!("worker answered an infer job with a partial"),
+        JobReply::Infer(response) => Ok(response),
+        JobReply::Partial(_) => Err(ServeError::Internal {
+            detail: "worker answered an infer job with a partial response".to_string(),
+        }),
     }
 }
 
-pub(crate) fn expect_partial(reply: JobReply) -> PartialResponse {
+pub(crate) fn expect_partial(reply: JobReply) -> Result<PartialResponse, ServeError> {
     match reply {
-        JobReply::Partial(response) => response,
-        JobReply::Infer(_) => unreachable!("worker answered a partial job with a full response"),
+        JobReply::Partial(response) => Ok(response),
+        JobReply::Infer(_) => Err(ServeError::Internal {
+            detail: "worker answered a partial job with a full response".to_string(),
+        }),
     }
 }
 

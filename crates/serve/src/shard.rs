@@ -128,7 +128,9 @@ impl ShardPlan {
 
     /// Vocabulary size `V` the plan covers.
     pub fn vocab_size(&self) -> usize {
-        *self.bounds.last().expect("plan has at least one bound") as usize
+        // `bounds` always holds `n_shards + 1 ≥ 1` entries (every
+        // constructor pushes bound 0 first); an empty plan covers V = 0.
+        self.bounds.last().copied().unwrap_or(0) as usize
     }
 
     /// The word-id range shard `s` owns.

@@ -200,7 +200,10 @@ impl HistogramSnapshot {
                 return Some(((low as f64) * (high as f64)).sqrt());
             }
         }
-        unreachable!("rank is clamped to the total count");
+        // `rank ≤ count = Σ counts`, so the loop always returns — but if
+        // that bookkeeping ever broke, a monitoring endpoint must report
+        // "no estimate", not abort the serving process.
+        None
     }
 
     /// Median latency estimate in microseconds.

@@ -52,7 +52,9 @@ impl SnapshotCell {
     /// next version number. Readers observe the swap on their next load; the
     /// previous snapshot stays alive for requests already using it.
     pub fn publish(&self, snapshot: InferenceSnapshot) -> u64 {
-        let mut slot = self.current.lock().expect("snapshot cell poisoned");
+        // The critical sections below only ever swap an Arc, so a poisoned
+        // lock cannot hold a half-written snapshot — recover and continue.
+        let mut slot = self.current.lock().unwrap_or_else(|e| e.into_inner());
         let version = self.version.load(Ordering::Acquire) + 1;
         Self::store(&mut slot, &self.version, snapshot, version);
         version
@@ -64,7 +66,7 @@ impl SnapshotCell {
     /// `version` must be greater than the current one; the caller
     /// serialises publications (see `TopicServer`'s publish lock).
     pub fn publish_with_version(&self, snapshot: InferenceSnapshot, version: u64) -> u64 {
-        let mut slot = self.current.lock().expect("snapshot cell poisoned");
+        let mut slot = self.current.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(
             version > self.version.load(Ordering::Acquire),
             "epoch-pinned publication must move the version forward"
@@ -88,7 +90,7 @@ impl SnapshotCell {
 
     /// The currently served snapshot.
     pub fn load(&self) -> Arc<InferenceSnapshot> {
-        Arc::clone(&self.current.lock().expect("snapshot cell poisoned"))
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Refreshes `cached` only if a newer snapshot has been published:

@@ -180,14 +180,16 @@ pub(crate) enum CommitAction {
 
 impl StagedEpoch {
     pub(crate) fn stage(&self, epoch: u64, snapshot: InferenceSnapshot) {
-        *self.0.lock().expect("staged snapshot lock poisoned") = Some((epoch, snapshot));
+        // Both critical sections replace or take the whole Option, so a
+        // poisoned lock never exposes a torn value — recover from poison.
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = Some((epoch, snapshot));
     }
 
     pub(crate) fn take_for_commit(&self, epoch: u64, served_epoch: u64) -> CommitAction {
         if served_epoch == epoch {
             return CommitAction::AlreadyServed;
         }
-        let mut staged = self.0.lock().expect("staged snapshot lock poisoned");
+        let mut staged = self.0.lock().unwrap_or_else(|e| e.into_inner());
         match staged.take_if(|(staged_epoch, _)| *staged_epoch == epoch) {
             Some((_, snapshot)) => CommitAction::Publish(snapshot),
             None => CommitAction::Missing,
@@ -259,7 +261,7 @@ impl PendingPartial for LocalPending {
                 })?
             }
         };
-        Ok(expect_partial(reply))
+        expect_partial(reply)
     }
 }
 
@@ -454,9 +456,11 @@ impl HttpTransport {
                 std::thread::Builder::new()
                     .name(format!("saber-shard-tx-{i}"))
                     .spawn(move || sender_loop(&rx, addr, config))
-                    .expect("failed to spawn shard transport sender")
+                    .map_err(|e| ServeError::Internal {
+                        detail: format!("failed to spawn shard transport sender: {e}"),
+                    })
             })
-            .collect();
+            .collect::<Result<Vec<_>, ServeError>>()?;
         Ok(HttpTransport {
             addr,
             queue: Some(tx),
@@ -665,7 +669,9 @@ fn sender_loop(rx: &Mutex<Receiver<HttpJob>>, addr: SocketAddr, config: HttpTran
     let mut connection: Option<BufReader<TcpStream>> = None;
     loop {
         let job = {
-            let guard = rx.lock().expect("shard transport queue poisoned");
+            // Sender threads never panic holding this lock; recover from
+            // poison rather than wedging every remaining sender.
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             match guard.recv() {
                 Ok(job) => job,
                 Err(_) => return,
@@ -695,15 +701,17 @@ fn exchange(
     request: &[u8],
 ) -> Result<(u16, Vec<u8>), ServeError> {
     let transport_err = |detail: String| ServeError::Transport { detail };
-    if connection.is_none() {
-        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
-            .map_err(|e| transport_err(format!("cannot connect to shard {addr}: {e}")))?;
-        let _ = stream.set_read_timeout(Some(config.io_timeout));
-        let _ = stream.set_write_timeout(Some(config.io_timeout));
-        let _ = stream.set_nodelay(true);
-        *connection = Some(BufReader::new(stream));
-    }
-    let reader = connection.as_mut().expect("connection just established");
+    let reader = match connection {
+        Some(reader) => reader,
+        None => {
+            let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
+                .map_err(|e| transport_err(format!("cannot connect to shard {addr}: {e}")))?;
+            let _ = stream.set_read_timeout(Some(config.io_timeout));
+            let _ = stream.set_write_timeout(Some(config.io_timeout));
+            let _ = stream.set_nodelay(true);
+            connection.insert(BufReader::new(stream))
+        }
+    };
     reader
         .get_mut()
         .write_all(request)

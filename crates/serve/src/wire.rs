@@ -361,9 +361,9 @@ fn prometheus_histogram(
             continue;
         }
         let (_, high) = crate::stats::LatencyHistogram::bucket_bounds(i);
-        for (j, &bound) in PROMETHEUS_BOUNDS_US.iter().enumerate() {
+        for (slot, &bound) in cumulative.iter_mut().zip(PROMETHEUS_BOUNDS_US.iter()) {
             if high <= bound {
-                cumulative[j] += count;
+                *slot += count;
             }
         }
     }
@@ -375,9 +375,9 @@ fn prometheus_histogram(
         Some((k, v)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
         None => format!("{{le=\"{le}\"}}"),
     };
-    for (j, &bound) in PROMETHEUS_BOUNDS_US.iter().enumerate() {
+    for (&bound, &cum) in PROMETHEUS_BOUNDS_US.iter().zip(cumulative.iter()) {
         let le = format!("{}", bound as f64 / 1e6);
-        let _ = writeln!(out, "{name}_bucket{} {}", with_le(&le), cumulative[j]);
+        let _ = writeln!(out, "{name}_bucket{} {}", with_le(&le), cum);
     }
     let _ = writeln!(out, "{name}_bucket{} {}", with_le("+Inf"), h.count());
     let _ = writeln!(out, "{name}_sum{plain} {}", h.sum_micros() as f64 / 1e6);

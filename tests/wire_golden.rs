@@ -577,6 +577,126 @@ fn router_backed_stats_carry_the_router_block_over_tcp() {
 }
 
 #[test]
+fn infer_request_decoding_is_stable() {
+    use saberlda::serve::wire::InferBody;
+    use saberlda::OovPolicy;
+    // The id form, the token form, and the guard rails — pinned, since a
+    // request decoder that drifts breaks every deployed client at once.
+    let ids = wire::decode_infer(r#"{"words":[0,3,6],"seed":7}"#).unwrap();
+    assert_eq!(ids.body, InferBody::Words(vec![0, 3, 6]));
+    assert_eq!(ids.seed, Some(7));
+    let raw = wire::decode_infer(r#"{"tokens":["dog","cat"],"oov":"fail"}"#).unwrap();
+    assert_eq!(
+        raw.body,
+        InferBody::Tokens {
+            tokens: vec!["dog".into(), "cat".into()],
+            policy: OovPolicy::Fail,
+        }
+    );
+    assert_eq!(raw.seed, None);
+    // `oov` defaults to skip; `words` and `tokens` are mutually exclusive.
+    let skip = wire::decode_infer(r#"{"tokens":[]}"#).unwrap();
+    assert!(matches!(
+        skip.body,
+        InferBody::Tokens {
+            policy: OovPolicy::Skip,
+            ..
+        }
+    ));
+    assert!(wire::decode_infer(r#"[0,3]"#).is_err());
+    assert!(wire::decode_infer(r#"{"words":[0],"tokens":["x"]}"#).is_err());
+    assert!(wire::decode_infer(r#"{"words":[4294967296]}"#).is_err());
+}
+
+#[test]
+fn histogram_bytes_are_stable() {
+    let h = LatencyHistogram::new();
+    h.record(Duration::from_micros(800));
+    h.record(Duration::from_micros(1500));
+    assert_eq!(
+        wire::encode_histogram(&h.snapshot()).to_string(),
+        concat!(
+            r#"{"count":2,"mean_us":1150,"p50_us":724.0773439350247,"#,
+            r#""p95_us":1448.1546878700494,"p99_us":1448.1546878700494}"#,
+        ),
+    );
+    // Quantiles are null (not 0, not NaN) until the first sample.
+    assert_eq!(
+        wire::encode_histogram(&LatencyHistogram::new().snapshot()).to_string(),
+        r#"{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}"#,
+    );
+}
+
+#[test]
+fn serve_error_decoding_inverts_the_status_table() {
+    use saberlda::serve::ServeError;
+    // The router's retry logic keys on these variants, so the mapping from
+    // (status, canonical Display text) back to ServeError is wire contract.
+    assert!(matches!(
+        wire::decode_serve_error(429, r#"{"error":"queue full","status":429}"#),
+        ServeError::Overloaded
+    ));
+    assert!(matches!(
+        wire::decode_serve_error(503, r#"{"error":"request deadline exceeded","status":503}"#),
+        ServeError::DeadlineExceeded
+    ));
+    assert!(matches!(
+        wire::decode_serve_error(
+            503,
+            r#"{"error":"shard snapshot versions diverged during the request","status":503}"#
+        ),
+        ServeError::ShardVersionSkew
+    ));
+    assert!(matches!(
+        wire::decode_serve_error(503, r#"{"error":"connection limit reached","status":503}"#),
+        ServeError::Overloaded
+    ));
+    assert!(matches!(
+        wire::decode_serve_error(
+            503,
+            r#"{"error":"serving worker pool has shut down","status":503}"#
+        ),
+        ServeError::Closed
+    ));
+    match wire::decode_serve_error(400, r#"{"error":"bad request: word id 99","status":400}"#) {
+        ServeError::BadRequest { detail } => assert_eq!(detail, "bad request: word id 99"),
+        other => panic!("400 decoded as {other:?}"),
+    }
+    // An unparseable body still yields a useful transport error.
+    match wire::decode_serve_error(418, "not json") {
+        ServeError::Transport { detail } => assert!(detail.contains("418"), "{detail}"),
+        other => panic!("unknown status decoded as {other:?}"),
+    }
+}
+
+#[test]
+fn top_words_decoding_is_stable() {
+    // The client half of `top_words_bytes_are_stable`'s fixture: decode is
+    // the exact inverse of encode on the pinned bytes.
+    let decoded = wire::decode_top_words(
+        r#"{"topic":1,"words":[{"word":0,"prob":0.5,"token":"w00000"},{"word":3,"prob":0.25,"token":"w00003"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(decoded, vec![(0, 0.5), (3, 0.25)]);
+    assert!(wire::decode_top_words(r#"{"topic":1}"#).is_err());
+    assert!(wire::decode_top_words(r#"{"words":[{"word":-1,"prob":0.5}]}"#).is_err());
+}
+
+#[test]
+fn healthz_version_decoding_is_stable() {
+    // The epoch probe decodes against the healthz fixture pinned by the
+    // end-to-end tests above.
+    assert_eq!(
+        wire::decode_healthz_version(
+            r#"{"status":"ok","snapshot_version":3,"n_topics":3,"vocab_size":12,"shards":1}"#
+        )
+        .unwrap(),
+        3
+    );
+    assert!(wire::decode_healthz_version(r#"{"status":"ok"}"#).is_err());
+}
+
+#[test]
 fn json_codec_primitives_are_stable() {
     use saberlda::core::json::{parse, JsonValue};
     // The formatting rules everything above relies on, pinned directly.
