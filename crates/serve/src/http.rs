@@ -37,6 +37,9 @@
 //! * `GET /metrics` — the same counters in Prometheus text exposition
 //!   format, with cumulative latency histogram buckets.
 //! * `GET /healthz` — liveness plus the served snapshot version.
+//! * `GET /trace/recent` — recently completed request traces (every
+//!   `/infer` is traced end to end, fan-out and shard spans included) plus
+//!   the slow-request capture; see `docs/OBSERVABILITY.md`.
 //!
 //! When the backend is a single [`TopicServer`](crate::TopicServer) the
 //! listener additionally speaks the *shard protocol* that lets a
@@ -89,6 +92,7 @@ use std::time::{Duration, Instant};
 
 use saber_core::json::JsonValue;
 use saber_corpus::Vocabulary;
+use saber_trace::{SlowCapture, Trace, TraceBuilder, TraceContext, TraceId, TraceRing};
 
 use crate::similarity::{cosine_similarity, hellinger_distance};
 use crate::snapshot::InferenceSnapshot;
@@ -128,6 +132,14 @@ pub struct HttpConfig {
     /// /shard-info`). `None` — the default — reports the local
     /// `[0, vocab_size)`, which is also correct for unsharded servers.
     pub shard_range: Option<(u32, u32)>,
+    /// Capacity of the per-process ring buffer of recently completed
+    /// request traces served by `GET /trace/recent`.
+    pub trace_ring: usize,
+    /// Latency threshold at or above which a finished trace qualifies for
+    /// the slow-request capture.
+    pub slow_trace_threshold: Duration,
+    /// How many worst-case traces the slow-request capture retains.
+    pub slow_trace_keep: usize,
 }
 
 impl Default for HttpConfig {
@@ -140,8 +152,25 @@ impl Default for HttpConfig {
             max_body_bytes: 1 << 20,
             default_seed: 0,
             shard_range: None,
+            trace_ring: 64,
+            slow_trace_threshold: Duration::from_millis(250),
+            slow_trace_keep: 8,
         }
     }
+}
+
+/// Point-in-time latency split of one endpoint: the end-to-end service
+/// time plus the queue-wait/handler decomposition recovered from request
+/// traces. Endpoints whose requests never queue on the worker pool report
+/// empty `queue_wait`/`handler` histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Parse → response written.
+    pub total: HistogramSnapshot,
+    /// Time requests spent queued before a worker dequeued them.
+    pub queue_wait: HistogramSnapshot,
+    /// Worker compute time alone (dequeue → reply).
+    pub handler: HistogramSnapshot,
 }
 
 /// Point-in-time HTTP-layer statistics (the transport-side complement of
@@ -154,25 +183,43 @@ pub struct HttpStats {
     pub errors: u64,
     /// Connections currently being served.
     pub active_connections: usize,
-    /// Latency histogram of `POST /infer` (parse → response written).
-    pub infer: HistogramSnapshot,
-    /// Latency histogram of `GET /top-words`.
-    pub top_words: HistogramSnapshot,
-    /// Latency histogram of `GET /similar`.
-    pub similar: HistogramSnapshot,
-    /// Latency histogram of `GET /stats`.
-    pub stats: HistogramSnapshot,
-    /// Latency histogram of `GET /healthz`.
-    pub healthz: HistogramSnapshot,
+    /// Latency of `POST /infer`, split into queue wait and handler time.
+    pub infer: EndpointStats,
+    /// Latency of `GET /top-words`.
+    pub top_words: EndpointStats,
+    /// Latency of `GET /similar`.
+    pub similar: EndpointStats,
+    /// Latency of `GET /stats`.
+    pub stats: EndpointStats,
+    /// Latency of `GET /healthz`.
+    pub healthz: EndpointStats,
+}
+
+/// One endpoint's live histograms behind [`EndpointStats`].
+#[derive(Debug, Default)]
+struct EndpointTimers {
+    total: LatencyHistogram,
+    queue_wait: LatencyHistogram,
+    handler: LatencyHistogram,
+}
+
+impl EndpointTimers {
+    fn snapshot(&self) -> EndpointStats {
+        EndpointStats {
+            total: self.total.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            handler: self.handler.snapshot(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct EndpointHistograms {
-    infer: LatencyHistogram,
-    top_words: LatencyHistogram,
-    similar: LatencyHistogram,
-    stats: LatencyHistogram,
-    healthz: LatencyHistogram,
+    infer: EndpointTimers,
+    top_words: EndpointTimers,
+    similar: EndpointTimers,
+    stats: EndpointTimers,
+    healthz: EndpointTimers,
 }
 
 #[derive(Debug)]
@@ -190,6 +237,10 @@ struct HttpState {
     /// all-or-nothing publication (commit rule shared with
     /// `LocalTransport` via [`StagedEpoch`]).
     staged: StagedEpoch,
+    /// Recently completed request traces, served by `GET /trace/recent`.
+    ring: TraceRing,
+    /// The worst traces above [`HttpConfig::slow_trace_threshold`].
+    slow: SlowCapture,
 }
 
 /// The HTTP front-end: an accept loop plus one thread per live connection.
@@ -238,6 +289,8 @@ impl HttpServer {
             errors: AtomicU64::new(0),
             endpoints: EndpointHistograms::default(),
             staged: StagedEpoch::default(),
+            ring: TraceRing::new(config.trace_ring),
+            slow: SlowCapture::new(config.slow_trace_threshold, config.slow_trace_keep),
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -420,7 +473,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<HttpState>) {
         state.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = request.keep_alive && !state.shutdown.load(Ordering::SeqCst);
         let started = Instant::now();
-        let (status, body, endpoint, content_type) = route(&request, state);
+        let (status, body, endpoint, content_type, trace_id) = route(&request, state);
         if status >= 400 {
             state.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -432,7 +485,9 @@ fn serve_connection(stream: TcpStream, state: &Arc<HttpState>) {
         let write_ok =
             write_response_typed(&stream, status, &body, keep_alive, extra, content_type).is_ok();
         if let Some(endpoint) = endpoint {
-            endpoint_histogram(state, endpoint).record(started.elapsed());
+            endpoint_timers(state, endpoint)
+                .total
+                .record_with_exemplar(started.elapsed(), trace_id);
         }
         if !keep_alive || !write_ok {
             return;
@@ -450,7 +505,7 @@ enum Endpoint {
     Healthz,
 }
 
-fn endpoint_histogram(state: &HttpState, endpoint: Endpoint) -> &LatencyHistogram {
+fn endpoint_timers(state: &HttpState, endpoint: Endpoint) -> &EndpointTimers {
     match endpoint {
         Endpoint::Infer => &state.endpoints.infer,
         Endpoint::TopWords => &state.endpoints.top_words,
@@ -466,52 +521,75 @@ const JSON_CONTENT_TYPE: &str = "application/json";
 const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Dispatches one request; returns `(status, response body, endpoint for
-/// latency accounting, content type)`.
-fn route(request: &Request, state: &HttpState) -> (u16, String, Option<Endpoint>, &'static str) {
+/// latency accounting, content type, trace id)` — the trace id is the raw
+/// id of the request's trace (`0` for untraced endpoints), recorded as the
+/// endpoint histogram's exemplar.
+fn route(
+    request: &Request,
+    state: &HttpState,
+) -> (u16, String, Option<Endpoint>, &'static str, u64) {
     let handled = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (handle_healthz(state), Endpoint::Healthz),
         ("GET", "/stats") => (handle_stats(state), Endpoint::Stats),
         ("GET", "/top-words") => (handle_top_words(request, state), Endpoint::TopWords),
         ("GET", "/similar") => (handle_similar(request, state), Endpoint::Similar),
-        ("POST", "/infer") => (handle_infer(request, state), Endpoint::Infer),
+        ("POST", "/infer") => {
+            let (status, body, trace_id) = handle_infer(request, state);
+            return (
+                status,
+                body,
+                Some(Endpoint::Infer),
+                JSON_CONTENT_TYPE,
+                trace_id,
+            );
+        }
         // Fleet-internal endpoints (shard fan-out, epoch publication,
-        // scrapes): routed but not part of the per-endpoint latency
-        // histograms, which stay focused on client-facing traffic.
+        // scrapes, trace retrieval): routed but not part of the
+        // per-endpoint latency histograms, which stay focused on
+        // client-facing traffic.
         ("GET", "/metrics") => {
             let (status, body) = handle_metrics(state);
-            return (status, body, None, METRICS_CONTENT_TYPE);
+            return (status, body, None, METRICS_CONTENT_TYPE, 0);
         }
         ("GET", "/shard-info") => {
             let (status, body) = handle_shard_info(state);
-            return (status, body, None, JSON_CONTENT_TYPE);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
+        }
+        ("GET", "/trace/recent") => {
+            let (status, body) = handle_trace_recent(state);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
         }
         ("POST", "/infer-partial") => {
             let (status, body) = handle_infer_partial(request, state);
-            return (status, body, None, JSON_CONTENT_TYPE);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
         }
         ("POST", "/publish-shard") => {
             let (status, body) = handle_publish_shard(request, state);
-            return (status, body, None, JSON_CONTENT_TYPE);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
         }
         ("POST", "/commit-epoch") => {
             let (status, body) = handle_commit_epoch(request, state);
-            return (status, body, None, JSON_CONTENT_TYPE);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
         }
-        (_, "/healthz" | "/stats" | "/top-words" | "/similar" | "/metrics" | "/shard-info") => {
+        (
+            _,
+            "/healthz" | "/stats" | "/top-words" | "/similar" | "/metrics" | "/shard-info"
+            | "/trace/recent",
+        ) => {
             let body = wire::encode_error(405, "use GET for this endpoint").to_string();
-            return (405, body, None, JSON_CONTENT_TYPE);
+            return (405, body, None, JSON_CONTENT_TYPE, 0);
         }
         (_, "/infer" | "/infer-partial" | "/publish-shard" | "/commit-epoch") => {
             let body = wire::encode_error(405, "use POST for this endpoint").to_string();
-            return (405, body, None, JSON_CONTENT_TYPE);
+            return (405, body, None, JSON_CONTENT_TYPE, 0);
         }
         _ => {
             let body = wire::encode_error(404, "unknown path").to_string();
-            return (404, body, None, JSON_CONTENT_TYPE);
+            return (404, body, None, JSON_CONTENT_TYPE, 0);
         }
     };
     let ((status, body), endpoint) = handled;
-    (status, body, Some(endpoint), JSON_CONTENT_TYPE)
+    (status, body, Some(endpoint), JSON_CONTENT_TYPE, 0)
 }
 
 fn handle_healthz(state: &HttpState) -> (u16, String) {
@@ -542,6 +620,15 @@ fn http_stats(state: &HttpState) -> HttpStats {
         stats: state.endpoints.stats.snapshot(),
         healthz: state.endpoints.healthz.snapshot(),
     }
+}
+
+fn handle_trace_recent(state: &HttpState) -> (u16, String) {
+    let body = wire::encode_trace_recent(
+        &state.ring.recent(),
+        &state.slow.worst(),
+        state.slow.threshold_us(),
+    );
+    (200, body.to_string())
 }
 
 fn handle_stats(state: &HttpState) -> (u16, String) {
@@ -600,14 +687,32 @@ fn handle_infer_partial(request: &Request, state: &HttpState) -> (u16, String) {
         Ok(decoded) => decoded,
         Err(e) => return error(400, &e.detail),
     };
+    // A router that traces its fan-out forwards the trace id and the
+    // shard's parent span in X-Saber-Trace; the shard then measures its
+    // local subtree and ships the spans back inline in the response.
+    let ctx = request
+        .header("x-saber-trace")
+        .and_then(TraceContext::parse)
+        .unwrap_or_else(TraceContext::disabled);
     match state
         .backend
-        .infer_partial_with_deadline(words, partial, state.config.request_deadline)
+        .infer_partial_traced(words, partial, state.config.request_deadline, ctx)
     {
-        Ok(response) => (
-            200,
-            wire::encode_partial_response(&response, effective_shard_range(state)).to_string(),
-        ),
+        Ok(response) => {
+            if let (Some(id), Some(root)) = (ctx.trace_id(), response.spans.first()) {
+                // Also record the shard-local subtree in this process's
+                // ring, so one shard can be inspected in isolation.
+                state.ring.push(Trace {
+                    trace_id: id,
+                    total_us: root.start_us + root.duration_us,
+                    spans: response.spans.clone(),
+                });
+            }
+            (
+                200,
+                wire::encode_partial_response(&response, effective_shard_range(state)).to_string(),
+            )
+        }
         Err(e) => serve_error(&e),
     }
 }
@@ -739,27 +844,74 @@ fn handle_similar(request: &Request, state: &HttpState) -> (u16, String) {
     (200, body.to_string())
 }
 
-fn handle_infer(request: &Request, state: &HttpState) -> (u16, String) {
+/// Parses an `/infer` body and resolves its seed. Split out of
+/// [`handle_infer`] so the whole parse sits under one trace span.
+fn parse_infer(request: &Request, state: &HttpState) -> Result<(InferBody, u64), (u16, String)> {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return error(400, "request body is not valid UTF-8"),
+        Err(_) => return Err(error(400, "request body is not valid UTF-8")),
     };
     let decoded = match wire::decode_infer(text) {
         Ok(decoded) => decoded,
-        Err(e) => return error(400, &e.detail),
+        Err(e) => return Err(error(400, &e.detail)),
     };
     // Replay rule: the X-Saber-Seed header wins over the body member, and
     // the configured default keeps seedless traffic deterministic.
     let seed = match request.header("x-saber-seed") {
         Some(raw) => match raw.trim().parse::<u64>() {
             Ok(seed) => seed,
-            Err(_) => return error(400, "X-Saber-Seed must be an unsigned 64-bit integer"),
+            Err(_) => {
+                return Err(error(
+                    400,
+                    "X-Saber-Seed must be an unsigned 64-bit integer",
+                ))
+            }
         },
         None => decoded.seed.unwrap_or(state.config.default_seed),
     };
+    Ok((decoded.body, seed))
+}
+
+fn handle_infer(request: &Request, state: &HttpState) -> (u16, String, u64) {
+    // Every inference is traced end to end: a client-supplied
+    // X-Saber-Trace header joins an existing distributed trace (and makes
+    // this server's spans a child subtree of it); otherwise a fresh trace
+    // id is minted at ingress. The finished trace lands in the ring
+    // behind `GET /trace/recent` and is offered to the slow capture.
+    let inbound = request
+        .header("x-saber-trace")
+        .and_then(TraceContext::parse);
+    let trace_id = inbound
+        .and_then(|ctx| ctx.trace_id())
+        .unwrap_or_else(TraceId::mint);
+    let mut trace = TraceBuilder::new(trace_id);
+    let root = trace.begin(None, "ingress");
+    let (status, body) = handle_infer_traced(request, state, &mut trace, root);
+    trace.end(root);
+    let done = trace.finish();
+    state.slow.offer(&done);
+    state.ring.push(done);
+    (status, body, trace_id.raw())
+}
+
+fn handle_infer_traced(
+    request: &Request,
+    state: &HttpState,
+    trace: &mut TraceBuilder,
+    root: u64,
+) -> (u16, String) {
+    let parse_span = trace.begin(Some(root), "parse");
+    let parsed = parse_infer(request, state);
+    trace.end(parse_span);
+    let (body, seed) = match parsed {
+        Ok(parsed) => parsed,
+        Err(response) => return response,
+    };
     let deadline = state.config.request_deadline;
-    let result = match decoded.body {
-        InferBody::Words(words) => state.backend.infer_with_deadline(words, seed, deadline),
+    let result = match body {
+        InferBody::Words(words) => state
+            .backend
+            .infer_with_trace(words, seed, deadline, trace, root),
         InferBody::Tokens { tokens, policy } => match state.vocab.as_ref() {
             None => return error(400, "server has no vocabulary; send 'words' ids instead"),
             Some(vocab) => state
@@ -768,10 +920,21 @@ fn handle_infer(request: &Request, state: &HttpState) -> (u16, String) {
         },
     };
     match result {
-        Ok(response) => (
-            200,
-            wire::encode_infer_response(&response, seed).to_string(),
-        ),
+        Ok(response) => {
+            // The queue-wait/handler decomposition for `/stats` comes from
+            // the spans the backend (or its shards) reported.
+            let timers = &state.endpoints.infer;
+            timers
+                .queue_wait
+                .record(Duration::from_micros(trace.named_total_us("queue-wait")));
+            timers
+                .handler
+                .record(Duration::from_micros(trace.named_total_us("handler")));
+            let encode_span = trace.begin(Some(root), "encode");
+            let body = wire::encode_infer_response(&response, seed).to_string();
+            trace.end(encode_span);
+            (200, body)
+        }
         Err(e) => serve_error(&e),
     }
 }
@@ -1155,10 +1318,7 @@ mod tests {
             serve_error(&ServeError::BadRequest { detail: "x".into() }).0,
             400
         );
-        assert_eq!(
-            serve_error(&ServeError::Transport { detail: "x".into() }).0,
-            502
-        );
+        assert_eq!(serve_error(&ServeError::transport("x")).0, 502);
     }
 
     /// Every [`ServeError`] variant must map to an explicit HTTP status:
@@ -1177,7 +1337,7 @@ mod tests {
             ServeError::DeadlineExceeded,
             ServeError::BadRequest { detail: "x".into() },
             ServeError::ShardVersionSkew,
-            ServeError::Transport { detail: "x".into() },
+            ServeError::transport("x"),
             ServeError::Corpus(corpus_error),
             ServeError::Internal { detail: "x".into() },
         ];

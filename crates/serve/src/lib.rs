@@ -50,7 +50,14 @@
 //! * [`stats`] — lock-free log-bucketed latency histograms behind
 //!   [`ServeStats`] and the HTTP `/stats` endpoint's p50/p95/p99, with
 //!   cross-shard merging ([`HistogramSnapshot::merge`],
-//!   [`ServeStats::merge`]).
+//!   [`ServeStats::merge`]), a queue-wait/compute split per request, and
+//!   per-bucket trace-id exemplars.
+//! * Distributed tracing (`saber-trace`) — every HTTP request carries a
+//!   [`TraceContext`](saber_trace::TraceContext) (minted at ingress or
+//!   parsed from `X-Saber-Trace`); the router's fan-out forwards it to
+//!   shard processes, whose span subtrees return inline in
+//!   `/infer-partial` responses and are stitched into one cross-machine
+//!   tree, browsable at `GET /trace/recent`. See `docs/OBSERVABILITY.md`.
 //!
 //! # Example
 //!
@@ -91,7 +98,7 @@ pub mod swap;
 pub mod transport;
 pub mod wire;
 
-pub use http::{HttpConfig, HttpServer, HttpStats};
+pub use http::{EndpointStats, HttpConfig, HttpServer, HttpStats};
 pub use router::{RouterStats, ShardRouter};
 pub use server::{
     InferRequest, InferResponse, PartialRequest, PartialResponse, ServeConfig, ServeStats,
@@ -184,6 +191,48 @@ pub trait InferenceBackend: Send + Sync + std::fmt::Debug {
     /// a plain [`TopicServer`]); surfaced in `GET /stats` and `/metrics`.
     fn router_stats(&self) -> Option<RouterStats> {
         None
+    }
+
+    /// [`InferenceBackend::infer_with_deadline`] that records child spans
+    /// under `parent` in `trace` — the path the HTTP front-end's traced
+    /// `POST /infer` handler drives. The default ignores the trace and
+    /// answers identically to the untraced path; [`TopicServer`] records
+    /// `queue-wait`/`handler` spans and [`ShardRouter`] a full fan-out
+    /// subtree. Implementations must never let tracing perturb the answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceBackend::infer_with_deadline`].
+    fn infer_with_trace(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+        trace: &mut saber_trace::TraceBuilder,
+        parent: u64,
+    ) -> Result<InferResponse, ServeError> {
+        let _ = (&trace, parent);
+        self.infer_with_deadline(words, seed, deadline)
+    }
+
+    /// [`InferenceBackend::infer_partial_with_deadline`] carrying the
+    /// distributed [`TraceContext`](saber_trace::TraceContext) parsed from
+    /// the `X-Saber-Trace` request header, so a shard process can answer
+    /// with its own span subtree inline in the response (see
+    /// [`PartialResponse::spans`]). The default delegates untraced.
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceBackend::infer_partial_with_deadline`].
+    fn infer_partial_traced(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: std::time::Duration,
+        trace: saber_trace::TraceContext,
+    ) -> Result<PartialResponse, ServeError> {
+        let _ = trace;
+        self.infer_partial_with_deadline(words, request, deadline)
     }
 
     /// Computes the partial sufficient statistics of one shard-side
@@ -296,6 +345,27 @@ impl InferenceBackend for TopicServer {
         TopicServer::infer_partial_with_deadline(self, words, request, deadline)
     }
 
+    fn infer_with_trace(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+        trace: &mut saber_trace::TraceBuilder,
+        parent: u64,
+    ) -> Result<InferResponse, ServeError> {
+        TopicServer::infer_traced(self, words, seed, deadline, trace, parent)
+    }
+
+    fn infer_partial_traced(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: std::time::Duration,
+        trace: saber_trace::TraceContext,
+    ) -> Result<PartialResponse, ServeError> {
+        TopicServer::infer_partial_traced(self, words, request, deadline, trace)
+    }
+
     fn publish_snapshot_at(
         &self,
         snapshot: InferenceSnapshot,
@@ -363,6 +433,17 @@ impl<T: ShardTransport> InferenceBackend for ShardRouter<T> {
     fn router_stats(&self) -> Option<RouterStats> {
         Some(ShardRouter::router_stats(self))
     }
+
+    fn infer_with_trace(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: std::time::Duration,
+        trace: &mut saber_trace::TraceBuilder,
+        parent: u64,
+    ) -> Result<InferResponse, ServeError> {
+        ShardRouter::infer_with_trace(self, words, seed, deadline, trace, parent)
+    }
 }
 
 /// Errors produced by the serving subsystem.
@@ -395,8 +476,14 @@ pub enum ServeError {
     /// [`ServeError::Closed`]: the local fleet is fine, the network or the
     /// shard process is not.
     Transport {
-        /// Human readable description (shard address and cause).
+        /// Human readable description of the cause.
         detail: String,
+        /// Index of the shard whose exchange failed, when the failure can
+        /// be attributed (a router fills this in during fan-out so a 502
+        /// names its culprit).
+        shard: Option<usize>,
+        /// Address of the peer whose exchange failed, when known.
+        addr: Option<String>,
     },
     /// Raw-token encoding failed (e.g. out-of-vocabulary word under
     /// [`saber_corpus::OovPolicy::Fail`]).
@@ -423,9 +510,38 @@ impl std::fmt::Display for ServeError {
             ServeError::ShardVersionSkew => {
                 write!(f, "shard snapshot versions diverged during the request")
             }
-            ServeError::Transport { detail } => write!(f, "shard transport error: {detail}"),
+            ServeError::Transport {
+                detail,
+                shard,
+                addr,
+            } => {
+                write!(f, "shard transport error")?;
+                if let Some(shard) = shard {
+                    write!(f, " (shard {shard})")?;
+                }
+                if let Some(addr) = addr {
+                    write!(f, " at {addr}")?;
+                }
+                write!(f, ": {detail}")
+            }
             ServeError::Corpus(e) => write!(f, "corpus error: {e}"),
             ServeError::Internal { detail } => write!(f, "internal serving error: {detail}"),
+        }
+    }
+}
+
+impl ServeError {
+    /// A [`ServeError::Transport`] with no culprit attribution — the shape
+    /// the wire decoder uses for errors relayed verbatim from a remote peer
+    /// (whose own detail string already names itself). Transports and
+    /// routers that *can* attribute the failure fill in the
+    /// [`shard`](ServeError::Transport::shard) and
+    /// [`addr`](ServeError::Transport::addr) fields instead.
+    pub fn transport(detail: impl Into<String>) -> Self {
+        ServeError::Transport {
+            detail: detail.into(),
+            shard: None,
+            addr: None,
         }
     }
 }
@@ -459,6 +575,21 @@ mod tests {
         assert!(e.source().is_none());
         assert!(ServeError::Closed.to_string().contains("shut down"));
         assert!(ServeError::Overloaded.to_string().contains("full"));
+        // A transport failure names its culprit when the caller could
+        // attribute it, and degrades gracefully when it could not.
+        let e = ServeError::Transport {
+            detail: "connection refused".into(),
+            shard: Some(2),
+            addr: Some("10.0.0.7:4242".into()),
+        };
+        assert_eq!(
+            e.to_string(),
+            "shard transport error (shard 2) at 10.0.0.7:4242: connection refused"
+        );
+        assert_eq!(
+            ServeError::transport("timed out").to_string(),
+            "shard transport error: timed out"
+        );
         let e: ServeError = saber_corpus::CorpusError::ParseError {
             line: 0,
             detail: "oov".into(),

@@ -46,6 +46,7 @@ use std::time::{Duration, Instant};
 use saber_core::infer::{em_update, esca_theta, PartialFoldIn};
 use saber_core::model::LdaModel;
 use saber_corpus::{OovPolicy, Vocabulary};
+use saber_trace::{TraceBuilder, TraceContext};
 
 use crate::server::{PartialRequest, PartialResponse};
 use crate::shard::{derive_shard_seed, ShardPlan};
@@ -75,6 +76,11 @@ pub struct RouterStats {
     /// Counted router-side, so it is exact even when a shard is remote.
     pub shard_requests: Vec<u64>,
 }
+
+/// One in-flight fan-out leg: the shard index, the `(span id, span
+/// start µs)` of its `shard {s}` trace span when the request is traced,
+/// and the transport's pending reply handle.
+type PendingShard<T> = (usize, Option<(u64, u64)>, <T as ShardTransport>::Pending);
 
 /// A fleet of vocabulary shards behind a single-server interface; see the
 /// [module docs](self) for the protocol. Generic over the
@@ -404,7 +410,7 @@ impl<T: ShardTransport> ShardRouter<T> {
     /// for unreachable remote shards, and
     /// [`ServeError::ShardVersionSkew`] if every retry raced a publication.
     pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
-        self.route(&words, seed, None)
+        self.route(&words, seed, None, None)
     }
 
     /// Fail-fast, deadline-bounded inference; the sharded counterpart of
@@ -423,7 +429,36 @@ impl<T: ShardTransport> ShardRouter<T> {
         seed: u64,
         deadline: Duration,
     ) -> Result<InferResponse, ServeError> {
-        self.route(&words, seed, Some(Instant::now() + deadline))
+        self.route(&words, seed, Some(Instant::now() + deadline), None)
+    }
+
+    /// [`ShardRouter::infer_with_deadline`] that records the whole fan-out
+    /// as child spans of `parent` in `trace`: a `fan-out` span per
+    /// submission wave (one `em-round {r}` wrapper per EM iteration), a
+    /// `shard {s}` span per touched shard — each carrying the shard's own
+    /// `infer-partial` subtree, stitched from the response by
+    /// [`TraceBuilder::attach`] whether the shard is in-process or on
+    /// another machine — and a `merge` span for the router-side finish.
+    /// Skew retries and the observed epoch land as events on `parent`.
+    /// Tracing never changes an answer: seeds and merge order ignore it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::infer_with_deadline`].
+    pub fn infer_with_trace(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: Duration,
+        trace: &mut TraceBuilder,
+        parent: u64,
+    ) -> Result<InferResponse, ServeError> {
+        self.route(
+            &words,
+            seed,
+            Some(Instant::now() + deadline),
+            Some((trace, parent)),
+        )
     }
 
     /// Encodes a raw-token document against `vocab` (the *full* model
@@ -571,6 +606,7 @@ impl<T: ShardTransport> ShardRouter<T> {
         words: &[u32],
         seed: u64,
         deadline: Option<Instant>,
+        mut trace: Option<(&mut TraceBuilder, u64)>,
     ) -> Result<InferResponse, ServeError> {
         let split = self.plan.split(words)?;
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -583,14 +619,18 @@ impl<T: ShardTransport> ShardRouter<T> {
         }
         let mut attempts = 0;
         loop {
+            let reborrowed = trace.as_mut().map(|(t, parent)| (&mut **t, *parent));
             let result = match self.config.fold_in.kind {
-                FoldInKind::Esca => self.attempt_esca(&split, seed, deadline),
-                FoldInKind::Em => self.attempt_em(&split, deadline),
+                FoldInKind::Esca => self.attempt_esca(&split, seed, deadline, reborrowed),
+                FoldInKind::Em => self.attempt_em(&split, deadline, reborrowed),
             };
             match result {
                 Err(ServeError::ShardVersionSkew) if attempts < MAX_SKEW_RETRIES => {
                     attempts += 1;
                     self.skew_retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some((t, parent)) = trace.as_mut() {
+                        t.event(*parent, format!("skew retry {attempts}"));
+                    }
                 }
                 other => {
                     if let Ok(response) = &other {
@@ -599,6 +639,12 @@ impl<T: ShardTransport> ShardRouter<T> {
                         // (max, so a straggler cannot roll it back).
                         self.last_epoch
                             .fetch_max(response.snapshot_version, Ordering::Relaxed);
+                        if let Some((t, parent)) = trace.as_mut() {
+                            t.event(
+                                *parent,
+                                format!("epoch observed {}", response.snapshot_version),
+                            );
+                        }
                     }
                     return other;
                 }
@@ -615,24 +661,42 @@ impl<T: ShardTransport> ShardRouter<T> {
         split: &[Vec<u32>],
         seed: u64,
         deadline: Option<Instant>,
+        mut trace: Option<(&mut TraceBuilder, u64)>,
     ) -> Result<InferResponse, ServeError> {
-        let pending = self.fan_out(split, deadline, |s| PartialRequest::FoldIn {
-            seed: derive_shard_seed(seed, s),
-        })?;
+        let fanout_span = trace
+            .as_mut()
+            .map(|(t, parent)| t.begin(Some(*parent), "fan-out"));
+        let pending = self.fan_out(
+            split,
+            deadline,
+            |s| PartialRequest::FoldIn {
+                seed: derive_shard_seed(seed, s),
+            },
+            trace.as_mut().map(|(t, _)| &mut **t).zip(fanout_span),
+        )?;
         let mut merged = PartialFoldIn::empty(self.n_topics);
         let (mut version, mut n_oov) = (None, 0usize);
-        for (_, pending) in pending {
-            let response = pending.wait(deadline)?;
+        for (s, span, pending) in pending {
+            let response = collect_shard(s, span, pending.wait(deadline), fanout_span, &mut trace)?;
             check_version(&mut version, &response)?;
             merged.merge(&response.partial);
             n_oov += response.n_oov;
         }
+        if let (Some((t, _)), Some(span)) = (trace.as_mut(), fanout_span) {
+            t.end(span);
+        }
+        let merge_span = trace
+            .as_mut()
+            .map(|(t, parent)| t.begin(Some(*parent), "merge"));
         let theta = esca_theta(
             merged.counts,
             merged.n_words,
             self.config.fold_in.samples,
             self.alpha,
         );
+        if let (Some((t, _)), Some(span)) = (trace.as_mut(), merge_span) {
+            t.end(span);
+        }
         let snapshot_version = version.ok_or_else(|| ServeError::Internal {
             detail: "non-empty document produced no shard responses".to_string(),
         })?;
@@ -652,6 +716,7 @@ impl<T: ShardTransport> ShardRouter<T> {
         &self,
         split: &[Vec<u32>],
         deadline: Option<Instant>,
+        mut trace: Option<(&mut TraceBuilder, u64)>,
     ) -> Result<InferResponse, ServeError> {
         let k = self.n_topics;
         // No .max(1): fold_in_em runs exactly total_sweeps() iterations
@@ -668,21 +733,40 @@ impl<T: ShardTransport> ShardRouter<T> {
         let mut theta = Arc::new(vec![1.0f64 / k as f64; k]);
         let (mut version, mut n_oov) = (None, 0usize);
         for round in 0..iterations {
-            let pending = self.fan_out(split, deadline, |_| PartialRequest::EmRound {
-                round,
-                theta: Arc::clone(&theta),
-            })?;
+            let round_span = trace
+                .as_mut()
+                .map(|(t, parent)| t.begin(Some(*parent), format!("em-round {round}")));
+            let pending = self.fan_out(
+                split,
+                deadline,
+                |_| PartialRequest::EmRound {
+                    round,
+                    theta: Arc::clone(&theta),
+                },
+                trace.as_mut().map(|(t, _)| &mut **t).zip(round_span),
+            )?;
             let mut merged = PartialFoldIn::empty(k);
-            for (_, pending) in pending {
-                let response = pending.wait(deadline)?;
+            for (s, span, pending) in pending {
+                let response =
+                    collect_shard(s, span, pending.wait(deadline), round_span, &mut trace)?;
                 check_version(&mut version, &response)?;
                 merged.merge(&response.partial);
                 if round == 0 {
                     n_oov += response.n_oov;
                 }
             }
+            let merge_span = round_span
+                .and_then(|parent| trace.as_mut().map(|(t, _)| t.begin(Some(parent), "merge")));
             let mut next = vec![0.0f64; k];
             em_update(&mut next, &merged.counts, merged.n_words, self.alpha);
+            if let Some((t, _)) = trace.as_mut() {
+                if let Some(span) = merge_span {
+                    t.end(span);
+                }
+                if let Some(span) = round_span {
+                    t.end(span);
+                }
+            }
             theta = Arc::new(next);
         }
         let snapshot_version = version.ok_or_else(|| ServeError::Internal {
@@ -699,20 +783,36 @@ impl<T: ShardTransport> ShardRouter<T> {
     /// returning the pending handles for [`PendingPartial::wait`]. All
     /// submissions land before any reply is awaited, so shards execute
     /// concurrently — in-process or across the network.
+    ///
+    /// With a trace, each submission opens a `shard {s}` span under the
+    /// given parent and forwards a [`TraceContext`] pointing at it, so the
+    /// shard's own spans re-attach under the right leg of the fan-out; the
+    /// returned tuple carries `(span id, span start)` for the collector.
     fn fan_out(
         &self,
         split: &[Vec<u32>],
         deadline: Option<Instant>,
         request_for: impl Fn(usize) -> PartialRequest,
-    ) -> Result<Vec<(usize, T::Pending)>, ServeError> {
+        mut trace: Option<(&mut TraceBuilder, u64)>,
+    ) -> Result<Vec<PendingShard<T>>, ServeError> {
         let mut pending = Vec::new();
         for (s, words) in split.iter().enumerate() {
             if words.is_empty() {
                 continue;
             }
-            let handle = self.shards[s].submit_partial(words.clone(), request_for(s), deadline)?;
+            let span = trace.as_mut().map(|(t, parent)| {
+                let begin_us = t.elapsed_us();
+                (t.begin(Some(*parent), ShardPlan::span_name(s)), begin_us)
+            });
+            let ctx = match (&trace, span) {
+                (Some((t, _)), Some((span_id, _))) => TraceContext::child(t.trace_id(), span_id),
+                _ => TraceContext::disabled(),
+            };
+            let handle = self.shards[s]
+                .submit_partial(words.clone(), request_for(s), deadline, ctx)
+                .map_err(|e| attribute_shard(e, s))?;
             self.shard_requests[s].fetch_add(1, Ordering::Relaxed);
-            pending.push((s, handle));
+            pending.push((s, span, handle));
         }
         Ok(pending)
     }
@@ -735,6 +835,57 @@ fn check_version(version: &mut Option<u64>, response: &PartialResponse) -> Resul
         }
         Some(v) if v == response.snapshot_version => Ok(()),
         Some(_) => Err(ServeError::ShardVersionSkew),
+    }
+}
+
+/// Fills in the shard index on an unattributed transport error, so a
+/// router-level failure names the fan-out leg that broke.
+fn attribute_shard(err: ServeError, s: usize) -> ServeError {
+    match err {
+        ServeError::Transport {
+            detail,
+            shard: None,
+            addr,
+        } => ServeError::Transport {
+            detail,
+            shard: Some(s),
+            addr,
+        },
+        other => other,
+    }
+}
+
+/// Finishes one leg of a fan-out: on success, stitches the shard's
+/// reported span subtree under its `shard {s}` span and closes it; on
+/// failure, attributes the error to the shard and records a trace event
+/// naming the culprit on the wave's parent span.
+fn collect_shard(
+    s: usize,
+    span: Option<(u64, u64)>,
+    outcome: Result<PartialResponse, ServeError>,
+    wave_span: Option<u64>,
+    trace: &mut Option<(&mut TraceBuilder, u64)>,
+) -> Result<PartialResponse, ServeError> {
+    match outcome {
+        Ok(response) => {
+            if let (Some((t, _)), Some((span_id, begin_us))) = (trace.as_mut(), span) {
+                t.attach(span_id, &response.spans, begin_us);
+                t.end(span_id);
+            }
+            Ok(response)
+        }
+        Err(e) => {
+            let e = attribute_shard(e, s);
+            if let (Some((t, parent)), true) =
+                (trace.as_mut(), matches!(e, ServeError::Transport { .. }))
+            {
+                t.event(
+                    wave_span.unwrap_or(*parent),
+                    format!("{} failed: {e}", ShardPlan::span_name(s)),
+                );
+            }
+            Err(e)
+        }
     }
 }
 
@@ -802,6 +953,49 @@ mod tests {
         assert_eq!(
             a.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             b.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn traced_routing_builds_a_fan_out_span_tree() {
+        use saber_trace::TraceId;
+        use std::time::Duration;
+
+        let router = router(2, FoldInKind::Esca);
+        let words = vec![0u32, 5, 7, 11];
+        let plain = router.infer_topics(words.clone(), 13).unwrap();
+
+        let mut trace = TraceBuilder::new(TraceId::mint());
+        let root = trace.begin(None, "ingress");
+        let traced = router
+            .infer_with_trace(words, 13, Duration::from_secs(5), &mut trace, root)
+            .unwrap();
+        trace.end(root);
+        let done = trace.finish();
+
+        // Tracing must never perturb the answer.
+        assert_eq!(
+            plain.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            traced.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        );
+
+        let names: Vec<&str> = done.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"fan-out"), "spans: {names:?}");
+        assert!(names.contains(&"merge"), "spans: {names:?}");
+        assert!(names.contains(&"shard 0") && names.contains(&"shard 1"));
+        let partials = names.iter().filter(|n| **n == "infer-partial").count();
+        assert!(partials >= 2, "expected a subtree per shard: {names:?}");
+
+        // The routing span carries the epoch observation event.
+        let ingress = done.spans.iter().find(|s| s.name == "ingress").unwrap();
+        assert!(
+            ingress
+                .events
+                .iter()
+                .any(|e| e.message == "epoch observed 1"),
+            "events: {:?}",
+            ingress.events
         );
         router.shutdown();
     }

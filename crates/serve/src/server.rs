@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use saber_core::infer::PartialFoldIn;
 use saber_core::model::LdaModel;
 use saber_corpus::{OovPolicy, Vocabulary};
+use saber_trace::{SpanRecord, TraceBuilder, TraceContext};
 
 use crate::snapshot::{FoldInParams, InferenceSnapshot, SnapshotSampler};
 use crate::stats::{HistogramSnapshot, LatencyHistogram};
@@ -112,6 +113,10 @@ struct Counters {
     swaps_observed: AtomicU64,
     /// Queue wait + fold-in time per request, recorded by workers.
     latency: LatencyHistogram,
+    /// Admission-to-dequeue time alone: how long requests sat in the queue.
+    queue_wait: LatencyHistogram,
+    /// Dequeue-to-reply time alone: the fold-in compute itself.
+    handler: LatencyHistogram,
 }
 
 /// A point-in-time copy of the server's counters.
@@ -131,6 +136,11 @@ pub struct ServeStats {
     /// [`p99`](HistogramSnapshot::p99) for tail-latency estimates in
     /// microseconds.
     pub latency: HistogramSnapshot,
+    /// The queue-wait component of `latency` alone (admission to dequeue),
+    /// so overload (queue grows) is distinguishable from slow compute.
+    pub queue_wait: HistogramSnapshot,
+    /// The compute component of `latency` alone (dequeue to reply).
+    pub handler: HistogramSnapshot,
 }
 
 impl ServeStats {
@@ -157,6 +167,8 @@ impl ServeStats {
         self.batches += other.batches;
         self.swaps_observed = self.swaps_observed.max(other.swaps_observed);
         self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.handler.merge(&other.handler);
     }
 }
 
@@ -191,6 +203,12 @@ pub struct PartialResponse {
     /// Word ids dropped because a snapshot swap made them unservable
     /// between admission and execution.
     pub n_oov: usize,
+    /// Spans recorded while serving the request, empty unless the caller
+    /// passed an enabled [`TraceContext`]. For remote shards these ride the
+    /// wire inline in the `/infer-partial` response; the router re-bases and
+    /// re-numbers them under its own fan-out span
+    /// ([`saber_trace::TraceBuilder::attach`]), so no collector is needed.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// A partial-computation request, fanned out by a sharding router.
@@ -215,6 +233,21 @@ pub enum PartialRequest {
     },
 }
 
+/// Per-job wall-clock attribution a worker fills in for traced requests,
+/// read back by the submitter to turn into spans. Written once by the
+/// worker, read once by the requester — relaxed atomics suffice.
+#[derive(Debug, Default)]
+pub(crate) struct JobTimings {
+    /// Admission-to-dequeue, microseconds.
+    pub(crate) queue_wait_us: AtomicU64,
+    /// Dequeue-to-reply (the fold-in compute), microseconds.
+    pub(crate) handler_us: AtomicU64,
+}
+
+/// A validated job paired with its reply channel and (for traced
+/// requests only) the shared timings cell the worker stamps.
+type PreparedJob = (Job, Receiver<JobReply>, Option<Arc<JobTimings>>);
+
 struct Job {
     words: Vec<u32>,
     kind: JobKind,
@@ -222,6 +255,13 @@ struct Job {
     /// When the request was admitted, so workers can attribute queue wait to
     /// the latency histogram.
     enqueued: Instant,
+    /// Distributed-tracing context; disabled for untraced callers. Carried
+    /// by every job so workers can attach the trace id as a latency-bucket
+    /// exemplar.
+    trace: TraceContext,
+    /// Present only when `trace` is enabled: where the worker deposits this
+    /// job's queue-wait/handler split for the submitter's spans.
+    timings: Option<Arc<JobTimings>>,
 }
 
 /// A multi-threaded topic-inference server over hot-swappable snapshots.
@@ -377,7 +417,7 @@ impl TopicServer {
     /// vocabulary and [`ServeError::Closed`] if the worker pool has shut
     /// down.
     pub fn infer_topics(&self, words: Vec<u32>, seed: u64) -> Result<InferResponse, ServeError> {
-        let rx = self.submit(words, JobKind::Infer { seed })?;
+        let (rx, _) = self.submit(words, JobKind::Infer { seed }, TraceContext::disabled())?;
         rx.recv()
             .map_err(|_| ServeError::Closed)
             .and_then(expect_infer)
@@ -391,7 +431,8 @@ impl TopicServer {
         words: Vec<u32>,
         seed: u64,
     ) -> Result<InferResponse, ServeError> {
-        let (job, reply_rx) = self.make_job(words, JobKind::Infer { seed })?;
+        let (job, reply_rx, _) =
+            self.make_job(words, JobKind::Infer { seed }, TraceContext::disabled())?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => reply_rx
@@ -417,7 +458,7 @@ impl TopicServer {
         words: Vec<u32>,
         request: PartialRequest,
     ) -> Result<PartialResponse, ServeError> {
-        let rx = self.submit(words, request.into_kind())?;
+        let (rx, _) = self.submit(words, request.into_kind(), TraceContext::disabled())?;
         rx.recv()
             .map_err(|_| ServeError::Closed)
             .and_then(expect_partial)
@@ -438,11 +479,38 @@ impl TopicServer {
         request: PartialRequest,
         deadline: Duration,
     ) -> Result<PartialResponse, ServeError> {
-        let (job, reply_rx) = self.make_job(words, request.into_kind())?;
+        self.infer_partial_traced(words, request, deadline, TraceContext::disabled())
+    }
+
+    /// [`TopicServer::infer_partial_with_deadline`] with a distributed-trace
+    /// context. When `trace` is enabled the response's
+    /// [`spans`](PartialResponse::spans) carry a self-contained subtree —
+    /// an `infer-partial` root with `queue-wait` and `handler` children,
+    /// offsets relative to this request's admission — that a remote router
+    /// stitches into its own trace with
+    /// [`saber_trace::TraceBuilder::attach`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`TopicServer::infer_partial_with_deadline`].
+    pub fn infer_partial_traced(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Duration,
+        trace: TraceContext,
+    ) -> Result<PartialResponse, ServeError> {
+        let (job, reply_rx, timings) = self.make_job(words, request.into_kind(), trace)?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => match reply_rx.recv_timeout(deadline) {
-                Ok(reply) => expect_partial(reply),
+                Ok(reply) => {
+                    let mut response = expect_partial(reply)?;
+                    if let Some(timings) = &timings {
+                        response.spans = partial_spans(timings);
+                    }
+                    Ok(response)
+                }
                 Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
                 Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
             },
@@ -473,7 +541,8 @@ impl TopicServer {
         seed: u64,
         deadline: Duration,
     ) -> Result<InferResponse, ServeError> {
-        let (job, reply_rx) = self.make_job(words, JobKind::Infer { seed })?;
+        let (job, reply_rx, _) =
+            self.make_job(words, JobKind::Infer { seed }, TraceContext::disabled())?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
             Ok(()) => match reply_rx.recv_timeout(deadline) {
@@ -484,6 +553,45 @@ impl TopicServer {
             Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
+    }
+
+    /// [`TopicServer::infer_with_deadline`] that additionally records
+    /// `queue-wait` and `handler` child spans under `parent` in `trace` —
+    /// the request path the HTTP front-end's traced `/infer` handler uses.
+    /// Tracing never perturbs the answer: the seed, the words and the
+    /// fold-in all ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`TopicServer::infer_with_deadline`].
+    pub fn infer_traced(
+        &self,
+        words: Vec<u32>,
+        seed: u64,
+        deadline: Duration,
+        trace: &mut TraceBuilder,
+        parent: u64,
+    ) -> Result<InferResponse, ServeError> {
+        let ctx = TraceContext::child(trace.trace_id(), parent);
+        let base_us = trace.elapsed_us();
+        let (job, reply_rx, timings) = self.make_job(words, JobKind::Infer { seed }, ctx)?;
+        let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
+        let result = match queue.try_send(job) {
+            Ok(()) => match reply_rx.recv_timeout(deadline) {
+                Ok(reply) => expect_infer(reply),
+                Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+                Err(RecvTimeoutError::Disconnected) => Err(ServeError::Closed),
+            },
+            Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
+        };
+        if let (Ok(_), Some(timings)) = (&result, &timings) {
+            let queue_wait_us = timings.queue_wait_us.load(Ordering::Relaxed);
+            let handler_us = timings.handler_us.load(Ordering::Relaxed);
+            trace.push_span(Some(parent), "queue-wait", base_us, queue_wait_us);
+            trace.push_span(Some(parent), "handler", base_us + queue_wait_us, handler_us);
+        }
+        result
     }
 
     /// Submits a whole batch and waits for every answer, preserving order.
@@ -497,11 +605,17 @@ impl TopicServer {
     ) -> Result<Vec<InferResponse>, ServeError> {
         let receivers: Vec<_> = requests
             .into_iter()
-            .map(|r| self.submit(r.words, JobKind::Infer { seed: r.seed }))
+            .map(|r| {
+                self.submit(
+                    r.words,
+                    JobKind::Infer { seed: r.seed },
+                    TraceContext::disabled(),
+                )
+            })
             .collect::<Result<_, _>>()?;
         receivers
             .into_iter()
-            .map(|rx| {
+            .map(|(rx, _)| {
                 rx.recv()
                     .map_err(|_| ServeError::Closed)
                     .and_then(expect_infer)
@@ -569,6 +683,8 @@ impl TopicServer {
             batches: self.counters.batches.load(Ordering::Relaxed),
             swaps_observed: self.counters.swaps_observed.load(Ordering::Relaxed),
             latency: self.counters.latency.snapshot(),
+            queue_wait: self.counters.queue_wait.snapshot(),
+            handler: self.counters.handler.snapshot(),
         }
     }
 
@@ -593,21 +709,28 @@ impl TopicServer {
     }
 
     /// Validates a request and pairs it with its capacity-1 reply channel.
+    /// A timings cell is allocated only for traced jobs (`trace` enabled),
+    /// so untraced requests pay nothing beyond copying the disabled context.
     fn make_job(
         &self,
         words: Vec<u32>,
         kind: JobKind,
-    ) -> Result<(Job, Receiver<JobReply>), ServeError> {
+        trace: TraceContext,
+    ) -> Result<PreparedJob, ServeError> {
         self.validate_words(&words)?;
         let (reply_tx, reply_rx) = sync_channel(1);
+        let timings = trace.enabled().then(|| Arc::new(JobTimings::default()));
         Ok((
             Job {
                 words,
                 kind,
                 reply: reply_tx,
                 enqueued: Instant::now(),
+                trace,
+                timings: timings.clone(),
             },
             reply_rx,
+            timings,
         ))
     }
 
@@ -618,8 +741,9 @@ impl TopicServer {
         &self,
         words: Vec<u32>,
         request: PartialRequest,
-    ) -> Result<Receiver<JobReply>, ServeError> {
-        self.submit(words, request.into_kind())
+        trace: TraceContext,
+    ) -> Result<(Receiver<JobReply>, Option<Arc<JobTimings>>), ServeError> {
+        self.submit(words, request.into_kind(), trace)
     }
 
     /// Fail-fast variant of [`TopicServer::submit_partial`]:
@@ -628,24 +752,30 @@ impl TopicServer {
         &self,
         words: Vec<u32>,
         request: PartialRequest,
-    ) -> Result<Receiver<JobReply>, ServeError> {
-        let (job, reply_rx) = self.make_job(words, request.into_kind())?;
+        trace: TraceContext,
+    ) -> Result<(Receiver<JobReply>, Option<Arc<JobTimings>>), ServeError> {
+        let (job, reply_rx, timings) = self.make_job(words, request.into_kind(), trace)?;
         let queue = self.queue.as_ref().ok_or(ServeError::Closed)?;
         match queue.try_send(job) {
-            Ok(()) => Ok(reply_rx),
+            Ok(()) => Ok((reply_rx, timings)),
             Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
             Err(TrySendError::Disconnected(_)) => Err(ServeError::Closed),
         }
     }
 
-    fn submit(&self, words: Vec<u32>, kind: JobKind) -> Result<Receiver<JobReply>, ServeError> {
-        let (job, reply_rx) = self.make_job(words, kind)?;
+    fn submit(
+        &self,
+        words: Vec<u32>,
+        kind: JobKind,
+        trace: TraceContext,
+    ) -> Result<(Receiver<JobReply>, Option<Arc<JobTimings>>), ServeError> {
+        let (job, reply_rx, timings) = self.make_job(words, kind, trace)?;
         self.queue
             .as_ref()
             .ok_or(ServeError::Closed)?
             .send(job)
             .map_err(|_| ServeError::Closed)?;
-        Ok(reply_rx)
+        Ok((reply_rx, timings))
     }
 
     fn shutdown_in_place(&mut self) {
@@ -701,6 +831,8 @@ fn worker_loop(
         }
         counters.batches.fetch_add(1, Ordering::Relaxed);
         for mut job in batch.drain(..) {
+            let dequeued = Instant::now();
+            let queue_wait = dequeued.duration_since(job.enqueued);
             // Submission validated against the then-current snapshot; if a
             // swap shrank the vocabulary since, drop the now-unservable ids
             // (reported as OOV) rather than panicking the worker.
@@ -719,18 +851,36 @@ fn worker_loop(
                     partial: snapshot.partial_fold_in(&job.words, *seed, fold_in),
                     snapshot_version: snapshot.version(),
                     n_oov,
+                    spans: Vec::new(),
                 }),
                 JobKind::EmRound { theta } => JobReply::Partial(PartialResponse {
                     partial: snapshot.em_round(&job.words, theta),
                     snapshot_version: snapshot.version(),
                     n_oov,
+                    spans: Vec::new(),
                 }),
             };
+            let handler = dequeued.elapsed();
             counters.requests.fetch_add(1, Ordering::Relaxed);
             counters
                 .tokens
                 .fetch_add(job.words.len() as u64, Ordering::Relaxed);
-            counters.latency.record(job.enqueued.elapsed());
+            counters.queue_wait.record(queue_wait);
+            counters.handler.record(handler);
+            counters.latency.record_with_exemplar(
+                job.enqueued.elapsed(),
+                job.trace.trace_id().map_or(0, |id| id.raw()),
+            );
+            if let Some(timings) = &job.timings {
+                timings.queue_wait_us.store(
+                    queue_wait.as_micros().min(u128::from(u64::MAX)) as u64,
+                    Ordering::Relaxed,
+                );
+                timings.handler_us.store(
+                    handler.as_micros().min(u128::from(u64::MAX)) as u64,
+                    Ordering::Relaxed,
+                );
+            }
             // A send only fails if the requester's receiver is gone (its
             // thread panicked between submit and reply); nothing to do.
             let _ = job.reply.send(reply);
@@ -758,6 +908,43 @@ fn expect_infer(reply: JobReply) -> Result<InferResponse, ServeError> {
             detail: "worker answered an infer job with a partial response".to_string(),
         }),
     }
+}
+
+/// Builds the self-contained span subtree a shard reports for one traced
+/// partial request: an `infer-partial` root with `queue-wait` and `handler`
+/// children, ids dense from 1 and offsets relative to the request's
+/// admission. Both the in-process [`TopicServer::infer_partial_traced`] and
+/// the local transport's wait path use this, so local and remote shards
+/// produce identical subtrees for a router to attach.
+pub(crate) fn partial_spans(timings: &JobTimings) -> Vec<SpanRecord> {
+    let queue_wait_us = timings.queue_wait_us.load(Ordering::Relaxed);
+    let handler_us = timings.handler_us.load(Ordering::Relaxed);
+    vec![
+        SpanRecord {
+            id: 1,
+            parent: None,
+            name: "infer-partial".to_string(),
+            start_us: 0,
+            duration_us: queue_wait_us + handler_us,
+            events: Vec::new(),
+        },
+        SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "queue-wait".to_string(),
+            start_us: 0,
+            duration_us: queue_wait_us,
+            events: Vec::new(),
+        },
+        SpanRecord {
+            id: 3,
+            parent: Some(1),
+            name: "handler".to_string(),
+            start_us: queue_wait_us,
+            duration_us: handler_us,
+            events: Vec::new(),
+        },
+    ]
 }
 
 pub(crate) fn expect_partial(reply: JobReply) -> Result<PartialResponse, ServeError> {
@@ -1026,6 +1213,10 @@ mod tests {
         assert_eq!(merged.requests, 7);
         assert_eq!(merged.tokens, 4 * 3 + 3 * 2);
         assert_eq!(merged.latency.count(), 7);
+        // The queue-wait/compute split is recorded for every request and
+        // merges alongside the end-to-end histogram.
+        assert_eq!(merged.queue_wait.count(), 7);
+        assert_eq!(merged.handler.count(), 7);
         assert!(merged.batches >= a.stats().batches.max(b_stats.batches));
         a.shutdown();
         b.shutdown();
@@ -1038,6 +1229,8 @@ mod tests {
             batches: 1,
             swaps_observed: 2,
             latency: HistogramSnapshot::default(),
+            queue_wait: HistogramSnapshot::default(),
+            handler: HistogramSnapshot::default(),
         };
         let y = ServeStats {
             swaps_observed: 3,
@@ -1046,6 +1239,52 @@ mod tests {
         x.merge(&y);
         assert_eq!(x.swaps_observed, 3, "swaps merge by max, not sum");
         assert_eq!(x.requests, 2, "throughput counters still sum");
+    }
+
+    #[test]
+    fn traced_requests_report_queue_and_handler_spans() {
+        let server = small_server(1);
+        let id = saber_trace::TraceId::mint();
+        let mut trace = TraceBuilder::new(id);
+        let root = trace.begin(None, "test-root");
+        let traced = server
+            .infer_traced(vec![0, 3, 6], 7, Duration::from_secs(5), &mut trace, root)
+            .unwrap();
+        // Tracing is invisible to the answer itself.
+        let untraced = server.infer_topics(vec![0, 3, 6], 7).unwrap();
+        assert_eq!(
+            traced.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            untraced
+                .theta
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+        );
+        let names: Vec<&str> = trace.spans().iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"queue-wait"), "spans were: {names:?}");
+        assert!(names.contains(&"handler"), "spans were: {names:?}");
+
+        // The partial path reports a self-contained subtree in the response
+        // (what a remote shard ships inline for the router to attach)…
+        let partial = server
+            .infer_partial_traced(
+                vec![0, 3],
+                PartialRequest::FoldIn { seed: 1 },
+                Duration::from_secs(5),
+                TraceContext::root(id),
+            )
+            .unwrap();
+        assert_eq!(partial.spans.len(), 3);
+        assert_eq!(partial.spans[0].name, "infer-partial");
+        assert_eq!(partial.spans[0].parent, None);
+        assert_eq!(partial.spans[1].parent, Some(1));
+        // …while untraced partials carry no spans at all, keeping the wire
+        // encoding of existing deployments byte-identical.
+        let untraced_partial = server
+            .infer_partial(vec![0, 3], PartialRequest::FoldIn { seed: 1 })
+            .unwrap();
+        assert!(untraced_partial.spans.is_empty());
+        server.shutdown();
     }
 
     #[test]

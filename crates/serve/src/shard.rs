@@ -148,6 +148,17 @@ impl ShardPlan {
         (0..self.n_shards()).map(|s| self.range(s))
     }
 
+    /// The wire-visible trace span name for shard `s`'s fan-out leg —
+    /// the name [`ShardRouter`](crate::ShardRouter) gives the span that
+    /// wraps shard `s`'s submit/collect round trip, and the name clients
+    /// of `GET /trace/recent` key on (see `docs/OBSERVABILITY.md`).
+    /// Defined next to the plan so the span taxonomy and the partition it
+    /// describes stay in one place.
+    #[must_use]
+    pub fn span_name(s: usize) -> String {
+        format!("shard {s}")
+    }
+
     /// The shard owning `word`, or `None` when `word >= V`.
     pub fn shard_of(&self, word: u32) -> Option<usize> {
         if (word as usize) >= self.vocab_size() {

@@ -37,7 +37,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::server::{expect_partial, JobReply, PartialRequest, PartialResponse};
+use saber_trace::TraceContext;
+
+use crate::server::{
+    expect_partial, partial_spans, JobReply, JobTimings, PartialRequest, PartialResponse,
+};
 use crate::snapshot::{FoldInParams, InferenceSnapshot};
 use crate::wire;
 use crate::{ServeError, ServeStats, TopicServer};
@@ -100,6 +104,13 @@ pub trait ShardTransport: Send + Sync + std::fmt::Debug {
     /// fail-fast ([`ServeError::Overloaded`] instead of blocking on a full
     /// queue); without one it may block.
     ///
+    /// `trace` is the router's distributed-tracing context for this
+    /// fan-out; when enabled the shard answers with its span subtree in
+    /// [`PartialResponse::spans`] (remote transports forward the context as
+    /// the `X-Saber-Trace` header). Pass
+    /// [`TraceContext::disabled()`] for untraced requests — tracing must
+    /// never change the bytes of an answer.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Overloaded`] on fail-fast admission, transport errors
@@ -109,6 +120,7 @@ pub trait ShardTransport: Send + Sync + std::fmt::Debug {
         words: Vec<u32>,
         request: PartialRequest,
         deadline: Option<Instant>,
+        trace: TraceContext,
     ) -> Result<Self::Pending, ServeError>;
 
     /// The `n` highest-probability words of topic `k`, in *shard-local* ids
@@ -243,25 +255,35 @@ impl LocalTransport {
 }
 
 /// The pending handle of a [`LocalTransport`] submission: the reply channel
-/// of the job sitting in the server's queue.
+/// of the job sitting in the server's queue, plus the timings cell the
+/// worker fills for traced requests.
 #[derive(Debug)]
-pub struct LocalPending(Receiver<JobReply>);
+pub struct LocalPending {
+    rx: Receiver<JobReply>,
+    timings: Option<Arc<JobTimings>>,
+}
 
 impl PendingPartial for LocalPending {
     fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
         let reply = match deadline {
-            None => self.0.recv().map_err(|_| ServeError::Closed)?,
+            None => self.rx.recv().map_err(|_| ServeError::Closed)?,
             Some(at) => {
                 let remaining = at
                     .checked_duration_since(Instant::now())
                     .ok_or(ServeError::DeadlineExceeded)?;
-                self.0.recv_timeout(remaining).map_err(|e| match e {
+                self.rx.recv_timeout(remaining).map_err(|e| match e {
                     RecvTimeoutError::Timeout => ServeError::DeadlineExceeded,
                     RecvTimeoutError::Disconnected => ServeError::Closed,
                 })?
             }
         };
-        expect_partial(reply)
+        let mut response = expect_partial(reply)?;
+        // The same span subtree a remote shard would ship inline, so the
+        // router's stitching is transport-agnostic.
+        if let Some(timings) = &self.timings {
+            response.spans = partial_spans(timings);
+        }
+        Ok(response)
     }
 }
 
@@ -273,13 +295,14 @@ impl ShardTransport for LocalTransport {
         words: Vec<u32>,
         request: PartialRequest,
         deadline: Option<Instant>,
+        trace: TraceContext,
     ) -> Result<LocalPending, ServeError> {
-        let rx = if deadline.is_some() {
-            self.server.try_submit_partial(words, request)?
+        let (rx, timings) = if deadline.is_some() {
+            self.server.try_submit_partial(words, request, trace)?
         } else {
-            self.server.submit_partial(words, request)?
+            self.server.submit_partial(words, request, trace)?
         };
-        Ok(LocalPending(rx))
+        Ok(LocalPending { rx, timings })
     }
 
     fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
@@ -474,13 +497,17 @@ impl HttpTransport {
         self.addr
     }
 
-    /// Builds one HTTP/1.1 request as bytes (keep-alive implied).
+    /// Builds one HTTP/1.1 request as bytes (keep-alive implied). An
+    /// enabled `trace` context rides along as the `X-Saber-Trace` header
+    /// (`<trace-id>-<parent-span-id>`, both 16 hex digits), which is how a
+    /// trace crosses the machine boundary to a shard process.
     fn request_bytes(
         method: &str,
         path: &str,
         content_type: &str,
         body: &[u8],
         epoch: Option<u64>,
+        trace: Option<&TraceContext>,
     ) -> Vec<u8> {
         let mut head = format!(
             "{method} {path} HTTP/1.1\r\nHost: shard\r\nContent-Length: {}\r\n",
@@ -491,6 +518,9 @@ impl HttpTransport {
         }
         if let Some(epoch) = epoch {
             head.push_str(&format!("X-Saber-Epoch: {epoch}\r\n"));
+        }
+        if let Some(value) = trace.and_then(TraceContext::header_value) {
+            head.push_str(&format!("X-Saber-Trace: {value}\r\n"));
         }
         head.push_str("\r\n");
         let mut request = head.into_bytes();
@@ -573,13 +603,10 @@ fn decode_body<T>(
     body: &[u8],
     decode: impl FnOnce(&str) -> Result<T, wire::WireError>,
 ) -> Result<T, ServeError> {
-    let text = std::str::from_utf8(body).map_err(|_| ServeError::Transport {
-        detail: "shard response is not valid UTF-8".into(),
-    })?;
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::transport("shard response is not valid UTF-8"))?;
     if status == 200 {
-        decode(text).map_err(|e| ServeError::Transport {
-            detail: format!("malformed shard response: {e}"),
-        })
+        decode(text).map_err(|e| ServeError::transport(format!("malformed shard response: {e}")))
     } else {
         Err(wire::decode_serve_error(status, text))
     }
@@ -593,6 +620,7 @@ impl ShardTransport for HttpTransport {
         words: Vec<u32>,
         request: PartialRequest,
         deadline: Option<Instant>,
+        trace: TraceContext,
     ) -> Result<HttpPending, ServeError> {
         let body = wire::encode_partial_request(&words, &request).to_string();
         let request = Self::request_bytes(
@@ -601,6 +629,7 @@ impl ShardTransport for HttpTransport {
             "application/json",
             body.as_bytes(),
             None,
+            Some(&trace),
         );
         Ok(HttpPending(self.enqueue(request, deadline.is_some())?))
     }
@@ -612,27 +641,29 @@ impl ShardTransport for HttpTransport {
             "application/json",
             &[],
             None,
+            None,
         );
         let (status, body) = self.call(request, self.config.control_wait)?;
         decode_body(status, &body, wire::decode_top_words)
     }
 
     fn shard_info(&self) -> Result<ShardInfo, ServeError> {
-        let request = Self::request_bytes("GET", "/shard-info", "application/json", &[], None);
+        let request =
+            Self::request_bytes("GET", "/shard-info", "application/json", &[], None, None);
         let (status, body) = self.call(request, self.config.control_wait)?;
         decode_body(status, &body, wire::decode_shard_info)
     }
 
     fn observe_epoch(&self) -> Result<u64, ServeError> {
-        let request = Self::request_bytes("GET", "/healthz", "application/json", &[], None);
+        let request = Self::request_bytes("GET", "/healthz", "application/json", &[], None, None);
         let (status, body) = self.call(request, self.config.control_wait)?;
         decode_body(status, &body, wire::decode_healthz_version)
     }
 
     fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
         let mut body = Vec::new();
-        slice.save(&mut body).map_err(|e| ServeError::Transport {
-            detail: format!("failed to serialise snapshot slice: {e}"),
+        slice.save(&mut body).map_err(|e| {
+            ServeError::transport(format!("failed to serialise snapshot slice: {e}"))
         })?;
         let request = Self::request_bytes(
             "POST",
@@ -640,6 +671,7 @@ impl ShardTransport for HttpTransport {
             "application/octet-stream",
             &body,
             Some(epoch),
+            None,
         );
         let (status, body) = self.call(request, self.config.publish_wait)?;
         decode_body(status, &body, |_| Ok(()))
@@ -652,6 +684,7 @@ impl ShardTransport for HttpTransport {
             "/commit-epoch",
             "application/json",
             body.as_bytes(),
+            None,
             None,
         );
         let (status, body) = self.call(request, self.config.control_wait)?;
@@ -700,12 +733,18 @@ fn exchange(
     config: &HttpTransportConfig,
     request: &[u8],
 ) -> Result<(u16, Vec<u8>), ServeError> {
-    let transport_err = |detail: String| ServeError::Transport { detail };
+    // Every I/O failure names the peer it happened against, so a router's
+    // 502 can attribute the fan-out leg that broke.
+    let transport_err = |detail: String| ServeError::Transport {
+        detail,
+        shard: None,
+        addr: Some(addr.to_string()),
+    };
     let reader = match connection {
         Some(reader) => reader,
         None => {
             let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)
-                .map_err(|e| transport_err(format!("cannot connect to shard {addr}: {e}")))?;
+                .map_err(|e| transport_err(format!("cannot connect to shard: {e}")))?;
             let _ = stream.set_read_timeout(Some(config.io_timeout));
             let _ = stream.set_write_timeout(Some(config.io_timeout));
             let _ = stream.set_nodelay(true);
@@ -716,8 +755,8 @@ fn exchange(
         .get_mut()
         .write_all(request)
         .and_then(|_| reader.get_mut().flush())
-        .map_err(|e| transport_err(format!("write to shard {addr} failed: {e}")))?;
-    read_response(reader).map_err(|e| transport_err(format!("read from shard {addr} failed: {e}")))
+        .map_err(|e| transport_err(format!("write to shard failed: {e}")))?;
+    read_response(reader).map_err(|e| transport_err(format!("read from shard failed: {e}")))
 }
 
 /// Reads one `Content-Length`-framed HTTP/1.1 response.
@@ -789,11 +828,80 @@ mod tests {
     fn local_submit_and_wait_round_trip() {
         let transport = transport();
         let pending = transport
-            .submit_partial(vec![0, 3, 6], PartialRequest::FoldIn { seed: 4 }, None)
+            .submit_partial(
+                vec![0, 3, 6],
+                PartialRequest::FoldIn { seed: 4 },
+                None,
+                TraceContext::disabled(),
+            )
             .unwrap();
         let response = pending.wait(None).unwrap();
         assert_eq!(response.snapshot_version, 1);
         assert_eq!(response.partial.n_words, 3);
+        assert!(
+            response.spans.is_empty(),
+            "untraced requests carry no spans"
+        );
+    }
+
+    #[test]
+    fn local_traced_submission_yields_the_shard_span_subtree() {
+        let transport = transport();
+        let id = saber_trace::TraceId::mint();
+        let pending = transport
+            .submit_partial(
+                vec![0, 3, 6],
+                PartialRequest::FoldIn { seed: 4 },
+                None,
+                TraceContext::root(id),
+            )
+            .unwrap();
+        let traced = pending.wait(None).unwrap();
+        assert_eq!(traced.spans.len(), 3);
+        assert_eq!(traced.spans[0].name, "infer-partial");
+        assert_eq!(traced.spans[0].parent, None);
+        // Tracing must not perturb the computation itself.
+        let untraced = transport
+            .submit_partial(
+                vec![0, 3, 6],
+                PartialRequest::FoldIn { seed: 4 },
+                None,
+                TraceContext::disabled(),
+            )
+            .unwrap()
+            .wait(None)
+            .unwrap();
+        assert_eq!(traced.partial, untraced.partial);
+    }
+
+    #[test]
+    fn request_bytes_carry_the_trace_header_only_when_enabled() {
+        let id = saber_trace::TraceId::from_raw(0xABCD).unwrap();
+        let ctx = TraceContext::child(id, 7);
+        let with = HttpTransport::request_bytes(
+            "POST",
+            "/infer-partial",
+            "application/json",
+            b"{}",
+            None,
+            Some(&ctx),
+        );
+        let text = String::from_utf8(with).unwrap();
+        assert!(
+            text.contains("X-Saber-Trace: 000000000000abcd-0000000000000007\r\n"),
+            "request was: {text}"
+        );
+        let without = HttpTransport::request_bytes(
+            "POST",
+            "/infer-partial",
+            "application/json",
+            b"{}",
+            None,
+            Some(&TraceContext::disabled()),
+        );
+        assert!(!String::from_utf8(without)
+            .unwrap()
+            .contains("X-Saber-Trace"));
     }
 
     #[test]

@@ -29,8 +29,9 @@ use std::sync::Arc;
 use saber_core::infer::PartialFoldIn;
 use saber_core::json::{self, JsonValue};
 use saber_corpus::{OovPolicy, Vocabulary};
+use saber_trace::{SpanEvent, SpanRecord, Trace, TraceId};
 
-use crate::http::HttpStats;
+use crate::http::{EndpointStats, HttpStats};
 use crate::router::RouterStats;
 use crate::server::{InferResponse, PartialRequest, PartialResponse, ServeStats};
 use crate::snapshot::{FoldInKind, FoldInParams};
@@ -280,6 +281,8 @@ pub fn encode_stats_body(
             ("snapshot_version", JsonValue::from(snapshot_version)),
             ("shards", JsonValue::from(n_shards)),
             ("latency", encode_histogram(&server.latency)),
+            ("queue_wait", encode_histogram(&server.queue_wait)),
+            ("handler", encode_histogram(&server.handler)),
         ]),
     )];
     if let Some(router) = router {
@@ -297,16 +300,26 @@ pub fn encode_stats_body(
             (
                 "endpoints",
                 JsonValue::object([
-                    ("infer", encode_histogram(&http.infer)),
-                    ("top_words", encode_histogram(&http.top_words)),
-                    ("similar", encode_histogram(&http.similar)),
-                    ("stats", encode_histogram(&http.stats)),
-                    ("healthz", encode_histogram(&http.healthz)),
+                    ("infer", encode_endpoint_stats(&http.infer)),
+                    ("top_words", encode_endpoint_stats(&http.top_words)),
+                    ("similar", encode_endpoint_stats(&http.similar)),
+                    ("stats", encode_endpoint_stats(&http.stats)),
+                    ("healthz", encode_endpoint_stats(&http.healthz)),
                 ]),
             ),
         ]),
     ));
     JsonValue::object(members)
+}
+
+/// Encodes one endpoint's latency split: the end-to-end quantiles plus
+/// the queue-wait/handler decomposition recovered from request traces.
+fn encode_endpoint_stats(endpoint: &EndpointStats) -> JsonValue {
+    JsonValue::object([
+        ("total", encode_histogram(&endpoint.total)),
+        ("queue_wait", encode_histogram(&endpoint.queue_wait)),
+        ("handler", encode_histogram(&endpoint.handler)),
+    ])
 }
 
 /// Encodes the router-level counters complementing the shard-aggregated
@@ -443,19 +456,52 @@ pub fn encode_prometheus(
         None,
         &server.latency,
     );
-    let _ = writeln!(out, "# TYPE saber_http_request_duration_seconds histogram");
-    for (endpoint, histogram) in [
+    let _ = writeln!(out, "# TYPE saber_serve_queue_wait_seconds histogram");
+    prometheus_histogram(
+        &mut out,
+        "saber_serve_queue_wait_seconds",
+        None,
+        &server.queue_wait,
+    );
+    let _ = writeln!(out, "# TYPE saber_serve_handler_seconds histogram");
+    prometheus_histogram(
+        &mut out,
+        "saber_serve_handler_seconds",
+        None,
+        &server.handler,
+    );
+    let endpoints = [
         ("infer", &http.infer),
         ("top_words", &http.top_words),
         ("similar", &http.similar),
         ("stats", &http.stats),
         ("healthz", &http.healthz),
-    ] {
+    ];
+    let _ = writeln!(out, "# TYPE saber_http_request_duration_seconds histogram");
+    for (endpoint, stats) in endpoints {
         prometheus_histogram(
             &mut out,
             "saber_http_request_duration_seconds",
             Some(("endpoint", endpoint)),
-            histogram,
+            &stats.total,
+        );
+    }
+    let _ = writeln!(out, "# TYPE saber_http_queue_wait_seconds histogram");
+    for (endpoint, stats) in endpoints {
+        prometheus_histogram(
+            &mut out,
+            "saber_http_queue_wait_seconds",
+            Some(("endpoint", endpoint)),
+            &stats.queue_wait,
+        );
+    }
+    let _ = writeln!(out, "# TYPE saber_http_handler_seconds histogram");
+    for (endpoint, stats) in endpoints {
+        prometheus_histogram(
+            &mut out,
+            "saber_http_handler_seconds",
+            Some(("endpoint", endpoint)),
+            &stats.handler,
         );
     }
     out
@@ -480,9 +526,7 @@ pub fn decode_serve_error(status: u16, body: &str) -> ServeError {
         // A shard at its connection cap is busy, not gone: retryable.
         503 if detail.contains("connection limit") => ServeError::Overloaded,
         503 => ServeError::Closed,
-        _ => ServeError::Transport {
-            detail: format!("shard answered HTTP {status}: {detail}"),
-        },
+        _ => ServeError::transport(format!("shard answered HTTP {status}: {detail}")),
     }
 }
 
@@ -595,8 +639,12 @@ pub fn decode_partial_request(body: &str) -> Result<(Vec<u32>, PartialRequest), 
 /// Encodes a `POST /infer-partial` response: the raw per-topic counts plus
 /// the snapshot version the router's epoch-skew detection keys on and the
 /// word-id range this shard serves (informational; `[start, end)`).
+///
+/// The `spans` member — the shard-local trace subtree — is appended only
+/// when the request was traced, so untraced responses keep their exact
+/// pre-tracing byte layout.
 pub fn encode_partial_response(response: &PartialResponse, shard: (u32, u32)) -> JsonValue {
-    JsonValue::object([
+    let mut members = vec![
         ("counts", f64_array(&response.partial.counts)),
         ("n_words", JsonValue::from(response.partial.n_words)),
         (
@@ -605,7 +653,14 @@ pub fn encode_partial_response(response: &PartialResponse, shard: (u32, u32)) ->
         ),
         ("n_oov", JsonValue::from(response.n_oov)),
         ("shard", shard_range_json(shard)),
-    ])
+    ];
+    if !response.spans.is_empty() {
+        members.push((
+            "spans",
+            JsonValue::Array(response.spans.iter().map(encode_span).collect()),
+        ));
+    }
+    JsonValue::object(members)
 }
 
 /// Decodes a `POST /infer-partial` response body.
@@ -635,10 +690,174 @@ pub fn decode_partial_response(body: &str) -> Result<PartialResponse, WireError>
         .and_then(JsonValue::as_u64)
         .ok_or_else(|| WireError::new("'n_oov' must be an unsigned integer"))?
         as usize;
+    let spans = match value.get("spans") {
+        None | Some(JsonValue::Null) => Vec::new(),
+        Some(v) => decode_spans(v)?,
+    };
     Ok(PartialResponse {
         partial: PartialFoldIn { counts, n_words },
         snapshot_version,
         n_oov,
+        spans,
+    })
+}
+
+/// Encodes one trace span as a JSON object. The `events` member is omitted
+/// when empty to keep the common (event-free) span compact.
+fn encode_span(span: &SpanRecord) -> JsonValue {
+    let mut members = vec![
+        ("id", JsonValue::from(span.id)),
+        (
+            "parent",
+            span.parent.map(JsonValue::from).unwrap_or(JsonValue::Null),
+        ),
+        ("name", JsonValue::from(span.name.as_str())),
+        ("start_us", JsonValue::from(span.start_us)),
+        ("duration_us", JsonValue::from(span.duration_us)),
+    ];
+    if !span.events.is_empty() {
+        members.push((
+            "events",
+            JsonValue::Array(
+                span.events
+                    .iter()
+                    .map(|e| {
+                        JsonValue::object([
+                            ("at_us", JsonValue::from(e.at_us)),
+                            ("message", JsonValue::from(e.message.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    JsonValue::object(members)
+}
+
+/// Decodes an array of trace spans ([`encode_span`]'s inverse).
+fn decode_spans(value: &JsonValue) -> Result<Vec<SpanRecord>, WireError> {
+    value
+        .as_array()
+        .ok_or_else(|| WireError::new("'spans' must be an array of span objects"))?
+        .iter()
+        .map(|span| {
+            let uint = |name: &str| {
+                span.get(name).and_then(JsonValue::as_u64).ok_or_else(|| {
+                    WireError::new(format!("span '{name}' must be an unsigned integer"))
+                })
+            };
+            let parent = match span.get("parent") {
+                None | Some(JsonValue::Null) => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    WireError::new("span 'parent' must be an unsigned integer or null")
+                })?),
+            };
+            let name = span
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| WireError::new("span 'name' must be a string"))?
+                .to_string();
+            let events = match span.get("events") {
+                None | Some(JsonValue::Null) => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or_else(|| WireError::new("span 'events' must be an array"))?
+                    .iter()
+                    .map(|e| {
+                        let at_us =
+                            e.get("at_us").and_then(JsonValue::as_u64).ok_or_else(|| {
+                                WireError::new("event 'at_us' must be an unsigned integer")
+                            })?;
+                        let message = e
+                            .get("message")
+                            .and_then(JsonValue::as_str)
+                            .ok_or_else(|| WireError::new("event 'message' must be a string"))?
+                            .to_string();
+                        Ok(SpanEvent { at_us, message })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+            };
+            Ok(SpanRecord {
+                id: uint("id")?,
+                parent,
+                name,
+                start_us: uint("start_us")?,
+                duration_us: uint("duration_us")?,
+                events,
+            })
+        })
+        .collect()
+}
+
+/// Encodes the `GET /trace/recent` response: the ring buffer of recently
+/// completed traces plus the slow-request capture (the worst traces above
+/// the configured threshold), newest-first within each list.
+pub fn encode_trace_recent(recent: &[Trace], slow: &[Trace], threshold_us: u64) -> JsonValue {
+    JsonValue::object([
+        (
+            "recent",
+            JsonValue::Array(recent.iter().map(encode_trace).collect()),
+        ),
+        (
+            "slow",
+            JsonValue::object([
+                ("threshold_us", JsonValue::from(threshold_us)),
+                (
+                    "traces",
+                    JsonValue::Array(slow.iter().map(encode_trace).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn encode_trace(trace: &Trace) -> JsonValue {
+    JsonValue::object([
+        ("trace_id", JsonValue::from(trace.trace_id.to_hex())),
+        ("total_us", JsonValue::from(trace.total_us)),
+        (
+            "spans",
+            JsonValue::Array(trace.spans.iter().map(encode_span).collect()),
+        ),
+    ])
+}
+
+/// Decodes the `recent` list of a `GET /trace/recent` body — the client
+/// half of [`encode_trace_recent`] used by tests and tooling.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the body is not a trace-recent response.
+pub fn decode_trace_recent(body: &str) -> Result<Vec<Trace>, WireError> {
+    let value = json::parse(body)?;
+    value
+        .get("recent")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| WireError::new("response must carry a 'recent' array"))?
+        .iter()
+        .map(decode_trace)
+        .collect()
+}
+
+fn decode_trace(value: &JsonValue) -> Result<Trace, WireError> {
+    let trace_id = value
+        .get("trace_id")
+        .and_then(JsonValue::as_str)
+        .and_then(TraceId::parse_hex)
+        .ok_or_else(|| WireError::new("'trace_id' must be a 16-hex-digit string"))?;
+    let total_us = value
+        .get("total_us")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| WireError::new("'total_us' must be an unsigned integer"))?;
+    let spans = decode_spans(
+        value
+            .get("spans")
+            .ok_or_else(|| WireError::new("trace must carry a 'spans' array"))?,
+    )?;
+    Ok(Trace {
+        trace_id,
+        total_us,
+        spans,
     })
 }
 
@@ -702,55 +921,31 @@ fn decode_fold_in(value: &JsonValue) -> Result<FoldInParams, WireError> {
     })
 }
 
-/// Encodes a full [`ServeStats`], histogram buckets included — unlike the
-/// human-facing `/stats` body (which only derives quantiles), this is
-/// lossless, so a router can merge remote shard histograms exactly.
-fn encode_serve_stats(stats: &ServeStats) -> JsonValue {
+/// Encodes one histogram losslessly as `{sum_us, buckets: [[index,
+/// count], ...]}`, skipping empty buckets.
+fn encode_sparse_histogram(h: &HistogramSnapshot) -> JsonValue {
     let buckets: Vec<JsonValue> = (0..N_BUCKETS)
-        .filter(|&i| stats.latency.bucket_count(i) > 0)
-        .map(|i| {
-            JsonValue::Array(vec![
-                JsonValue::from(i),
-                JsonValue::from(stats.latency.bucket_count(i)),
-            ])
-        })
+        .filter(|&i| h.bucket_count(i) > 0)
+        .map(|i| JsonValue::Array(vec![JsonValue::from(i), JsonValue::from(h.bucket_count(i))]))
         .collect();
     JsonValue::object([
-        ("requests", JsonValue::from(stats.requests)),
-        ("tokens", JsonValue::from(stats.tokens)),
-        ("batches", JsonValue::from(stats.batches)),
-        ("swaps_observed", JsonValue::from(stats.swaps_observed)),
-        (
-            "latency",
-            JsonValue::object([
-                ("sum_us", JsonValue::from(stats.latency.sum_micros())),
-                ("buckets", JsonValue::Array(buckets)),
-            ]),
-        ),
+        ("sum_us", JsonValue::from(h.sum_micros())),
+        ("buckets", JsonValue::Array(buckets)),
     ])
 }
 
-fn decode_serve_stats(value: &JsonValue) -> Result<ServeStats, WireError> {
-    let counter = |name: &str| {
-        value
-            .get(name)
-            .and_then(JsonValue::as_u64)
-            .ok_or_else(|| WireError::new(format!("'stats.{name}' must be an unsigned integer")))
-    };
-    let latency = value
-        .get("latency")
-        .ok_or_else(|| WireError::new("'stats' must carry a 'latency' member"))?;
-    let sum_us = latency
+fn decode_sparse_histogram(value: &JsonValue, what: &str) -> Result<HistogramSnapshot, WireError> {
+    let sum_us = value
         .get("sum_us")
         .and_then(JsonValue::as_u64)
-        .ok_or_else(|| WireError::new("'latency.sum_us' must be an unsigned integer"))?;
-    let pairs = latency
+        .ok_or_else(|| WireError::new(format!("'{what}.sum_us' must be an unsigned integer")))?;
+    let pairs = value
         .get("buckets")
         .and_then(JsonValue::as_array)
-        .ok_or_else(|| WireError::new("'latency.buckets' must be an array"))?
+        .ok_or_else(|| WireError::new(format!("'{what}.buckets' must be an array")))?
         .iter()
         .map(|pair| {
-            let err = || WireError::new("'latency.buckets' entries must be [index, count]");
+            let err = || WireError::new(format!("'{what}.buckets' entries must be [index, count]"));
             match pair.as_array().ok_or_else(err)? {
                 [i, c] => {
                     let i = i.as_u64().ok_or_else(err)? as usize;
@@ -761,14 +956,49 @@ fn decode_serve_stats(value: &JsonValue) -> Result<ServeStats, WireError> {
             }
         })
         .collect::<Result<Vec<_>, WireError>>()?;
-    let latency = HistogramSnapshot::from_sparse_buckets(pairs, sum_us)
-        .ok_or_else(|| WireError::new("'latency.buckets' index out of range"))?;
+    HistogramSnapshot::from_sparse_buckets(pairs, sum_us)
+        .ok_or_else(|| WireError::new(format!("'{what}.buckets' index out of range")))
+}
+
+/// Encodes a full [`ServeStats`], histogram buckets included — unlike the
+/// human-facing `/stats` body (which only derives quantiles), this is
+/// lossless, so a router can merge remote shard histograms (end-to-end
+/// latency plus its queue-wait/handler split) exactly.
+fn encode_serve_stats(stats: &ServeStats) -> JsonValue {
+    JsonValue::object([
+        ("requests", JsonValue::from(stats.requests)),
+        ("tokens", JsonValue::from(stats.tokens)),
+        ("batches", JsonValue::from(stats.batches)),
+        ("swaps_observed", JsonValue::from(stats.swaps_observed)),
+        ("latency", encode_sparse_histogram(&stats.latency)),
+        ("queue_wait", encode_sparse_histogram(&stats.queue_wait)),
+        ("handler", encode_sparse_histogram(&stats.handler)),
+    ])
+}
+
+fn decode_serve_stats(value: &JsonValue) -> Result<ServeStats, WireError> {
+    let counter = |name: &str| {
+        value
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| WireError::new(format!("'stats.{name}' must be an unsigned integer")))
+    };
+    let histogram = |name: &str| {
+        decode_sparse_histogram(
+            value
+                .get(name)
+                .ok_or_else(|| WireError::new(format!("'stats' must carry a '{name}' member")))?,
+            name,
+        )
+    };
     Ok(ServeStats {
         requests: counter("requests")?,
         tokens: counter("tokens")?,
         batches: counter("batches")?,
         swaps_observed: counter("swaps_observed")?,
-        latency,
+        latency: histogram("latency")?,
+        queue_wait: histogram("queue_wait")?,
+        handler: histogram("handler")?,
     })
 }
 

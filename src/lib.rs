@@ -65,6 +65,9 @@ pub use saber_baselines as baselines;
 /// Online serving: [`saber_serve`] re-exported.
 pub use saber_serve as serve;
 
+/// Distributed request tracing: [`saber_trace`] re-exported.
+pub use saber_trace as trace;
+
 pub use saber_baselines::{DenseGibbsLda, EscaCpuLda, FTreeLda, WarpLdaMh};
 pub use saber_core::{
     HeldOutEvaluator, IterationStats, LdaModel, LdaTrainer, OptLevel, PhaseTimes, SaberLda,

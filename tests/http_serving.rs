@@ -583,6 +583,11 @@ fn stats_report_latency_percentiles_after_traffic() {
     assert_eq!(server_stats.get("requests").unwrap().as_u64(), Some(40));
     let server_latency = server_stats.get("latency").unwrap();
     assert_eq!(server_latency.get("count").unwrap().as_u64(), Some(40));
+    // The queue-wait/handler decomposition covers every request too.
+    for split in ["queue_wait", "handler"] {
+        let h = server_stats.get(split).unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(40), "{split}");
+    }
 
     let infer = stats
         .get("http")
@@ -591,17 +596,22 @@ fn stats_report_latency_percentiles_after_traffic() {
         .unwrap()
         .get("infer")
         .unwrap();
-    assert_eq!(infer.get("count").unwrap().as_u64(), Some(40));
-    let p50 = infer.get("p50_us").unwrap().as_f64().unwrap();
-    let p95 = infer.get("p95_us").unwrap().as_f64().unwrap();
-    let p99 = infer.get("p99_us").unwrap().as_f64().unwrap();
+    let infer_total = infer.get("total").unwrap();
+    assert_eq!(infer_total.get("count").unwrap().as_u64(), Some(40));
+    for split in ["queue_wait", "handler"] {
+        let h = infer.get(split).unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(40), "{split}");
+    }
+    let p50 = infer_total.get("p50_us").unwrap().as_f64().unwrap();
+    let p95 = infer_total.get("p95_us").unwrap().as_f64().unwrap();
+    let p99 = infer_total.get("p99_us").unwrap().as_f64().unwrap();
     assert!(p50 > 0.0);
     assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
 
     // The front-end's own view agrees with what went over the wire.
     let http_stats = front.stats();
-    assert_eq!(http_stats.infer.count(), 40);
-    assert!(http_stats.healthz.count() >= 1);
+    assert_eq!(http_stats.infer.total.count(), 40);
+    assert!(http_stats.healthz.total.count() >= 1);
     assert!(http_stats.requests >= 42);
 
     front.shutdown();

@@ -18,10 +18,11 @@ use std::time::Duration;
 use saberlda::serve::stats::LatencyHistogram;
 use saberlda::serve::wire;
 use saberlda::serve::{
-    FoldInParams, HttpConfig, HttpServer, HttpStats, InferResponse, PartialRequest,
+    EndpointStats, FoldInParams, HttpConfig, HttpServer, HttpStats, InferResponse, PartialRequest,
     PartialResponse, RouterStats, ServeConfig, ServeStats, ShardInfo, ShardPlan, ShardRouter,
     TopicServer,
 };
+use saberlda::trace::{SpanEvent, SpanRecord, Trace, TraceId};
 use saberlda::{LdaModel, Vocabulary};
 
 #[test]
@@ -78,6 +79,14 @@ fn similar_bytes_are_stable() {
     );
 }
 
+/// The `/stats` bytes of an endpoint no request has hit yet: all three
+/// sub-histograms (total, queue-wait, handler) empty.
+const EMPTY_ENDPOINT: &str = concat!(
+    r#"{"total":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+    r#""queue_wait":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+    r#""handler":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}}"#,
+);
+
 #[test]
 fn stats_body_bytes_are_stable() {
     // Histograms built from fixed durations are fully deterministic:
@@ -92,36 +101,54 @@ fn stats_body_bytes_are_stable() {
         batches: 2,
         swaps_observed: 1,
         latency: latency.snapshot(),
+        queue_wait: LatencyHistogram::new().snapshot(),
+        handler: LatencyHistogram::new().snapshot(),
     };
     let endpoint = LatencyHistogram::new();
     endpoint.record(Duration::from_micros(900));
     endpoint.record(Duration::from_micros(1100));
-    let empty = || LatencyHistogram::new().snapshot();
     let http = HttpStats {
         requests: 5,
         errors: 1,
         active_connections: 2,
-        infer: endpoint.snapshot(),
-        top_words: empty(),
-        similar: empty(),
-        stats: empty(),
-        healthz: empty(),
+        infer: EndpointStats {
+            total: endpoint.snapshot(),
+            queue_wait: LatencyHistogram::new().snapshot(),
+            handler: LatencyHistogram::new().snapshot(),
+        },
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
     };
     assert_eq!(
         wire::encode_stats_body(&serve, 4, 3, &http, None).to_string(),
-        concat!(
+        [
             r#"{"server":{"requests":3,"tokens":42,"batches":2,"swaps_observed":1,"#,
             r#""mean_batch_size":1.5,"snapshot_version":4,"shards":3,"#,
             r#""latency":{"count":3,"mean_us":30766.666666666668,"p50_us":1448.1546878700494,"#,
-            r#""p95_us":92681.90002368316,"p99_us":92681.90002368316}},"#,
+            r#""p95_us":92681.90002368316,"p99_us":92681.90002368316},"#,
+            r#""queue_wait":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+            r#""handler":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}},"#,
             r#""http":{"requests":5,"errors":1,"active_connections":2,"endpoints":{"#,
-            r#""infer":{"count":2,"mean_us":1000,"p50_us":724.0773439350247,"#,
+            r#""infer":{"total":{"count":2,"mean_us":1000,"p50_us":724.0773439350247,"#,
             r#""p95_us":1448.1546878700494,"p99_us":1448.1546878700494},"#,
-            r#""top_words":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
-            r#""similar":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
-            r#""stats":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
-            r#""healthz":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}}}}"#,
-        ),
+            r#""queue_wait":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null},"#,
+            r#""handler":{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}},"#,
+            r#""top_words":"#,
+            EMPTY_ENDPOINT,
+            r#","#,
+            r#""similar":"#,
+            EMPTY_ENDPOINT,
+            r#","#,
+            r#""stats":"#,
+            EMPTY_ENDPOINT,
+            r#","#,
+            r#""healthz":"#,
+            EMPTY_ENDPOINT,
+            r#"}}}"#,
+        ]
+        .concat(),
     );
 }
 
@@ -169,12 +196,65 @@ fn partial_response_bytes_are_stable() {
         },
         snapshot_version: 3,
         n_oov: 1,
+        spans: Vec::new(),
     };
+    // An untraced response carries no `spans` member: these are the exact
+    // PR 5 bytes, so tracing is invisible to clients that never opt in.
     let encoded = wire::encode_partial_response(&response, (12, 24)).to_string();
     assert_eq!(
         encoded,
         r#"{"counts":[4.5,1.5,0],"n_words":6,"snapshot_version":3,"n_oov":1,"shard":[12,24]}"#,
     );
+    let decoded = wire::decode_partial_response(&encoded).unwrap();
+    assert_eq!(decoded, response);
+}
+
+#[test]
+fn traced_partial_response_bytes_are_stable() {
+    // When the router forwards an `X-Saber-Trace` header, the shard's
+    // spans ride home inline in the `/infer-partial` response. `parent`
+    // is null on the subtree root; `events` is omitted when empty.
+    let response = PartialResponse {
+        partial: saberlda::core::infer::PartialFoldIn {
+            counts: vec![4.5, 1.5, 0.0],
+            n_words: 6,
+        },
+        snapshot_version: 3,
+        n_oov: 1,
+        spans: vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "infer-partial".to_string(),
+                start_us: 0,
+                duration_us: 180,
+                events: vec![SpanEvent {
+                    at_us: 90,
+                    message: "queued".to_string(),
+                }],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "handler".to_string(),
+                start_us: 40,
+                duration_us: 120,
+                events: Vec::new(),
+            },
+        ],
+    };
+    let encoded = wire::encode_partial_response(&response, (12, 24)).to_string();
+    assert_eq!(
+        encoded,
+        concat!(
+            r#"{"counts":[4.5,1.5,0],"n_words":6,"snapshot_version":3,"n_oov":1,"shard":[12,24],"#,
+            r#""spans":[{"id":1,"parent":null,"name":"infer-partial","start_us":0,"#,
+            r#""duration_us":180,"events":[{"at_us":90,"message":"queued"}]},"#,
+            r#"{"id":2,"parent":1,"name":"handler","start_us":40,"duration_us":120}]}"#,
+        ),
+    );
+    // Spans survive the wire exactly, so the router can attach the shard
+    // subtree without loss.
     let decoded = wire::decode_partial_response(&encoded).unwrap();
     assert_eq!(decoded, response);
 }
@@ -198,6 +278,8 @@ fn shard_info_bytes_are_stable() {
             batches: 2,
             swaps_observed: 1,
             latency: latency.snapshot(),
+            queue_wait: LatencyHistogram::new().snapshot(),
+            handler: LatencyHistogram::new().snapshot(),
         },
     };
     let encoded = wire::encode_shard_info(&info).to_string();
@@ -207,7 +289,8 @@ fn shard_info_bytes_are_stable() {
             r#"{"epoch":2,"vocab_size":12,"n_topics":3,"alpha":0.05000000074505806,"#,
             r#""shard":[0,12],"fold_in":{"kind":"esca","burn_in":5,"samples":8},"#,
             r#""stats":{"requests":3,"tokens":9,"batches":2,"swaps_observed":1,"#,
-            r#""latency":{"sum_us":91700,"buckets":[[9,2],[16,1]]}}}"#,
+            r#""latency":{"sum_us":91700,"buckets":[[9,2],[16,1]]},"#,
+            r#""queue_wait":{"sum_us":0,"buckets":[]},"handler":{"sum_us":0,"buckets":[]}}}"#,
         ),
     );
     // The histogram survives the wire losslessly: same buckets, same sum,
@@ -228,19 +311,24 @@ fn prometheus_bytes_are_stable() {
         batches: 1,
         swaps_observed: 0,
         latency: latency.snapshot(),
+        queue_wait: LatencyHistogram::new().snapshot(),
+        handler: LatencyHistogram::new().snapshot(),
     };
     let infer = LatencyHistogram::new();
     infer.record(Duration::from_micros(900));
-    let empty = || LatencyHistogram::new().snapshot();
     let http = HttpStats {
         requests: 5,
         errors: 1,
         active_connections: 2,
-        infer: infer.snapshot(),
-        top_words: empty(),
-        similar: empty(),
-        stats: empty(),
-        healthz: empty(),
+        infer: EndpointStats {
+            total: infer.snapshot(),
+            queue_wait: LatencyHistogram::new().snapshot(),
+            handler: LatencyHistogram::new().snapshot(),
+        },
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
     };
     let router = RouterStats {
         requests: 4,
@@ -287,7 +375,27 @@ saber_serve_latency_seconds_bucket{le=\"1\"} 2\n\
 saber_serve_latency_seconds_bucket{le=\"10\"} 2\n\
 saber_serve_latency_seconds_bucket{le=\"+Inf\"} 2\n\
 saber_serve_latency_seconds_sum 0.0908\n\
-saber_serve_latency_seconds_count 2\n";
+saber_serve_latency_seconds_count 2\n\
+# TYPE saber_serve_queue_wait_seconds histogram\n\
+saber_serve_queue_wait_seconds_bucket{le=\"0.0001\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"0.001\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"0.01\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"0.1\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"1\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"10\"} 0\n\
+saber_serve_queue_wait_seconds_bucket{le=\"+Inf\"} 0\n\
+saber_serve_queue_wait_seconds_sum 0\n\
+saber_serve_queue_wait_seconds_count 0\n\
+# TYPE saber_serve_handler_seconds histogram\n\
+saber_serve_handler_seconds_bucket{le=\"0.0001\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"0.001\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"0.01\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"0.1\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"1\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"10\"} 0\n\
+saber_serve_handler_seconds_bucket{le=\"+Inf\"} 0\n\
+saber_serve_handler_seconds_sum 0\n\
+saber_serve_handler_seconds_count 0\n";
     assert!(
         text.starts_with(expected_prefix),
         "prometheus exposition diverged:\n{text}"
@@ -321,6 +429,23 @@ saber_serve_latency_seconds_count 2\n";
             .count(),
         1
     );
+    for family in [
+        "saber_serve_queue_wait_seconds",
+        "saber_serve_handler_seconds",
+        "saber_http_queue_wait_seconds",
+        "saber_http_handler_seconds",
+    ] {
+        assert_eq!(
+            text.matches(&format!("# TYPE {family} histogram")).count(),
+            1,
+            "{family} must declare its TYPE exactly once"
+        );
+        assert!(
+            text.contains(&format!("{family}_count{{endpoint=\"infer\"}} 0\n"))
+                || text.contains(&format!("{family}_count 0\n")),
+            "{family} series missing:\n{text}"
+        );
+    }
 }
 
 #[test]
@@ -328,16 +453,15 @@ fn stats_body_with_router_member_is_stable() {
     // Satellite bugfix of ISSUE 5: router-backed /stats now carries the
     // RouterStats block between "server" and "http".
     let serve = ServeStats::default();
-    let empty = || LatencyHistogram::new().snapshot();
     let http = HttpStats {
         requests: 1,
         errors: 0,
         active_connections: 1,
-        infer: empty(),
-        top_words: empty(),
-        similar: empty(),
-        stats: empty(),
-        healthz: empty(),
+        infer: EndpointStats::default(),
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
     };
     let router = RouterStats {
         requests: 6,
@@ -473,7 +597,8 @@ fn shard_endpoints_are_stable_end_to_end_over_tcp() {
             r#"{"epoch":1,"vocab_size":12,"n_topics":3,"alpha":0.05000000074505806,"#,
             r#""shard":[24,36],"fold_in":{"kind":"esca","burn_in":5,"samples":8},"#,
             r#""stats":{"requests":0,"tokens":0,"batches":0,"swaps_observed":0,"#,
-            r#""latency":{"sum_us":0,"buckets":[]}}}"#,
+            r#""latency":{"sum_us":0,"buckets":[]},"#,
+            r#""queue_wait":{"sum_us":0,"buckets":[]},"handler":{"sum_us":0,"buckets":[]}}}"#,
         ),
     );
     // The fan-out request itself: same planted document and seed as the
@@ -526,11 +651,11 @@ fn metrics_exposition_is_stable_end_to_end_over_tcp() {
         requests: 1,
         errors: 0,
         active_connections: 1,
-        infer: LatencyHistogram::new().snapshot(),
-        top_words: LatencyHistogram::new().snapshot(),
-        similar: LatencyHistogram::new().snapshot(),
-        stats: LatencyHistogram::new().snapshot(),
-        healthz: LatencyHistogram::new().snapshot(),
+        infer: EndpointStats::default(),
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
     };
     let expected = wire::encode_prometheus(&ServeStats::default(), 1, 1, &scrape_time_http, None);
     assert_eq!(observed, expected, "live /metrics diverged from the codec");
@@ -664,9 +789,75 @@ fn serve_error_decoding_inverts_the_status_table() {
     }
     // An unparseable body still yields a useful transport error.
     match wire::decode_serve_error(418, "not json") {
-        ServeError::Transport { detail } => assert!(detail.contains("418"), "{detail}"),
+        ServeError::Transport {
+            detail,
+            shard,
+            addr,
+        } => {
+            assert!(detail.contains("418"), "{detail}");
+            // Attribution (which shard, which address) is stamped by the
+            // transport, not the decoder: it starts out unattributed.
+            assert_eq!(shard, None);
+            assert_eq!(addr, None);
+        }
         other => panic!("unknown status decoded as {other:?}"),
     }
+}
+
+#[test]
+fn trace_recent_bytes_are_stable() {
+    // The `GET /trace/recent` body: the recent ring plus the slow-request
+    // capture, each trace a flat span list keyed by id/parent.
+    let trace = Trace {
+        trace_id: TraceId::from_raw(0xabc).unwrap(),
+        total_us: 1500,
+        spans: vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "ingress".to_string(),
+                start_us: 0,
+                duration_us: 1500,
+                events: vec![SpanEvent {
+                    at_us: 700,
+                    message: "epoch observed 3".to_string(),
+                }],
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "handler".to_string(),
+                start_us: 10,
+                duration_us: 1400,
+                events: Vec::new(),
+            },
+        ],
+    };
+    let encoded = wire::encode_trace_recent(std::slice::from_ref(&trace), &[], 250_000).to_string();
+    assert_eq!(
+        encoded,
+        concat!(
+            r#"{"recent":[{"trace_id":"0000000000000abc","total_us":1500,"spans":["#,
+            r#"{"id":1,"parent":null,"name":"ingress","start_us":0,"duration_us":1500,"#,
+            r#""events":[{"at_us":700,"message":"epoch observed 3"}]},"#,
+            r#"{"id":2,"parent":1,"name":"handler","start_us":10,"duration_us":1400}]}],"#,
+            r#""slow":{"threshold_us":250000,"traces":[]}}"#,
+        ),
+    );
+    // The client half: `decode_trace_recent` recovers the ring exactly
+    // (ids, parents, events and all), which is what lets the distributed
+    // tracing tests assert on assembled cross-process trees.
+    let decoded = wire::decode_trace_recent(&encoded).unwrap();
+    assert_eq!(decoded, vec![trace]);
+    // A trace that lands in the slow capture also appears under `slow`
+    // with the configured threshold; `decode_trace_recent` reads only the
+    // ring, so the slow list never double-counts in clients.
+    let slow = wire::encode_trace_recent(&[], &decoded, 250_000).to_string();
+    assert!(
+        slow.starts_with(r#"{"recent":[],"slow":{"threshold_us":250000,"traces":[{"trace_id""#),
+        "{slow}"
+    );
+    assert_eq!(wire::decode_trace_recent(&slow).unwrap(), Vec::new());
 }
 
 #[test]
