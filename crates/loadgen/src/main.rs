@@ -1,0 +1,333 @@
+//! `saber-loadgen` — record, synthesise and replay serving load.
+//!
+//! ```text
+//! saber-loadgen synth --out trace.sabrtrace [--preset nytimes|pubmed|clueweb]
+//!                     [--requests N] [--seed S]
+//! saber-loadgen replay --trace trace.sabrtrace [--topology direct|local:N|remote:N]...
+//!                      [--rate recorded|fixed:QPS|ramp:FROM:TO|burst:BASE:PEAK]
+//!                      [--topics K] [--threads N] [--deadline-ms MS]
+//!                      [--profile NAME] [--out-dir DIR]
+//!                      [--baseline FILE] [--tolerance F]
+//! saber-loadgen smoke [--out-dir DIR] [--baseline FILE] [--tolerance F]
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 runtime failure, 3 baseline
+//! regression.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use saber_corpus::synthetic::SyntheticSpec;
+use saber_loadgen::replay::{
+    record_over_http, replay, replay_model, RateProfile, ReplayConfig, Topology, TopologyHandle,
+};
+use saber_loadgen::report::{BenchReport, TopologyReport, TraceSummary};
+use saber_loadgen::synth::{preset_spec, synthesize_trace};
+use saber_loadgen::trace::RequestTrace;
+use saber_serve::ServeConfig;
+
+const USAGE: &str = "usage: saber-loadgen <synth|replay|smoke> [options]
+  synth   --out FILE [--preset nytimes|pubmed|clueweb] [--requests N] [--seed S]
+  replay  --trace FILE [--topology direct|local:N|remote:N]... [--rate PROFILE]
+          [--topics K] [--threads N] [--deadline-ms MS] [--profile NAME]
+          [--out-dir DIR] [--baseline FILE] [--tolerance F]
+  smoke   [--out-dir DIR] [--baseline FILE] [--tolerance F]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let result = match command.as_str() {
+        "synth" => cmd_synth(rest),
+        "replay" => cmd_replay(rest),
+        "smoke" => cmd_smoke(rest),
+        _ => {
+            eprintln!("unknown command {command:?}\n{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("saber-loadgen: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pulls `--flag value` pairs out of `args`; rejects unknown flags.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !known.contains(&flag.as_str()) {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))?;
+            pairs.push((flag.clone(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, flag: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag {flag} has invalid value {v:?}")),
+        }
+    }
+}
+
+fn cmd_synth(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["--out", "--preset", "--requests", "--seed"])?;
+    let out = flags.get("--out").ok_or("synth requires --out FILE")?;
+    let spec = match flags.get("--preset") {
+        Some(name) => preset_spec(name).ok_or_else(|| format!("unknown preset {name:?}"))?,
+        None => SyntheticSpec::small_test(),
+    };
+    let requests = flags.parse_num("--requests", 240usize)?;
+    let seed = flags.parse_num("--seed", 42u64)?;
+    let trace = synthesize_trace(&spec, requests, seed);
+    trace.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} requests, {} tokens, vocab {})",
+        out,
+        trace.len(),
+        trace.total_tokens(),
+        trace.vocab_size()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_rate(s: &str) -> Result<RateProfile, String> {
+    if s == "recorded" {
+        return Ok(RateProfile::AsRecorded);
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |v: &str| -> Result<f64, String> {
+        v.parse()
+            .map_err(|_| format!("invalid rate component {v:?} in {s:?}"))
+    };
+    match parts.as_slice() {
+        ["fixed", qps] => Ok(RateProfile::Fixed { qps: num(qps)? }),
+        ["ramp", from, to] => Ok(RateProfile::Ramp {
+            from_qps: num(from)?,
+            to_qps: num(to)?,
+        }),
+        ["burst", base, peak] => Ok(RateProfile::Burst {
+            base_qps: num(base)?,
+            burst_qps: num(peak)?,
+            period: 20,
+            burst_len: 5,
+        }),
+        _ => Err(format!(
+            "invalid rate {s:?} (want recorded, fixed:QPS, ramp:FROM:TO or burst:BASE:PEAK)"
+        )),
+    }
+}
+
+/// Replays `trace` on one topology and folds the result into a report row.
+fn run_topology(
+    topology: Topology,
+    label: &str,
+    trace: &RequestTrace,
+    profile: &RateProfile,
+    config: &ReplayConfig,
+    topics: usize,
+    model_seed: u64,
+) -> Result<TopologyReport, String> {
+    let model =
+        replay_model(trace.vocab_size() as usize, topics, model_seed).map_err(|e| e.to_string())?;
+    let handle = TopologyHandle::build(topology, &model, &ServeConfig::default())
+        .map_err(|e| format!("building topology {label}: {e}"))?;
+    let outcome = replay(&handle.backend(), trace, profile, config);
+    let server = handle.server_stats();
+    handle.shutdown();
+    Ok(TopologyReport::from_outcome(label, &outcome, &server))
+}
+
+/// Writes the report pair and applies the optional baseline diff.
+fn finish(
+    report: &BenchReport,
+    out_dir: &Path,
+    baseline: Option<&str>,
+    tolerance: f64,
+) -> Result<ExitCode, String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let json_path = out_dir.join(format!("BENCH_loadgen_{}.json", report.profile));
+    let md_path = out_dir.join(format!("BENCH_loadgen_{}.md", report.profile));
+    std::fs::write(&json_path, report.to_json().to_string() + "\n")
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    std::fs::write(&md_path, report.to_markdown())
+        .map_err(|e| format!("writing {}: {e}", md_path.display()))?;
+    print!("{}", report.to_markdown());
+    println!("\nreport: {}", json_path.display());
+    if let Some(baseline_path) = baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path}: {e}"))?;
+        let baseline = BenchReport::from_json_str(&text)
+            .map_err(|e| format!("parsing baseline {baseline_path}: {e}"))?;
+        let regressions = report.diff(&baseline, tolerance);
+        if regressions.is_empty() {
+            println!("baseline: OK (tolerance {tolerance})");
+        } else {
+            for regression in &regressions {
+                eprintln!("REGRESSION {regression}");
+            }
+            return Ok(ExitCode::from(3));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--trace",
+            "--topology",
+            "--rate",
+            "--topics",
+            "--threads",
+            "--deadline-ms",
+            "--profile",
+            "--out-dir",
+            "--baseline",
+            "--tolerance",
+        ],
+    )?;
+    let trace_path = flags.get("--trace").ok_or("replay requires --trace FILE")?;
+    let trace = RequestTrace::load(trace_path).map_err(|e| e.to_string())?;
+    let topology_flags = flags.get_all("--topology");
+    let topologies: Vec<Topology> = if topology_flags.is_empty() {
+        vec![Topology::Direct]
+    } else {
+        topology_flags
+            .iter()
+            .map(|s| Topology::parse(s).ok_or_else(|| format!("invalid topology {s:?}")))
+            .collect::<Result<_, _>>()?
+    };
+    let rate = parse_rate(flags.get("--rate").unwrap_or("fixed:500"))?;
+    let topics = flags.parse_num("--topics", 16usize)?;
+    let config = ReplayConfig {
+        threads: flags.parse_num("--threads", 4usize)?,
+        deadline: Duration::from_millis(flags.parse_num("--deadline-ms", 5_000u64)?),
+        collect_thetas: false,
+    };
+    let profile = flags.get("--profile").unwrap_or("replay").to_string();
+    let out_dir = PathBuf::from(flags.get("--out-dir").unwrap_or("."));
+    let tolerance = flags.parse_num("--tolerance", 0.5f64)?;
+
+    let mut rows = Vec::new();
+    for topology in topologies {
+        let label = topology.label();
+        eprintln!("replaying {} requests on {label}…", trace.len());
+        rows.push(run_topology(
+            topology, &label, &trace, &rate, &config, topics, 7,
+        )?);
+    }
+    let report = BenchReport {
+        profile,
+        rate: rate.label(),
+        trace: TraceSummary {
+            source: "file".to_string(),
+            requests: trace.len() as u64,
+            tokens: trace.total_tokens(),
+            vocab_size: trace.vocab_size(),
+        },
+        topologies: rows,
+    };
+    finish(&report, &out_dir, flags.get("--baseline"), tolerance)
+}
+
+fn cmd_smoke(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["--out-dir", "--baseline", "--tolerance"])?;
+    let out_dir = PathBuf::from(flags.get("--out-dir").unwrap_or("."));
+    let tolerance = flags.parse_num("--tolerance", 0.5f64)?;
+
+    // The fixed smoke workload: small synthetic trace, deterministic model.
+    let trace = synthesize_trace(&SyntheticSpec::small_test(), 240, 0xC0FFEE);
+    let rate = RateProfile::Fixed { qps: 600.0 };
+    let config = ReplayConfig {
+        threads: 4,
+        deadline: Duration::from_secs(5),
+        collect_thetas: false,
+    };
+    let topics = 16;
+
+    let mut rows = Vec::new();
+    for topology in [
+        Topology::Direct,
+        Topology::LocalShards(2),
+        Topology::RemoteShards(2),
+    ] {
+        let label = topology.label();
+        eprintln!("smoke: replaying synthetic trace on {label}…");
+        rows.push(run_topology(
+            topology, &label, &trace, &rate, &config, topics, 7,
+        )?);
+    }
+
+    // Recorded path: capture the first 60 requests at a real HTTP ingress,
+    // then replay what the recorder saw against a direct server.
+    eprintln!("smoke: recording 60 requests over HTTP and replaying the capture…");
+    let model = replay_model(trace.vocab_size() as usize, topics, 7).map_err(|e| e.to_string())?;
+    let recorded = record_over_http(&trace, &model, &ServeConfig::default(), 60)
+        .map_err(|e| format!("recording over HTTP: {e}"))?;
+    if recorded.len() != 60 {
+        return Err(format!(
+            "recorder captured {} of 60 requests",
+            recorded.len()
+        ));
+    }
+    let handle = TopologyHandle::build(Topology::Direct, &model, &ServeConfig::default())
+        .map_err(|e| e.to_string())?;
+    let outcome = replay(&handle.backend(), &recorded, &rate, &config);
+    let server = handle.server_stats();
+    handle.shutdown();
+    rows.push(TopologyReport::from_outcome(
+        "recorded-direct",
+        &outcome,
+        &server,
+    ));
+
+    let report = BenchReport {
+        profile: "smoke".to_string(),
+        rate: rate.label(),
+        trace: TraceSummary {
+            source: "synthetic".to_string(),
+            requests: trace.len() as u64,
+            tokens: trace.total_tokens(),
+            vocab_size: trace.vocab_size(),
+        },
+        topologies: rows,
+    };
+    finish(&report, &out_dir, flags.get("--baseline"), tolerance)
+}

@@ -1,0 +1,521 @@
+//! Benchmark reports: JSON + markdown rendering and baseline diffing.
+//!
+//! A [`BenchReport`] aggregates one replay run per topology into a single
+//! document with a stable schema (`saber-loadgen-report/1`), serialised
+//! through [`saber_core::json`] so the bytes are deterministic for given
+//! numbers (ordered members, shortest-round-trip floats). A checked-in
+//! report becomes a **baseline**: [`BenchReport::diff`] compares the
+//! regression-sensitive metrics (achieved QPS, token throughput, p99,
+//! success rate) of a fresh run against it under a relative tolerance,
+//! and the CLI exits nonzero on any regression — which is what turns a
+//! speed claim into a test.
+
+use std::fmt;
+
+use saber_core::json::{parse, JsonValue};
+use saber_serve::{HistogramSnapshot, ServeStats};
+
+use crate::replay::ReplayOutcome;
+
+/// Schema tag written into every report.
+pub const SCHEMA: &str = "saber-loadgen-report/1";
+
+/// Quantile summary of a latency histogram, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Mean in microseconds.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+    /// Samples beyond the histogram's top bucket (see
+    /// [`HistogramSnapshot::overflow`]).
+    pub overflow: u64,
+}
+
+impl LatencySummary {
+    /// Summarises a histogram snapshot (zeros when empty).
+    pub fn from_snapshot(snapshot: &HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            count: snapshot.count(),
+            mean_us: snapshot.mean_micros().unwrap_or(0.0),
+            p50_us: snapshot.p50().unwrap_or(0.0),
+            p95_us: snapshot.p95().unwrap_or(0.0),
+            p99_us: snapshot.p99().unwrap_or(0.0),
+            overflow: snapshot.overflow(),
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::object([
+            ("count", JsonValue::from(self.count)),
+            ("mean_us", JsonValue::from(self.mean_us)),
+            ("p50_us", JsonValue::from(self.p50_us)),
+            ("p95_us", JsonValue::from(self.p95_us)),
+            ("p99_us", JsonValue::from(self.p99_us)),
+            ("overflow", JsonValue::from(self.overflow)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<LatencySummary, String> {
+        Ok(LatencySummary {
+            count: member_u64(v, "count")?,
+            mean_us: member_f64(v, "mean_us")?,
+            p50_us: member_f64(v, "p50_us")?,
+            p95_us: member_f64(v, "p95_us")?,
+            p99_us: member_f64(v, "p99_us")?,
+            overflow: member_u64(v, "overflow")?,
+        })
+    }
+}
+
+/// What the trace under replay looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `synthetic` or `recorded`.
+    pub source: String,
+    /// Requests in the trace.
+    pub requests: u64,
+    /// Total tokens in the trace.
+    pub tokens: u64,
+    /// Vocabulary bound of the trace.
+    pub vocab_size: u32,
+}
+
+/// One topology's replay results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyReport {
+    /// Topology label (`direct`, `local-2`, `remote-2`, `recorded-direct`).
+    pub topology: String,
+    /// Requests dispatched.
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub ok: u64,
+    /// Requests shed as overloaded (backpressure).
+    pub overloaded: u64,
+    /// Requests past their deadline.
+    pub deadline_exceeded: u64,
+    /// Any other failure.
+    pub other_errors: u64,
+    /// Wall-clock seconds for the whole replay.
+    pub wall_seconds: f64,
+    /// Successful completions per second.
+    pub achieved_qps: f64,
+    /// Tokens per second over successful requests.
+    pub tokens_per_second: f64,
+    /// Loadgen-side latency (dispatch to reply).
+    pub latency: LatencySummary,
+    /// Server-side queue-wait component.
+    pub queue_wait: LatencySummary,
+    /// Server-side handler (compute) component.
+    pub handler: LatencySummary,
+}
+
+impl TopologyReport {
+    /// Combines a replay outcome with the server's own post-run statistics
+    /// (which carry the queue-wait/handler split the loadgen side cannot
+    /// observe).
+    pub fn from_outcome(label: &str, outcome: &ReplayOutcome, server: &ServeStats) -> Self {
+        TopologyReport {
+            topology: label.to_string(),
+            requests: outcome.requests,
+            ok: outcome.ok,
+            overloaded: outcome.overloaded,
+            deadline_exceeded: outcome.deadline_exceeded,
+            other_errors: outcome.other_errors,
+            wall_seconds: outcome.wall.as_secs_f64(),
+            achieved_qps: outcome.achieved_qps(),
+            tokens_per_second: outcome.tokens_per_second(),
+            latency: LatencySummary::from_snapshot(&outcome.latency),
+            queue_wait: LatencySummary::from_snapshot(&server.queue_wait),
+            handler: LatencySummary::from_snapshot(&server.handler),
+        }
+    }
+
+    /// Fraction of dispatched requests answered successfully (1.0 for an
+    /// empty replay, so empty baselines never read as failing).
+    pub fn success_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.requests as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("topology", JsonValue::from(self.topology.as_str())),
+            ("requests", JsonValue::from(self.requests)),
+            ("ok", JsonValue::from(self.ok)),
+            ("overloaded", JsonValue::from(self.overloaded)),
+            ("deadline_exceeded", JsonValue::from(self.deadline_exceeded)),
+            ("other_errors", JsonValue::from(self.other_errors)),
+            ("wall_seconds", JsonValue::from(self.wall_seconds)),
+            ("achieved_qps", JsonValue::from(self.achieved_qps)),
+            ("tokens_per_second", JsonValue::from(self.tokens_per_second)),
+            ("latency", self.latency.to_json()),
+            ("queue_wait", self.queue_wait.to_json()),
+            ("handler", self.handler.to_json()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<TopologyReport, String> {
+        Ok(TopologyReport {
+            topology: member_str(v, "topology")?,
+            requests: member_u64(v, "requests")?,
+            ok: member_u64(v, "ok")?,
+            overloaded: member_u64(v, "overloaded")?,
+            deadline_exceeded: member_u64(v, "deadline_exceeded")?,
+            other_errors: member_u64(v, "other_errors")?,
+            wall_seconds: member_f64(v, "wall_seconds")?,
+            achieved_qps: member_f64(v, "achieved_qps")?,
+            tokens_per_second: member_f64(v, "tokens_per_second")?,
+            latency: LatencySummary::from_json(member(v, "latency")?)?,
+            queue_wait: LatencySummary::from_json(member(v, "queue_wait")?)?,
+            handler: LatencySummary::from_json(member(v, "handler")?)?,
+        })
+    }
+}
+
+/// A full benchmark report: one replay per topology under one profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Profile name; reports are written as `BENCH_loadgen_<profile>.json`.
+    pub profile: String,
+    /// Rate profile label (see
+    /// [`RateProfile::label`](crate::replay::RateProfile::label)).
+    pub rate: String,
+    /// The trace driven at every topology.
+    pub trace: TraceSummary,
+    /// Per-topology results.
+    pub topologies: Vec<TopologyReport>,
+}
+
+/// One metric that regressed past tolerance against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Topology the metric belongs to.
+    pub topology: String,
+    /// Metric name (`achieved_qps`, `p99_us`, …).
+    pub metric: String,
+    /// Value in the current run.
+    pub current: f64,
+    /// Value in the baseline.
+    pub baseline: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {:.2} regressed from baseline {:.2}",
+            self.topology, self.metric, self.current, self.baseline
+        )
+    }
+}
+
+impl BenchReport {
+    /// Serialises to the versioned JSON schema.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("schema", JsonValue::from(SCHEMA)),
+            ("profile", JsonValue::from(self.profile.as_str())),
+            ("rate", JsonValue::from(self.rate.as_str())),
+            (
+                "trace",
+                JsonValue::object([
+                    ("source", JsonValue::from(self.trace.source.as_str())),
+                    ("requests", JsonValue::from(self.trace.requests)),
+                    ("tokens", JsonValue::from(self.trace.tokens)),
+                    (
+                        "vocab_size",
+                        JsonValue::from(u64::from(self.trace.vocab_size)),
+                    ),
+                ]),
+            ),
+            (
+                "topologies",
+                JsonValue::Array(
+                    self.topologies
+                        .iter()
+                        .map(TopologyReport::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem —
+    /// invalid JSON, wrong schema tag, or a missing/mistyped member.
+    pub fn from_json_str(text: &str) -> Result<BenchReport, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        let schema = member_str(&v, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported report schema {schema:?} (want {SCHEMA:?})"
+            ));
+        }
+        let trace = member(&v, "trace")?;
+        let topologies = member(&v, "topologies")?
+            .as_array()
+            .ok_or("member \"topologies\" is not an array")?
+            .iter()
+            .map(TopologyReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            profile: member_str(&v, "profile")?,
+            rate: member_str(&v, "rate")?,
+            trace: TraceSummary {
+                source: member_str(trace, "source")?,
+                requests: member_u64(trace, "requests")?,
+                tokens: member_u64(trace, "tokens")?,
+                vocab_size: member_u64(trace, "vocab_size")? as u32,
+            },
+            topologies,
+        })
+    }
+
+    /// Renders a markdown table alongside the JSON, for humans and PR
+    /// descriptions.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# saber-loadgen: {}\n\nTrace: {} ({} requests, {} tokens, vocab {}); rate profile `{}`.\n\n",
+            self.profile,
+            self.trace.source,
+            self.trace.requests,
+            self.trace.tokens,
+            self.trace.vocab_size,
+            self.rate,
+        ));
+        out.push_str(
+            "| topology | ok/requests | qps | tokens/s | p50 µs | p95 µs | p99 µs | queue-wait p99 µs | handler p99 µs | overloaded | deadline |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+        for t in &self.topologies {
+            out.push_str(&format!(
+                "| {} | {}/{} | {:.1} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {} | {} |\n",
+                t.topology,
+                t.ok,
+                t.requests,
+                t.achieved_qps,
+                t.tokens_per_second,
+                t.latency.p50_us,
+                t.latency.p95_us,
+                t.latency.p99_us,
+                t.queue_wait.p99_us,
+                t.handler.p99_us,
+                t.overloaded,
+                t.deadline_exceeded,
+            ));
+        }
+        out
+    }
+
+    /// Compares this run against `baseline` under a relative `tolerance`
+    /// (0.5 = allow 50% degradation). Checked per topology present in the
+    /// baseline:
+    ///
+    /// * `achieved_qps` and `tokens_per_second` must not drop below
+    ///   `baseline / (1 + tolerance)`;
+    /// * latency `p99_us` must not exceed `baseline × (1 + tolerance)`;
+    /// * the success rate must not drop more than 10 percentage points;
+    /// * a topology present in the baseline must exist in the current run.
+    ///
+    /// Returns every violated metric; empty means no regression.
+    pub fn diff(&self, baseline: &BenchReport, tolerance: f64) -> Vec<Regression> {
+        let tolerance = tolerance.max(0.0);
+        let mut regressions = Vec::new();
+        for base in &baseline.topologies {
+            let Some(current) = self.topologies.iter().find(|t| t.topology == base.topology) else {
+                regressions.push(Regression {
+                    topology: base.topology.clone(),
+                    metric: "present".to_string(),
+                    current: 0.0,
+                    baseline: 1.0,
+                });
+                continue;
+            };
+            let floor = |b: f64| b / (1.0 + tolerance);
+            if current.achieved_qps < floor(base.achieved_qps) {
+                regressions.push(Regression {
+                    topology: base.topology.clone(),
+                    metric: "achieved_qps".to_string(),
+                    current: current.achieved_qps,
+                    baseline: base.achieved_qps,
+                });
+            }
+            if current.tokens_per_second < floor(base.tokens_per_second) {
+                regressions.push(Regression {
+                    topology: base.topology.clone(),
+                    metric: "tokens_per_second".to_string(),
+                    current: current.tokens_per_second,
+                    baseline: base.tokens_per_second,
+                });
+            }
+            if base.latency.p99_us > 0.0
+                && current.latency.p99_us > base.latency.p99_us * (1.0 + tolerance)
+            {
+                regressions.push(Regression {
+                    topology: base.topology.clone(),
+                    metric: "p99_us".to_string(),
+                    current: current.latency.p99_us,
+                    baseline: base.latency.p99_us,
+                });
+            }
+            if current.success_rate() < base.success_rate() - 0.10 {
+                regressions.push(Regression {
+                    topology: base.topology.clone(),
+                    metric: "success_rate".to_string(),
+                    current: current.success_rate(),
+                    baseline: base.success_rate(),
+                });
+            }
+        }
+        regressions
+    }
+}
+
+fn member<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing member {key:?}"))
+}
+
+fn member_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    member(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("member {key:?} is not an unsigned integer"))
+}
+
+fn member_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    member(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("member {key:?} is not a number"))
+}
+
+fn member_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    Ok(member(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("member {key:?} is not a string"))?
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_topology(label: &str, qps: f64, p99: f64) -> TopologyReport {
+        TopologyReport {
+            topology: label.to_string(),
+            requests: 100,
+            ok: 100,
+            overloaded: 0,
+            deadline_exceeded: 0,
+            other_errors: 0,
+            wall_seconds: 1.25,
+            achieved_qps: qps,
+            tokens_per_second: qps * 30.0,
+            latency: LatencySummary {
+                count: 100,
+                mean_us: 400.0,
+                p50_us: 350.0,
+                p95_us: 800.0,
+                p99_us: p99,
+                overflow: 0,
+            },
+            queue_wait: LatencySummary::default(),
+            handler: LatencySummary::default(),
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            profile: "smoke".to_string(),
+            rate: "fixed-500".to_string(),
+            trace: TraceSummary {
+                source: "synthetic".to_string(),
+                requests: 100,
+                tokens: 3000,
+                vocab_size: 60,
+            },
+            topologies: vec![
+                sample_topology("direct", 480.0, 1200.0),
+                sample_topology("local-2", 470.0, 1500.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let report = sample_report();
+        let text = report.to_json().to_string();
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(text.starts_with(&format!("{{\"schema\":\"{SCHEMA}\"")));
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample_report()
+            .to_json()
+            .to_string()
+            .replace(SCHEMA, "saber-loadgen-report/99");
+        assert!(BenchReport::from_json_str(&text)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn identical_runs_never_regress() {
+        let report = sample_report();
+        assert!(report.diff(&report, 0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_each_metric() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.topologies[0].achieved_qps = 100.0;
+        current.topologies[0].latency.p99_us = 50_000.0;
+        current.topologies[1].ok = 10;
+        current.topologies.remove(1);
+        let mut current_full = baseline.clone();
+        current_full.topologies[0] = current.topologies[0].clone();
+        current_full.topologies[1].ok = 10;
+
+        let regressions = current_full.diff(&baseline, 0.5);
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert!(metrics.contains(&"achieved_qps"));
+        assert!(metrics.contains(&"p99_us"));
+        assert!(metrics.contains(&"success_rate"));
+
+        let missing = current.diff(&baseline, 0.5);
+        assert!(missing.iter().any(|r| r.metric == "present"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.topologies[0].achieved_qps = 400.0; // -17% vs 480
+        current.topologies[0].latency.p99_us = 1500.0; // +25%
+        assert!(current.diff(&baseline, 0.5).is_empty());
+        assert!(!current.diff(&baseline, 0.1).is_empty());
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_topology() {
+        let md = sample_report().to_markdown();
+        assert!(md.contains("| direct |"));
+        assert!(md.contains("| local-2 |"));
+        assert!(md.contains("tokens/s"));
+    }
+}

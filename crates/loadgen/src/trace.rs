@@ -1,0 +1,483 @@
+//! The `SABRTRACE` request-trace format.
+//!
+//! A trace is the unit of reproducible load: an ordered list of inference
+//! requests, each carrying the exact word ids, the exact seed, and the
+//! arrival offset (microseconds since trace start) observed or synthesised
+//! for it. Traces come from two places —
+//!
+//! * **recorded** at the HTTP ingress via
+//!   [`RequestRecorder`](saber_serve::RequestRecorder) (opt-in on
+//!   [`HttpConfig`](saber_serve::HttpConfig)), then frozen with
+//!   [`RequestTrace::from_recorded`];
+//! * **synthesised** from [`saber_corpus`] generators (see
+//!   [`crate::synth`]), deterministic per `(spec, seed)` so the same
+//!   invocation produces the same bytes on every machine.
+//!
+//! # Binary layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      9 bytes   "SABRTRACE"
+//! version    u16       1
+//! flags      u16       0 (reserved)
+//! vocab      u32       vocabulary size; every word id is < vocab
+//! requests   u64       record count
+//! record     repeated  u64 offset_micros, u64 seed, u32 n_words,
+//!                      n_words × u32 word ids
+//! ```
+//!
+//! Decoding is strict: a wrong magic, an unknown version, any truncation,
+//! trailing bytes, or an out-of-vocabulary word id is an error — never a
+//! panic and never a silently shortened trace. Allocation during decode is
+//! bounded by the input length, so a corrupt header cannot ask for memory
+//! the file does not contain.
+
+use std::fmt;
+use std::path::Path;
+
+use saber_serve::RecordedRequest;
+
+/// File magic; also the name of the format.
+pub const MAGIC: &[u8; 9] = b"SABRTRACE";
+
+/// The only trace version this build reads and writes.
+pub const VERSION: u16 = 1;
+
+/// Fixed bytes per record before its word ids: offset (8) + seed (8) +
+/// word count (4).
+const RECORD_HEADER: usize = 20;
+
+/// Header bytes before the first record.
+const FILE_HEADER: usize = MAGIC.len() + 2 + 2 + 4 + 8;
+
+/// One request in a trace: when it arrives, what it asks, and the seed
+/// that makes its answer reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRequest {
+    /// Arrival time in microseconds since the start of the trace.
+    pub offset_micros: u64,
+    /// Sampling seed; replaying with this seed reproduces θ bit-for-bit.
+    pub seed: u64,
+    /// The document as vocabulary word ids.
+    pub words: Vec<u32>,
+}
+
+/// An ordered, validated request trace plus the vocabulary bound its word
+/// ids respect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    vocab_size: u32,
+    requests: Vec<TraceRequest>,
+}
+
+/// Why a trace could not be built or decoded.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The input does not start with [`MAGIC`].
+    BadMagic,
+    /// The version field is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The input ended before the structure it promised.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// Bytes remain after the last promised record.
+    TrailingBytes {
+        /// Byte offset of the first unconsumed byte.
+        offset: usize,
+    },
+    /// A record's word count cannot fit in the remaining input.
+    OversizedRecord {
+        /// Index of the offending record.
+        index: usize,
+        /// The word count it claimed.
+        n_words: u32,
+    },
+    /// A word id is not `< vocab_size`.
+    WordOutOfRange {
+        /// Index of the offending record.
+        index: usize,
+        /// The offending word id.
+        word: u32,
+        /// The trace's vocabulary bound.
+        vocab_size: u32,
+    },
+    /// Reading or writing the trace file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a SABRTRACE file (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported SABRTRACE version {v} (this build reads {VERSION})"
+                )
+            }
+            TraceError::Truncated { offset } => {
+                write!(f, "truncated SABRTRACE input at byte {offset}")
+            }
+            TraceError::TrailingBytes { offset } => {
+                write!(
+                    f,
+                    "trailing bytes after last SABRTRACE record at byte {offset}"
+                )
+            }
+            TraceError::OversizedRecord { index, n_words } => write!(
+                f,
+                "SABRTRACE record {index} claims {n_words} words but the input is shorter"
+            ),
+            TraceError::WordOutOfRange {
+                index,
+                word,
+                vocab_size,
+            } => write!(
+                f,
+                "SABRTRACE record {index} contains word {word} outside vocabulary {vocab_size}"
+            ),
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl RequestTrace {
+    /// Builds a trace after validating every word id against `vocab_size`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::WordOutOfRange`] on the first violating record.
+    pub fn new(vocab_size: u32, requests: Vec<TraceRequest>) -> Result<Self, TraceError> {
+        for (index, request) in requests.iter().enumerate() {
+            if let Some(&word) = request.words.iter().find(|&&w| w >= vocab_size) {
+                return Err(TraceError::WordOutOfRange {
+                    index,
+                    word,
+                    vocab_size,
+                });
+            }
+        }
+        Ok(RequestTrace {
+            vocab_size,
+            requests,
+        })
+    }
+
+    /// Freezes requests captured by a
+    /// [`RequestRecorder`](saber_serve::RequestRecorder) into a trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::WordOutOfRange`] if a recorded request contains a word
+    /// id at or above `vocab_size`.
+    pub fn from_recorded(
+        vocab_size: u32,
+        recorded: Vec<RecordedRequest>,
+    ) -> Result<Self, TraceError> {
+        let requests = recorded
+            .into_iter()
+            .map(|r| TraceRequest {
+                offset_micros: r.offset_micros,
+                seed: r.seed,
+                words: r.words,
+            })
+            .collect();
+        RequestTrace::new(vocab_size, requests)
+    }
+
+    /// The vocabulary bound every word id respects.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab_size
+    }
+
+    /// The requests, in arrival order.
+    pub fn requests(&self) -> &[TraceRequest] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total tokens across all requests.
+    pub fn total_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.words.len() as u64).sum()
+    }
+
+    /// Serialises the trace to the version-1 binary layout. Byte-exact per
+    /// trace content — two equal traces always encode identically.
+    pub fn encode(&self) -> Vec<u8> {
+        let body: usize = self
+            .requests
+            .iter()
+            .map(|r| RECORD_HEADER + 4 * r.words.len())
+            .sum();
+        let mut out = Vec::with_capacity(FILE_HEADER + body);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.vocab_size.to_le_bytes());
+        out.extend_from_slice(&(self.requests.len() as u64).to_le_bytes());
+        for request in &self.requests {
+            out.extend_from_slice(&request.offset_micros.to_le_bytes());
+            out.extend_from_slice(&request.seed.to_le_bytes());
+            out.extend_from_slice(&(request.words.len() as u32).to_le_bytes());
+            for &word in &request.words {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a version-1 trace, rejecting malformed input with an error —
+    /// never panicking and never allocating past the input length.
+    ///
+    /// # Errors
+    ///
+    /// Every [`TraceError`] variant except `Io`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        if cursor.take(MAGIC.len())? != MAGIC.as_slice() {
+            return Err(TraceError::BadMagic);
+        }
+        let version = cursor.u16()?;
+        if version != VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let _flags = cursor.u16()?;
+        let vocab_size = cursor.u32()?;
+        let n_requests = cursor.u64()?;
+        // Fail fast on absurd counts before any per-record allocation: each
+        // record needs at least its fixed header.
+        let remaining = (bytes.len() - cursor.pos) as u64;
+        if n_requests
+            .checked_mul(RECORD_HEADER as u64)
+            .is_none_or(|need| need > remaining)
+        {
+            return Err(TraceError::Truncated {
+                offset: bytes.len(),
+            });
+        }
+        let mut requests = Vec::with_capacity(n_requests as usize);
+        for index in 0..n_requests as usize {
+            let offset_micros = cursor.u64()?;
+            let seed = cursor.u64()?;
+            let n_words = cursor.u32()?;
+            if (n_words as usize)
+                .checked_mul(4)
+                .is_none_or(|need| need > bytes.len() - cursor.pos)
+            {
+                return Err(TraceError::OversizedRecord { index, n_words });
+            }
+            let mut words = Vec::with_capacity(n_words as usize);
+            for _ in 0..n_words {
+                let word = cursor.u32()?;
+                if word >= vocab_size {
+                    return Err(TraceError::WordOutOfRange {
+                        index,
+                        word,
+                        vocab_size,
+                    });
+                }
+                words.push(word);
+            }
+            requests.push(TraceRequest {
+                offset_micros,
+                seed,
+                words,
+            });
+        }
+        if cursor.pos != bytes.len() {
+            return Err(TraceError::TrailingBytes { offset: cursor.pos });
+        }
+        Ok(RequestTrace {
+            vocab_size,
+            requests,
+        })
+    }
+
+    /// Writes [`RequestTrace::encode`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and [`decodes`](RequestTrace::decode) a trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] on filesystem failure, otherwise whatever
+    /// [`RequestTrace::decode`] reports.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        RequestTrace::decode(&std::fs::read(path)?)
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or(TraceError::Truncated {
+                offset: self.bytes.len(),
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RequestTrace {
+        RequestTrace::new(
+            100,
+            vec![
+                TraceRequest {
+                    offset_micros: 0,
+                    seed: 7,
+                    words: vec![1, 2, 3],
+                },
+                TraceRequest {
+                    offset_micros: 1_500,
+                    seed: u64::MAX,
+                    words: vec![],
+                },
+                TraceRequest {
+                    offset_micros: 9_000,
+                    seed: 42,
+                    words: vec![99, 0, 99, 17],
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_is_byte_exact() {
+        let trace = sample();
+        let bytes = trace.encode();
+        let back = RequestTrace::decode(&bytes).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.total_tokens(), 7);
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let bytes = sample().encode();
+        for len in 0..bytes.len() {
+            let err = RequestTrace::decode(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::BadMagic
+                        | TraceError::Truncated { .. }
+                        | TraceError::OversizedRecord { .. }
+                ),
+                "prefix of {len} bytes gave unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            RequestTrace::decode(&bytes),
+            Err(TraceError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            RequestTrace::decode(&bytes),
+            Err(TraceError::BadMagic)
+        ));
+        let mut bytes = sample().encode();
+        bytes[MAGIC.len()] = 9;
+        assert!(matches!(
+            RequestTrace::decode(&bytes),
+            Err(TraceError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn absurd_request_count_fails_before_allocating() {
+        let mut bytes = sample().encode();
+        let count_at = MAGIC.len() + 2 + 2 + 4;
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            RequestTrace::decode(&bytes),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_vocabulary_words_are_rejected() {
+        assert!(matches!(
+            RequestTrace::new(
+                10,
+                vec![TraceRequest {
+                    offset_micros: 0,
+                    seed: 0,
+                    words: vec![10],
+                }],
+            ),
+            Err(TraceError::WordOutOfRange {
+                index: 0,
+                word: 10,
+                vocab_size: 10,
+            })
+        ));
+    }
+}

@@ -86,7 +86,7 @@ use std::net::{
     IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -102,7 +102,7 @@ use crate::wire::{self, InferBody};
 use crate::{InferenceBackend, ServeError};
 
 /// Transport configuration of an [`HttpServer`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct HttpConfig {
     /// Read patience, applied twice: as the per-`read` socket timeout (an
     /// idle keep-alive connection closes after this much silence) and as
@@ -140,6 +140,12 @@ pub struct HttpConfig {
     pub slow_trace_threshold: Duration,
     /// How many worst-case traces the slow-request capture retains.
     pub slow_trace_keep: usize,
+    /// Opt-in ingress capture: when set, every well-formed word-id
+    /// `POST /infer` request (words, resolved seed, arrival offset) is
+    /// appended to this [`RequestRecorder`] before inference, so real
+    /// traffic can be exported as a replayable `saber-loadgen` trace.
+    /// `None` — the default — records nothing and costs nothing.
+    pub recorder: Option<Arc<RequestRecorder>>,
 }
 
 impl Default for HttpConfig {
@@ -155,6 +161,95 @@ impl Default for HttpConfig {
             trace_ring: 64,
             slow_trace_threshold: Duration::from_millis(250),
             slow_trace_keep: 8,
+            recorder: None,
+        }
+    }
+}
+
+/// One `POST /infer` request as captured at the HTTP ingress: everything
+/// a replay needs to reproduce the answer bit-for-bit (the words and the
+/// resolved seed) plus the arrival offset that reproduces the workload's
+/// timing shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedRequest {
+    /// Microseconds since the recorder was created.
+    pub offset_micros: u64,
+    /// The request's resolved seed (header > body member > configured
+    /// default — the same resolution the handler applies).
+    pub seed: u64,
+    /// The document's word ids, exactly as received.
+    pub words: Vec<u32>,
+}
+
+/// A bounded, thread-safe capture buffer for [`HttpConfig::recorder`].
+///
+/// Recording sits on the serving path, so it must never block it for
+/// long or grow without bound: entries above `capacity` are dropped and
+/// counted instead of queued, and a poisoned buffer degrades to dropping
+/// samples rather than propagating a panic into a connection thread.
+#[derive(Debug)]
+pub struct RequestRecorder {
+    started: Instant,
+    capacity: usize,
+    entries: Mutex<Vec<RecordedRequest>>,
+    dropped: AtomicU64,
+}
+
+impl RequestRecorder {
+    /// A recorder that retains at most `capacity` requests (further
+    /// requests are dropped and counted in [`RequestRecorder::dropped`]).
+    pub fn new(capacity: usize) -> RequestRecorder {
+        RequestRecorder {
+            started: Instant::now(),
+            capacity,
+            entries: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one request, stamping its arrival offset. Called by the
+    /// `/infer` handler after parsing, before inference — failed
+    /// inferences are still recorded, because a replay must reproduce the
+    /// offered load, not just the completed one.
+    pub fn record(&self, words: &[u32], seed: u64) {
+        let offset_micros = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let Ok(mut entries) = self.entries.lock() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if entries.len() >= self.capacity {
+            drop(entries);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        entries.push(RecordedRequest {
+            offset_micros,
+            seed,
+            words: words.to_vec(),
+        });
+    }
+
+    /// Number of requests captured so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether nothing has been captured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests dropped because the buffer was full (or unavailable).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Takes every captured request out of the buffer, in arrival order,
+    /// leaving it empty (and recording again from the same time base).
+    pub fn drain(&self) -> Vec<RecordedRequest> {
+        match self.entries.lock() {
+            Ok(mut entries) => std::mem::take(&mut *entries),
+            Err(_) => Vec::new(),
         }
     }
 }
@@ -279,6 +374,8 @@ impl HttpServer {
     ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let ring = TraceRing::new(config.trace_ring);
+        let slow = SlowCapture::new(config.slow_trace_threshold, config.slow_trace_keep);
         let state = Arc::new(HttpState {
             backend,
             vocab,
@@ -289,8 +386,8 @@ impl HttpServer {
             errors: AtomicU64::new(0),
             endpoints: EndpointHistograms::default(),
             staged: StagedEpoch::default(),
-            ring: TraceRing::new(config.trace_ring),
-            slow: SlowCapture::new(config.slow_trace_threshold, config.slow_trace_keep),
+            ring,
+            slow,
         });
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -909,9 +1006,17 @@ fn handle_infer_traced(
     };
     let deadline = state.config.request_deadline;
     let result = match body {
-        InferBody::Words(words) => state
-            .backend
-            .infer_with_trace(words, seed, deadline, trace, root),
+        InferBody::Words(words) => {
+            // The opt-in loadgen capture sees the request exactly as the
+            // backend will: parsed words and the resolved seed, before
+            // admission — so a recorded trace reproduces offered load.
+            if let Some(recorder) = state.config.recorder.as_ref() {
+                recorder.record(&words, seed);
+            }
+            state
+                .backend
+                .infer_with_trace(words, seed, deadline, trace, root)
+        }
         InferBody::Tokens { tokens, policy } => match state.vocab.as_ref() {
             None => return error(400, "server has no vocabulary; send 'words' ids instead"),
             Some(vocab) => state

@@ -98,7 +98,9 @@ pub mod swap;
 pub mod transport;
 pub mod wire;
 
-pub use http::{EndpointStats, HttpConfig, HttpServer, HttpStats};
+pub use http::{
+    EndpointStats, HttpConfig, HttpServer, HttpStats, RecordedRequest, RequestRecorder,
+};
 pub use router::{RouterStats, ShardRouter};
 pub use server::{
     InferRequest, InferResponse, PartialRequest, PartialResponse, ServeConfig, ServeStats,

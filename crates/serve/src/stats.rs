@@ -11,9 +11,11 @@
 //!
 //! Buckets are powers of two over microseconds: bucket `i` covers
 //! `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-microsecond samples, the
-//! last bucket absorbs everything ≥ ~9 days). Log bucketing bounds the
-//! relative quantile error at ~2× while keeping `record` a single atomic
-//! increment — the standard trade for hot-path telemetry.
+//! last bucket absorbs everything ≥ ~12.7 days *and* bumps an explicit
+//! overflow counter so the clamping is visible in `/stats` and
+//! `/metrics`). Log bucketing bounds the relative quantile error at ~2×
+//! while keeping `record` a single atomic increment — the standard trade
+//! for hot-path telemetry.
 //!
 //! # Example
 //!
@@ -51,6 +53,12 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; N_BUCKETS],
     /// Sum of recorded microseconds, for mean latency.
     sum_micros: AtomicU64,
+    /// Samples at or above the top bucket's nominal upper bound
+    /// (`2^N_BUCKETS` µs). They still land in the last bucket — totals and
+    /// quantiles stay consistent — but this counter makes the clamping
+    /// visible instead of silently folding a 20-day sample into "12.7
+    /// days" with no indicator.
+    overflow: AtomicU64,
     /// Per-bucket exemplar: the raw trace id of the most recent traced
     /// sample that landed in the bucket (0 = none yet). Turns "the p99
     /// bucket moved" into "this request moved it" — `GET /trace/recent`
@@ -70,6 +78,7 @@ impl LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum_micros: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
             exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -97,11 +106,16 @@ impl LatencyHistogram {
     }
 
     /// Records one sample. Wait-free; safe to call from any number of
-    /// threads concurrently.
+    /// threads concurrently. Samples at or above the top bucket bound are
+    /// counted in the last bucket *and* in the explicit overflow counter
+    /// (see [`HistogramSnapshot::overflow`]).
     pub fn record(&self, duration: Duration) {
         let micros = duration.as_micros().min(u128::from(u64::MAX)) as u64;
         self.buckets[Self::bucket_index(duration)].fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        if micros >= 1u64 << N_BUCKETS {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records one sample and attaches `trace_id` as the bucket's exemplar
@@ -143,6 +157,7 @@ impl LatencyHistogram {
             count: counts.iter().sum(),
             counts,
             sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
         }
     }
 }
@@ -153,6 +168,7 @@ pub struct HistogramSnapshot {
     counts: [u64; N_BUCKETS],
     count: u64,
     sum_micros: u64,
+    overflow: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -161,6 +177,7 @@ impl Default for HistogramSnapshot {
             counts: [0; N_BUCKETS],
             count: 0,
             sum_micros: 0,
+            overflow: 0,
         }
     }
 }
@@ -188,14 +205,23 @@ impl HistogramSnapshot {
         self.sum_micros
     }
 
-    /// Rebuilds a snapshot from sparse `(bucket index, count)` pairs and a
-    /// microsecond sum — the inverse of iterating
+    /// Samples that were at or above the last bucket's nominal upper bound
+    /// when recorded. They are included in [`HistogramSnapshot::count`] and
+    /// in the last bucket, so a nonzero overflow means "the top bucket's
+    /// quantile estimates understate the true tail".
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Rebuilds a snapshot from sparse `(bucket index, count)` pairs, a
+    /// microsecond sum and an overflow count — the inverse of iterating
     /// [`HistogramSnapshot::bucket_count`] over the non-empty buckets.
     /// Repeated indices accumulate. Returns `None` when an index is outside
     /// [`N_BUCKETS`].
     pub fn from_sparse_buckets(
         pairs: impl IntoIterator<Item = (usize, u64)>,
         sum_micros: u64,
+        overflow: u64,
     ) -> Option<HistogramSnapshot> {
         let mut counts = [0u64; N_BUCKETS];
         for (i, c) in pairs {
@@ -205,6 +231,7 @@ impl HistogramSnapshot {
             count: counts.iter().sum(),
             counts,
             sum_micros,
+            overflow,
         })
     }
 
@@ -258,14 +285,16 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
-    /// Merges another snapshot into this one (bucket-wise sum) — used to
-    /// aggregate per-endpoint histograms into a service-wide view.
+    /// Merges another snapshot into this one (bucket-wise sum, overflow
+    /// counts included) — used to aggregate per-endpoint histograms into a
+    /// service-wide view.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
         self.count += other.count;
         self.sum_micros += other.sum_micros;
+        self.overflow += other.overflow;
     }
 }
 
@@ -355,13 +384,103 @@ mod tests {
             .filter(|&i| snap.bucket_count(i) > 0)
             .map(|i| (i, snap.bucket_count(i)))
             .collect();
-        let rebuilt = HistogramSnapshot::from_sparse_buckets(sparse, snap.sum_micros()).unwrap();
+        let rebuilt =
+            HistogramSnapshot::from_sparse_buckets(sparse, snap.sum_micros(), snap.overflow())
+                .unwrap();
         assert_eq!(rebuilt, snap);
         assert_eq!(
-            HistogramSnapshot::from_sparse_buckets([], 0).unwrap(),
+            HistogramSnapshot::from_sparse_buckets([], 0, 0).unwrap(),
             HistogramSnapshot::default()
         );
-        assert!(HistogramSnapshot::from_sparse_buckets([(N_BUCKETS, 1)], 0).is_none());
+        assert!(HistogramSnapshot::from_sparse_buckets([(N_BUCKETS, 1)], 0, 0).is_none());
+    }
+
+    #[test]
+    fn overflow_is_counted_explicitly() {
+        let hist = LatencyHistogram::new();
+        hist.record(Duration::from_micros(500));
+        // 2^40 µs ≈ 12.7 days is the nominal top bound; anything at or
+        // above it still lands in the last bucket but bumps the overflow
+        // counter instead of vanishing into "12.7 days" silently.
+        hist.record(Duration::from_micros(1 << N_BUCKETS));
+        hist.record(Duration::from_secs(30 * 24 * 3600));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 3, "overflowed samples still count");
+        assert_eq!(snap.bucket_count(N_BUCKETS - 1), 2);
+        assert_eq!(snap.overflow(), 2);
+        // The boundary itself: the last in-range sample does not overflow.
+        let edge = LatencyHistogram::new();
+        edge.record(Duration::from_micros((1 << N_BUCKETS) - 1));
+        assert_eq!(edge.snapshot().overflow(), 0);
+        // Overflow merges additively alongside the buckets.
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.overflow(), 4);
+        assert_eq!(merged.count(), 6);
+        // And survives the sparse round trip.
+        let sparse: Vec<(usize, u64)> = (0..N_BUCKETS)
+            .filter(|&i| snap.bucket_count(i) > 0)
+            .map(|i| (i, snap.bucket_count(i)))
+            .collect();
+        let rebuilt =
+            HistogramSnapshot::from_sparse_buckets(sparse, snap.sum_micros(), snap.overflow())
+                .unwrap();
+        assert_eq!(rebuilt, snap);
+    }
+
+    /// Satellite coverage (ISSUE 8): many threads record into per-worker
+    /// histograms concurrently while a reader merges snapshots mid-flight;
+    /// the final merge must preserve every sample and the overflow count.
+    #[test]
+    fn concurrent_workers_merge_losslessly() {
+        const WORKERS: usize = 8;
+        const PER_WORKER: u64 = 2_000;
+        let hists: std::sync::Arc<Vec<LatencyHistogram>> =
+            std::sync::Arc::new((0..WORKERS).map(|_| LatencyHistogram::new()).collect());
+        let threads: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let hists = std::sync::Arc::clone(&hists);
+                std::thread::spawn(move || {
+                    for i in 0..PER_WORKER {
+                        // A deterministic spread over 5 decades, plus one
+                        // overflowing sample per worker.
+                        let us = 1 + (w as u64 * 7919 + i * 104_729) % 10_000_000;
+                        hists[w].record(Duration::from_micros(us));
+                    }
+                    hists[w].record(Duration::from_micros(1 << N_BUCKETS));
+                })
+            })
+            .collect();
+        // Interleaved mid-flight merges must never observe more than the
+        // final totals (snapshots are point-in-time copies).
+        let mut mid = HistogramSnapshot::default();
+        for h in hists.iter() {
+            mid.merge(&h.snapshot());
+        }
+        assert!(mid.count() <= WORKERS as u64 * (PER_WORKER + 1));
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut merged = HistogramSnapshot::default();
+        for h in hists.iter() {
+            merged.merge(&h.snapshot());
+        }
+        assert_eq!(merged.count(), WORKERS as u64 * (PER_WORKER + 1));
+        assert_eq!(merged.overflow(), WORKERS as u64);
+        // The merged quantiles are bracketed by the per-worker extremes.
+        for q in [0.5, 0.95, 0.99] {
+            let per_worker: Vec<f64> = hists
+                .iter()
+                .map(|h| h.snapshot().quantile(q).unwrap())
+                .collect();
+            let merged_q = merged.quantile(q).unwrap();
+            let lo = per_worker.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = per_worker.iter().cloned().fold(0.0f64, f64::max);
+            assert!(
+                (lo..=hi).contains(&merged_q),
+                "q{q}: merged {merged_q} outside [{lo}, {hi}]"
+            );
+        }
     }
 
     #[test]
@@ -472,6 +591,32 @@ mod tests {
             let mut other_way = b.clone();
             other_way.merge(&a);
             prop_assert_eq!(merged, other_way);
+        }
+
+        /// Overflow counts are preserved under merge for arbitrary sample
+        /// mixes spanning the in-range/overflow boundary.
+        #[test]
+        fn merge_preserves_overflow(
+            a_samples in proptest::collection::vec(0u64..1 << 42, 1..64),
+            b_samples in proptest::collection::vec(0u64..1 << 42, 1..64),
+        ) {
+            let expect = |samples: &[u64]| {
+                samples.iter().filter(|&&us| us >= 1 << N_BUCKETS).count() as u64
+            };
+            let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+            for &us in &a_samples {
+                a.record(Duration::from_micros(us));
+            }
+            for &us in &b_samples {
+                b.record(Duration::from_micros(us));
+            }
+            let (a, b) = (a.snapshot(), b.snapshot());
+            prop_assert_eq!(a.overflow(), expect(&a_samples));
+            prop_assert_eq!(b.overflow(), expect(&b_samples));
+            let mut merged = a.clone();
+            merged.merge(&b);
+            prop_assert_eq!(merged.overflow(), a.overflow() + b.overflow());
+            prop_assert_eq!(merged.count(), a.count() + b.count());
         }
 
         /// Quantiles are monotone: p50 ≤ p95 ≤ p99 for arbitrary sample sets.

@@ -240,18 +240,25 @@ pub fn encode_similar(
 }
 
 /// Encodes a latency histogram as `{count, mean_us, p50_us, p95_us, p99_us}`
-/// (quantiles are `null` until the first sample).
+/// (quantiles are `null` until the first sample). Histograms whose top
+/// bucket clamped at least one sample additionally carry an `overflow`
+/// member — omitted when zero, so the common-case bytes are unchanged and
+/// a nonzero overflow is impossible to miss.
 pub fn encode_histogram(h: &HistogramSnapshot) -> JsonValue {
     fn quantile(v: Option<f64>) -> JsonValue {
         v.map(JsonValue::Number).unwrap_or(JsonValue::Null)
     }
-    JsonValue::object([
+    let mut members = vec![
         ("count", JsonValue::from(h.count())),
         ("mean_us", quantile(h.mean_micros())),
         ("p50_us", quantile(h.p50())),
         ("p95_us", quantile(h.p95())),
         ("p99_us", quantile(h.p99())),
-    ])
+    ];
+    if h.overflow() > 0 {
+        members.push(("overflow", JsonValue::from(h.overflow())));
+    }
+    JsonValue::object(members)
 }
 
 /// Encodes the full `GET /stats` response body: the (shard-aggregated)
@@ -423,6 +430,21 @@ pub fn encode_prometheus(
     counter("saber_serve_tokens_total", server.tokens);
     counter("saber_serve_batches_total", server.batches);
     counter("saber_serve_swaps_observed_total", server.swaps_observed);
+    // Explicit top-bucket clamp counters: nonzero means the matching
+    // histogram's tail quantiles understate reality (samples ≥ 2^40 µs
+    // were folded into the last bucket).
+    counter(
+        "saber_serve_latency_overflow_total",
+        server.latency.overflow(),
+    );
+    counter(
+        "saber_serve_queue_wait_overflow_total",
+        server.queue_wait.overflow(),
+    );
+    counter(
+        "saber_serve_handler_overflow_total",
+        server.handler.overflow(),
+    );
     let mut gauge = |name: &str, value: u64| {
         let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
     };
@@ -922,16 +944,22 @@ fn decode_fold_in(value: &JsonValue) -> Result<FoldInParams, WireError> {
 }
 
 /// Encodes one histogram losslessly as `{sum_us, buckets: [[index,
-/// count], ...]}`, skipping empty buckets.
+/// count], ...]}`, skipping empty buckets. A nonzero top-bucket overflow
+/// count rides along as an `overflow` member (omitted when zero, so
+/// pre-overflow peers' bytes — and the golden fixtures — are unchanged).
 fn encode_sparse_histogram(h: &HistogramSnapshot) -> JsonValue {
     let buckets: Vec<JsonValue> = (0..N_BUCKETS)
         .filter(|&i| h.bucket_count(i) > 0)
         .map(|i| JsonValue::Array(vec![JsonValue::from(i), JsonValue::from(h.bucket_count(i))]))
         .collect();
-    JsonValue::object([
+    let mut members = vec![
         ("sum_us", JsonValue::from(h.sum_micros())),
         ("buckets", JsonValue::Array(buckets)),
-    ])
+    ];
+    if h.overflow() > 0 {
+        members.push(("overflow", JsonValue::from(h.overflow())));
+    }
+    JsonValue::object(members)
 }
 
 fn decode_sparse_histogram(value: &JsonValue, what: &str) -> Result<HistogramSnapshot, WireError> {
@@ -939,6 +967,14 @@ fn decode_sparse_histogram(value: &JsonValue, what: &str) -> Result<HistogramSna
         .get("sum_us")
         .and_then(JsonValue::as_u64)
         .ok_or_else(|| WireError::new(format!("'{what}.sum_us' must be an unsigned integer")))?;
+    // Absent ⇒ 0: a peer predating the overflow counter simply never
+    // clamped (or never said so), and the merge must still work.
+    let overflow = match value.get("overflow") {
+        None => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            WireError::new(format!("'{what}.overflow' must be an unsigned integer"))
+        })?,
+    };
     let pairs = value
         .get("buckets")
         .and_then(JsonValue::as_array)
@@ -956,7 +992,7 @@ fn decode_sparse_histogram(value: &JsonValue, what: &str) -> Result<HistogramSna
             }
         })
         .collect::<Result<Vec<_>, WireError>>()?;
-    HistogramSnapshot::from_sparse_buckets(pairs, sum_us)
+    HistogramSnapshot::from_sparse_buckets(pairs, sum_us, overflow)
         .ok_or_else(|| WireError::new(format!("'{what}.buckets' index out of range")))
 }
 

@@ -1,0 +1,209 @@
+//! Round-trip and malformed-input fuzz for the two codecs load depends
+//! on: the `X-Saber-Trace` header (ISSUE 7) and the `SABRTRACE` trace
+//! format (ISSUE 8).
+//!
+//! The contracts pinned here:
+//!
+//! * every header a context prints parses back to the same context;
+//! * garbage header bytes **degrade to untraced** — `parse` returns
+//!   `None`, and a live HTTP server still answers `200` with the same θ
+//!   it would have produced without the header (never a 4xx/500);
+//! * every `SABRTRACE` encode/decode round-trip is byte-exact;
+//! * truncated or corrupted trace bytes produce an error, never a panic
+//!   and never a silently shortened trace.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use saber_loadgen::trace::{RequestTrace, TraceRequest};
+use saberlda::serve::{HttpConfig, HttpServer, ServeConfig, TopicServer};
+use saberlda::trace::{TraceContext, TraceId};
+use saberlda::LdaModel;
+
+// ---------------------------------------------------------------- header
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printed headers parse back to the identical context, for any live
+    /// trace id and any parent span.
+    #[test]
+    fn trace_header_roundtrips(raw in 1u64..u64::MAX, parent in 0u64..u64::MAX) {
+        let id = TraceId::from_raw(raw).expect("nonzero raw id is valid");
+        let context = TraceContext::child(id, parent);
+        let header = context.header_value().expect("enabled context has a header");
+        prop_assert_eq!(TraceContext::parse(&header), Some(context));
+    }
+
+    /// Arbitrary bytes never panic the parser; anything that parses must
+    /// re-print to a header that parses to the same context (no lossy
+    /// accepts).
+    #[test]
+    fn garbage_headers_degrade_to_untraced(bytes in vec(any::<u8>(), 0..48usize)) {
+        let value = String::from_utf8_lossy(&bytes).into_owned();
+        if let Some(context) = TraceContext::parse(&value) {
+            let reprinted = context.header_value().expect("parsed context is enabled");
+            prop_assert_eq!(TraceContext::parse(&reprinted), Some(context));
+        }
+    }
+
+    /// Single-byte mutations of a valid header either still parse or are
+    /// rejected outright — never a panic, and a mutation outside the hex
+    /// alphabet is always rejected.
+    #[test]
+    fn mutated_headers_never_panic(raw in 1u64..u64::MAX, parent in 0u64..u64::MAX, at in 0usize..33, byte in any::<u8>()) {
+        let id = TraceId::from_raw(raw).expect("nonzero raw id is valid");
+        let mut header = TraceContext::child(id, parent)
+            .header_value()
+            .expect("enabled context has a header")
+            .into_bytes();
+        let at = at % header.len();
+        header[at] = byte;
+        let mutated = String::from_utf8_lossy(&header).into_owned();
+        let parsed = TraceContext::parse(&mutated);
+        let hex_or_dash = byte.is_ascii_hexdigit() || byte == b'-';
+        if !hex_or_dash && !byte.is_ascii_whitespace() {
+            prop_assert_eq!(parsed, None);
+        }
+    }
+}
+
+// ------------------------------------------------------------- SABRTRACE
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode/decode round-trips are byte-exact for arbitrary traces.
+    #[test]
+    fn sabrtrace_roundtrips_byte_exact(
+        vocab in 1u32..400,
+        offsets in vec(any::<u64>(), 0..12usize),
+        seeds in vec(any::<u64>(), 0..12usize),
+        lens in vec(0usize..30, 0..12usize),
+        fill in any::<u64>(),
+    ) {
+        let n = offsets.len().min(seeds.len()).min(lens.len());
+        let requests: Vec<TraceRequest> = (0..n)
+            .map(|i| TraceRequest {
+                offset_micros: offsets[i],
+                seed: seeds[i],
+                words: (0..lens[i])
+                    .map(|j| (fill.wrapping_mul(i as u64 + 1).wrapping_add(j as u64) % u64::from(vocab)) as u32)
+                    .collect(),
+            })
+            .collect();
+        let trace = RequestTrace::new(vocab, requests).expect("words are in range");
+        let bytes = trace.encode();
+        let back = RequestTrace::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&back, &trace);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Every strict prefix of a valid trace file errors — never panics,
+    /// never yields a shortened trace.
+    #[test]
+    fn sabrtrace_truncations_always_error(
+        vocab in 1u32..100,
+        lens in vec(0usize..10, 1..6usize),
+        cut_seed in any::<u64>(),
+    ) {
+        let requests: Vec<TraceRequest> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| TraceRequest {
+                offset_micros: i as u64,
+                seed: i as u64,
+                words: (0..len as u32).map(|w| w % vocab).collect(),
+            })
+            .collect();
+        let bytes = RequestTrace::new(vocab, requests).expect("valid").encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(RequestTrace::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn sabrtrace_decoder_survives_byte_soup(bytes in vec(any::<u8>(), 0..200usize)) {
+        let _ = RequestTrace::decode(&bytes);
+        let mut framed = saber_loadgen::trace::MAGIC.to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = RequestTrace::decode(&framed);
+    }
+}
+
+// ----------------------------------------------------- live HTTP ingress
+
+fn tiny_model() -> LdaModel {
+    let mut model = LdaModel::new(30, 4, 0.08, 0.01).unwrap();
+    for v in 0..30 {
+        model.word_topic_mut()[(v, v % 4)] = 10;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn post_infer_with_header(addr: std::net::SocketAddr, header: Option<&str>) -> String {
+    let body = r#"{"words":[1,2,3,4],"seed":7}"#;
+    let trace_header = header
+        .map(|value| format!("X-Saber-Trace: {value}\r\n"))
+        .unwrap_or_default();
+    let request = format!(
+        "POST /infer HTTP/1.1\r\nHost: fuzz\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\n{trace_header}Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    String::from_utf8_lossy(&reply).into_owned()
+}
+
+/// A live server treats every garbage `X-Saber-Trace` value as "no trace":
+/// the request is served normally (HTTP 200, same θ bytes as the
+/// headerless request) instead of being rejected.
+#[test]
+fn garbage_trace_headers_never_fail_requests() {
+    let server = Arc::new(TopicServer::from_model(&tiny_model(), ServeConfig::default()).unwrap());
+    let http = HttpServer::bind("127.0.0.1:0", server, None, HttpConfig::default()).unwrap();
+    let addr = http.local_addr();
+
+    let reference = post_infer_with_header(addr, None);
+    assert!(reference.starts_with("HTTP/1.1 200"), "{reference}");
+    let reference_body = reference.split("\r\n\r\n").nth(1).unwrap().to_string();
+
+    for garbage in [
+        "",
+        "zzzz",
+        "deadbeef",                               // 8 hex digits, not 16
+        "0000000000000000",                       // zero id is not a valid trace
+        "0123456789abcdef-XYZ",                   // bad parent
+        "0123456789abcdef-0123456789abcdef-junk", // extra component
+        "ffffffffffffffffffffffffffffffff",       // 32 digits, no separator
+        "!@#$%^&*()_+|~`",
+        "0123456789abcdeg", // one non-hex char
+    ] {
+        let reply = post_infer_with_header(addr, Some(garbage));
+        assert!(
+            reply.starts_with("HTTP/1.1 200"),
+            "garbage header {garbage:?} changed the status: {}",
+            reply.lines().next().unwrap_or("<empty>")
+        );
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(
+            body, reference_body,
+            "garbage header {garbage:?} changed the answer"
+        );
+    }
+
+    // A valid header still works and gets the same θ (the trace id only
+    // adds observability, never changes sampling).
+    let traced = post_infer_with_header(addr, Some("0123456789abcdef-0000000000000001"));
+    assert!(traced.starts_with("HTTP/1.1 200"));
+    assert_eq!(traced.split("\r\n\r\n").nth(1).unwrap(), reference_body);
+
+    http.shutdown();
+}

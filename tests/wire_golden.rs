@@ -353,6 +353,12 @@ saber_serve_tokens_total 10\n\
 saber_serve_batches_total 1\n\
 # TYPE saber_serve_swaps_observed_total counter\n\
 saber_serve_swaps_observed_total 0\n\
+# TYPE saber_serve_latency_overflow_total counter\n\
+saber_serve_latency_overflow_total 0\n\
+# TYPE saber_serve_queue_wait_overflow_total counter\n\
+saber_serve_queue_wait_overflow_total 0\n\
+# TYPE saber_serve_handler_overflow_total counter\n\
+saber_serve_handler_overflow_total 0\n\
 # TYPE saber_http_active_connections gauge\n\
 saber_http_active_connections 2\n\
 # TYPE saber_snapshot_epoch gauge\n\
@@ -750,6 +756,76 @@ fn histogram_bytes_are_stable() {
         wire::encode_histogram(&LatencyHistogram::new().snapshot()).to_string(),
         r#"{"count":0,"mean_us":null,"p50_us":null,"p95_us":null,"p99_us":null}"#,
     );
+}
+
+#[test]
+fn histogram_overflow_member_appears_only_when_clamped() {
+    // ISSUE 8 satellite: a sample at or above the top bucket bound (2^40
+    // µs) no longer folds in silently — the JSON grows an `overflow`
+    // member. Overflow-free histograms keep the exact PR 4 bytes (pinned
+    // above), so clients never see the member until it means something.
+    let h = LatencyHistogram::new();
+    h.record(Duration::from_micros(800));
+    h.record(Duration::from_micros(1 << 40));
+    let encoded = wire::encode_histogram(&h.snapshot()).to_string();
+    assert!(
+        encoded.ends_with(r#","overflow":1}"#),
+        "overflow member missing: {encoded}"
+    );
+    // The lossless shard-info codec round-trips the overflow count too.
+    let stats = ServeStats {
+        requests: 2,
+        tokens: 4,
+        batches: 1,
+        swaps_observed: 0,
+        latency: h.snapshot(),
+        queue_wait: LatencyHistogram::new().snapshot(),
+        handler: LatencyHistogram::new().snapshot(),
+    };
+    let info = ShardInfo {
+        epoch: 1,
+        vocab_size: 12,
+        n_topics: 3,
+        alpha: 0.05,
+        shard_range: (0, 12),
+        fold_in: FoldInParams::default(),
+        stats,
+    };
+    let encoded = wire::encode_shard_info(&info).to_string();
+    assert!(
+        encoded.contains(r#""overflow":1"#),
+        "sparse histogram lost the overflow count: {encoded}"
+    );
+    let decoded = wire::decode_shard_info(&encoded).unwrap();
+    assert_eq!(decoded.stats.latency.overflow(), 1);
+    assert_eq!(decoded, info);
+    // Peers predating the counter (no `overflow` member) decode as zero.
+    let legacy = encoded.replace(r#","overflow":1"#, "");
+    assert_eq!(
+        wire::decode_shard_info(&legacy)
+            .unwrap()
+            .stats
+            .latency
+            .overflow(),
+        0
+    );
+    // And /metrics reports the clamp as an explicit counter.
+    let http = HttpStats {
+        requests: 0,
+        errors: 0,
+        active_connections: 0,
+        infer: EndpointStats::default(),
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
+    };
+    let text = wire::encode_prometheus(&info.stats, 1, 1, &http, None);
+    assert!(
+        text.contains("saber_serve_latency_overflow_total 1\n"),
+        "{text}"
+    );
+    assert!(text.contains("saber_serve_handler_overflow_total 0\n"));
 }
 
 #[test]
