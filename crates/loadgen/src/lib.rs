@@ -58,6 +58,7 @@ pub use replay::{
     record_over_http, replay, replay_model, RateProfile, ReplayConfig, ReplayOutcome, Topology,
     TopologyHandle,
 };
+pub use replay::{replay_with_chaos, ChaosTrigger};
 pub use report::{BenchReport, LatencySummary, Regression, TopologyReport, TraceSummary};
 pub use synth::{preset_spec, request_seed, synthesize_trace};
 pub use trace::{RequestTrace, TraceError, TraceRequest};

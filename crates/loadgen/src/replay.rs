@@ -25,8 +25,8 @@ use rand::{Rng, SeedableRng};
 use saber_core::LdaModel;
 use saber_serve::{
     HistogramSnapshot, HttpConfig, HttpServer, HttpTransport, InferenceBackend, InferenceSnapshot,
-    LatencyHistogram, RequestRecorder, ServeConfig, ServeError, ServeStats, ShardPlan, ShardRouter,
-    TopicServer,
+    LatencyHistogram, ReplicaConfig, RequestRecorder, ServeConfig, ServeError, ServeStats,
+    ShardPlan, ShardRouter, TopicServer,
 };
 
 use crate::trace::RequestTrace;
@@ -42,25 +42,46 @@ pub enum Topology {
     /// A [`ShardRouter`] over `n` shards each behind its own HTTP listener
     /// on localhost TCP ([`HttpTransport`]) — real wire codecs end to end.
     RemoteShards(usize),
+    /// [`Topology::RemoteShards`] with every plan range served by a
+    /// replica set: `shards × replicas` HTTP listeners, each replica an
+    /// identical slice behind its own [`HttpTransport`]. The topology
+    /// survives [`TopologyHandle::kill_replica`] — the chaos knob the
+    /// replicated differential suites drive.
+    ReplicatedShards {
+        /// Plan ranges (vocabulary shards).
+        shards: usize,
+        /// Replicas per range.
+        replicas: usize,
+    },
 }
 
 impl Topology {
     /// Stable label used in reports and baselines (`direct`, `local-2`,
-    /// `remote-2`, …).
+    /// `remote-2`, `replicated-2x2`, …).
     pub fn label(&self) -> String {
         match self {
             Topology::Direct => "direct".to_string(),
             Topology::LocalShards(n) => format!("local-{n}"),
             Topology::RemoteShards(n) => format!("remote-{n}"),
+            Topology::ReplicatedShards { shards, replicas } => {
+                format!("replicated-{shards}x{replicas}")
+            }
         }
     }
 
-    /// Parses a label of the form `direct`, `local:N` or `remote:N`.
+    /// Parses a label of the form `direct`, `local:N`, `remote:N` or
+    /// `replicated:SxR`.
     pub fn parse(s: &str) -> Option<Topology> {
         if s == "direct" {
             return Some(Topology::Direct);
         }
         let (kind, n) = s.split_once(':')?;
+        if kind == "replicated" {
+            let (shards, replicas) = n.split_once('x')?;
+            let shards: usize = shards.parse().ok().filter(|&n| n > 0)?;
+            let replicas: usize = replicas.parse().ok().filter(|&n| n > 0)?;
+            return Some(Topology::ReplicatedShards { shards, replicas });
+        }
         let n: usize = n.parse().ok().filter(|&n| n > 0)?;
         match kind {
             "local" => Some(Topology::LocalShards(n)),
@@ -71,11 +92,18 @@ impl Topology {
 }
 
 /// A live backend for one topology, plus whatever infrastructure keeps it
-/// alive (the HTTP shard fleet for [`Topology::RemoteShards`]).
+/// alive (the HTTP shard fleet for [`Topology::RemoteShards`] and
+/// [`Topology::ReplicatedShards`]).
 #[derive(Debug)]
 pub struct TopologyHandle {
     backend: Arc<dyn InferenceBackend>,
-    fleet: Vec<HttpServer>,
+    /// Shard listeners, `None` once killed by [`TopologyHandle::kill_replica`]
+    /// (behind a mutex so chaos actions can fire mid-replay from any
+    /// dispatcher thread).
+    fleet: Mutex<Vec<Option<HttpServer>>>,
+    /// `replica_slots[s][r]` is the `fleet` index of replica `r` of shard
+    /// `s`; empty for in-process topologies.
+    replica_slots: Vec<Vec<usize>>,
 }
 
 impl TopologyHandle {
@@ -95,7 +123,8 @@ impl TopologyHandle {
                 let server = Arc::new(TopicServer::from_model(model, *config)?);
                 Ok(TopologyHandle {
                     backend: server,
-                    fleet: Vec::new(),
+                    fleet: Mutex::new(Vec::new()),
+                    replica_slots: Vec::new(),
                 })
             }
             Topology::LocalShards(n) => {
@@ -103,38 +132,58 @@ impl TopologyHandle {
                 let router = Arc::new(ShardRouter::from_model(model, plan, *config)?);
                 Ok(TopologyHandle {
                     backend: router,
-                    fleet: Vec::new(),
+                    fleet: Mutex::new(Vec::new()),
+                    replica_slots: Vec::new(),
                 })
             }
             Topology::RemoteShards(n) => {
                 let plan = ShardPlan::uniform(model.vocab_size(), n)?;
                 let snapshot = InferenceSnapshot::from_model(model, config.sampler);
                 let mut fleet = Vec::new();
+                let mut replica_slots = Vec::new();
                 let mut transports = Vec::new();
                 for range in plan.ranges() {
-                    let shard =
-                        Arc::new(TopicServer::start(snapshot.shard(range.clone()), *config)?);
-                    let http = HttpServer::bind(
-                        "127.0.0.1:0",
-                        shard,
-                        None,
-                        HttpConfig {
-                            shard_range: Some((range.start, range.end)),
-                            ..HttpConfig::default()
-                        },
-                    )
-                    .map_err(|e| ServeError::Transport {
-                        detail: format!("binding shard listener: {e}"),
-                        shard: Some(fleet.len()),
-                        addr: Some("127.0.0.1:0".to_string()),
-                    })?;
-                    transports.push(HttpTransport::connect(http.local_addr())?);
-                    fleet.push(http);
+                    let (http, transport) = bind_shard(&snapshot, range, config, fleet.len())?;
+                    transports.push(transport);
+                    replica_slots.push(vec![fleet.len()]);
+                    fleet.push(Some(http));
                 }
                 let router = Arc::new(ShardRouter::with_transports(plan, transports, *config)?);
                 Ok(TopologyHandle {
                     backend: router,
-                    fleet,
+                    fleet: Mutex::new(fleet),
+                    replica_slots,
+                })
+            }
+            Topology::ReplicatedShards { shards, replicas } => {
+                let plan = ShardPlan::uniform(model.vocab_size(), shards)?;
+                let snapshot = InferenceSnapshot::from_model(model, config.sampler);
+                let mut fleet = Vec::new();
+                let mut replica_slots = Vec::new();
+                let mut sets = Vec::new();
+                for range in plan.ranges() {
+                    let mut set = Vec::new();
+                    let mut slots = Vec::new();
+                    for _ in 0..replicas.max(1) {
+                        let (http, transport) =
+                            bind_shard(&snapshot, range.clone(), config, fleet.len())?;
+                        set.push(transport);
+                        slots.push(fleet.len());
+                        fleet.push(Some(http));
+                    }
+                    sets.push(set);
+                    replica_slots.push(slots);
+                }
+                let router = Arc::new(ShardRouter::with_replica_sets(
+                    plan,
+                    sets,
+                    *config,
+                    ReplicaConfig::default(),
+                )?);
+                Ok(TopologyHandle {
+                    backend: router,
+                    fleet: Mutex::new(fleet),
+                    replica_slots,
                 })
             }
         }
@@ -151,13 +200,67 @@ impl TopologyHandle {
         self.backend.serve_stats()
     }
 
+    /// The chaos knob: kills replica `r` of shard `s` by shutting its HTTP
+    /// listener down mid-stream, exactly like a crashed shard process
+    /// (in-flight exchanges fail with connection errors; the router's
+    /// failover, retry and breaker paths take over). Returns `false` when
+    /// the slot does not exist or was already killed. Safe to call from a
+    /// [`ChaosTrigger`] while a replay is dispatching.
+    pub fn kill_replica(&self, shard: usize, replica: usize) -> bool {
+        let Some(&slot) = self.replica_slots.get(shard).and_then(|s| s.get(replica)) else {
+            return false;
+        };
+        let server = {
+            let mut fleet = self.fleet.lock().unwrap_or_else(|e| e.into_inner());
+            fleet.get_mut(slot).and_then(Option::take)
+        };
+        match server {
+            Some(http) => {
+                http.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Tears the topology down, closing any shard listeners.
     pub fn shutdown(self) {
         drop(self.backend);
-        for http in self.fleet {
+        let fleet = {
+            let mut fleet = self.fleet.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *fleet)
+        };
+        for http in fleet.into_iter().flatten() {
             http.shutdown();
         }
     }
+}
+
+/// Starts one shard slice behind its own HTTP listener and connects a
+/// transport to it — one replica of one plan range.
+fn bind_shard(
+    snapshot: &InferenceSnapshot,
+    range: std::ops::Range<u32>,
+    config: &ServeConfig,
+    slot: usize,
+) -> Result<(HttpServer, HttpTransport), ServeError> {
+    let shard = Arc::new(TopicServer::start(snapshot.shard(range.clone()), *config)?);
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        shard,
+        None,
+        HttpConfig {
+            shard_range: Some((range.start, range.end)),
+            ..HttpConfig::default()
+        },
+    )
+    .map_err(|e| ServeError::Transport {
+        detail: format!("binding shard listener: {e}"),
+        shard: Some(slot),
+        addr: Some("127.0.0.1:0".to_string()),
+    })?;
+    let transport = HttpTransport::connect(http.local_addr())?;
+    Ok((http, transport))
 }
 
 /// How replay paces request dispatch.
@@ -324,6 +427,62 @@ impl ReplayOutcome {
     }
 }
 
+/// A one-shot fault injected into a running replay: after
+/// `after_requests` dispatches have completed, the action fires exactly
+/// once on whichever dispatcher thread crosses the threshold (e.g.
+/// [`TopologyHandle::kill_replica`] — a shard process dying mid-stream
+/// while requests are still in flight).
+pub struct ChaosTrigger {
+    after_requests: u64,
+    dispatched: AtomicU64,
+    action: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl std::fmt::Debug for ChaosTrigger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosTrigger")
+            .field("after_requests", &self.after_requests)
+            .field("dispatched", &self.dispatched.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChaosTrigger {
+    /// Fires `action` once, after `after_requests` requests have been
+    /// dispatched and answered.
+    pub fn new(after_requests: u64, action: impl FnOnce() + Send + 'static) -> ChaosTrigger {
+        ChaosTrigger {
+            after_requests,
+            dispatched: AtomicU64::new(0),
+            action: Mutex::new(Some(Box::new(action))),
+        }
+    }
+
+    /// Whether the trigger has fired yet.
+    pub fn fired(&self) -> bool {
+        self.action
+            .lock()
+            .map(|slot| slot.is_none())
+            .unwrap_or(true)
+    }
+
+    /// Counts one completed dispatch and fires the action when the
+    /// threshold is crossed.
+    fn note_dispatch(&self) {
+        let n = self.dispatched.fetch_add(1, Ordering::Relaxed) + 1;
+        if n < self.after_requests {
+            return;
+        }
+        let action = {
+            let mut slot = self.action.lock().unwrap_or_else(|e| e.into_inner());
+            slot.take()
+        };
+        if let Some(action) = action {
+            action();
+        }
+    }
+}
+
 /// Replays `trace` against `backend` open-loop under `profile`.
 ///
 /// Requests are partitioned round-robin across [`ReplayConfig::threads`]
@@ -337,6 +496,20 @@ pub fn replay(
     trace: &RequestTrace,
     profile: &RateProfile,
     config: &ReplayConfig,
+) -> ReplayOutcome {
+    replay_with_chaos(backend, trace, profile, config, None)
+}
+
+/// [`replay`] with an optional [`ChaosTrigger`] injecting a fault
+/// mid-stream — the path the replicated-fleet differential suites drive
+/// (kill a replica after N requests, then prove θ never changed and
+/// nothing dropped).
+pub fn replay_with_chaos(
+    backend: &Arc<dyn InferenceBackend>,
+    trace: &RequestTrace,
+    profile: &RateProfile,
+    config: &ReplayConfig,
+    chaos: Option<&ChaosTrigger>,
 ) -> ReplayOutcome {
     let schedule = profile.schedule(trace);
     let threads = config.threads.max(1);
@@ -395,6 +568,9 @@ pub fn replay(
                         Err(_) => {
                             other_errors.fetch_add(1, Ordering::Relaxed);
                         }
+                    }
+                    if let Some(chaos) = chaos {
+                        chaos.note_dispatch();
                     }
                 }
             });
@@ -544,13 +720,37 @@ mod tests {
             Topology::Direct,
             Topology::LocalShards(2),
             Topology::RemoteShards(3),
+            Topology::ReplicatedShards {
+                shards: 2,
+                replicas: 3,
+            },
         ] {
             let label = t.label();
-            let back = Topology::parse(&label.replace('-', ":")).unwrap();
+            let back = Topology::parse(&label.replacen('-', ":", 1)).unwrap();
             assert_eq!(back, t);
         }
         assert_eq!(Topology::parse("local:0"), None);
         assert_eq!(Topology::parse("weird:2"), None);
+        assert_eq!(Topology::parse("replicated:2x0"), None);
+        assert_eq!(Topology::parse("replicated:2"), None);
+    }
+
+    #[test]
+    fn chaos_trigger_fires_exactly_once_at_the_threshold() {
+        use std::sync::atomic::AtomicUsize;
+        let fired = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&fired);
+        let chaos = ChaosTrigger::new(3, move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        chaos.note_dispatch();
+        chaos.note_dispatch();
+        assert!(!chaos.fired());
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        chaos.note_dispatch();
+        assert!(chaos.fired());
+        chaos.note_dispatch();
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "must fire exactly once");
     }
 
     #[test]

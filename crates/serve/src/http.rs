@@ -691,8 +691,18 @@ fn route(
 
 fn handle_healthz(state: &HttpState) -> (u16, String) {
     let backend = &state.backend;
-    let body = JsonValue::object([
-        ("status", JsonValue::from("ok")),
+    // A router-backed listener live-probes its fleet: health answered
+    // purely from local state would keep a load balancer routing to a
+    // router whose entire fleet is down. Direct servers have no fleet —
+    // their reachability *is* the connection — so their body (and the
+    // remote `observe_epoch` seam that parses it) stays unchanged.
+    let fleet = backend.fleet_health();
+    let degraded = fleet.as_ref().is_some_and(|f| f.degraded);
+    let mut members = vec![
+        (
+            "status",
+            JsonValue::from(if degraded { "degraded" } else { "ok" }),
+        ),
         (
             "snapshot_version",
             JsonValue::from(backend.snapshot_version()),
@@ -700,8 +710,33 @@ fn handle_healthz(state: &HttpState) -> (u16, String) {
         ("n_topics", JsonValue::from(backend.n_topics())),
         ("vocab_size", JsonValue::from(backend.vocab_size())),
         ("shards", JsonValue::from(backend.n_shards())),
-    ]);
-    (200, body.to_string())
+    ];
+    if let Some(fleet) = &fleet {
+        members.push((
+            "fleet",
+            JsonValue::Array(
+                fleet
+                    .shards
+                    .iter()
+                    .map(|replicas| {
+                        JsonValue::Array(
+                            replicas
+                                .iter()
+                                .map(|r| {
+                                    JsonValue::object([
+                                        ("reachable", JsonValue::Bool(r.reachable)),
+                                        ("admitted", JsonValue::Bool(r.admitted)),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    let body = JsonValue::object(members);
+    (if degraded { 503 } else { 200 }, body.to_string())
 }
 
 /// Collects the HTTP-layer counters; shared by [`HttpServer::stats`] and

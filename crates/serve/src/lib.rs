@@ -101,17 +101,18 @@ pub mod wire;
 pub use http::{
     EndpointStats, HttpConfig, HttpServer, HttpStats, RecordedRequest, RequestRecorder,
 };
-pub use router::{RouterStats, ShardRouter};
+pub use router::{FleetHealth, ReplicaHealth, ReplicaSet, RouterStats, ShardRouter};
 pub use server::{
     InferRequest, InferResponse, PartialRequest, PartialResponse, ServeConfig, ServeStats,
     TopicServer,
 };
-pub use shard::{derive_shard_seed, ShardPlan};
+pub use shard::{derive_replica_choice, derive_shard_seed, ShardPlan};
 pub use snapshot::{FoldInKind, FoldInParams, InferenceSnapshot, SnapshotSampler};
 pub use stats::{HistogramSnapshot, LatencyHistogram};
 pub use swap::SnapshotCell;
 pub use transport::{
-    HttpTransport, HttpTransportConfig, LocalTransport, PendingPartial, ShardInfo, ShardTransport,
+    HttpTransport, HttpTransportConfig, LocalTransport, PendingPartial, PollOutcome,
+    ReplicaBreaker, ReplicaConfig, ShardInfo, ShardTransport,
 };
 
 /// The inference surface the HTTP front-end ([`HttpServer`]) serves.
@@ -192,6 +193,15 @@ pub trait InferenceBackend: Send + Sync + std::fmt::Debug {
     /// Router-level counters, when this backend *is* a router (`None` for
     /// a plain [`TopicServer`]); surfaced in `GET /stats` and `/metrics`.
     fn router_stats(&self) -> Option<RouterStats> {
+        None
+    }
+
+    /// A live probe of the fleet's per-replica availability, when this
+    /// backend *is* a router (`None` for a plain [`TopicServer`], whose
+    /// reachability is the connection itself). `GET /healthz` serves this
+    /// and answers 503 when the fleet is [degraded](FleetHealth::degraded),
+    /// so load balancers stop routing to a router that cannot answer.
+    fn fleet_health(&self) -> Option<FleetHealth> {
         None
     }
 
@@ -434,6 +444,10 @@ impl<T: ShardTransport> InferenceBackend for ShardRouter<T> {
 
     fn router_stats(&self) -> Option<RouterStats> {
         Some(ShardRouter::router_stats(self))
+    }
+
+    fn fleet_health(&self) -> Option<FleetHealth> {
+        Some(ShardRouter::fleet_health(self))
     }
 
     fn infer_with_trace(

@@ -38,6 +38,21 @@
 //! * **Determinism** — per-shard seeds derive from the request seed, so
 //!   equal requests against an equal epoch replay bit-identically, exactly
 //!   as on a single [`TopicServer`] — whichever transport carries them.
+//! * **Replication & self-healing** — since PR 9 a plan range can be
+//!   served by a [`ReplicaSet`] of ≥ 2 transports holding identical
+//!   snapshot slices. Each replica has a
+//!   [`ReplicaBreaker`](crate::ReplicaBreaker): consecutive transport
+//!   failures eject it from routing, a cooldown later a single request (or
+//!   a [`ShardRouter::fleet_health`] probe over the `/healthz` seam)
+//!   half-opens the breaker, and any success re-admits. Fan-out legs get
+//!   one bounded transport retry against the next replica, and an optional
+//!   hedge ([`ReplicaConfig::hedge_delay`]) races a second replica for
+//!   tail-latency control. None of this can change an answer: replicas
+//!   serve the same slice with the same shard-derived seed, so their
+//!   responses are bit-identical, and the version check spans every leg —
+//!   hedged, retried or not — exactly as before. Replica *selection* is
+//!   seed-deterministic on a healthy fleet
+//!   ([`derive_replica_choice`](crate::derive_replica_choice)).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -49,9 +64,12 @@ use saber_corpus::{OovPolicy, Vocabulary};
 use saber_trace::{TraceBuilder, TraceContext};
 
 use crate::server::{PartialRequest, PartialResponse};
-use crate::shard::{derive_shard_seed, ShardPlan};
+use crate::shard::{derive_replica_choice, derive_shard_seed, ShardPlan};
 use crate::snapshot::{FoldInKind, InferenceSnapshot};
-use crate::transport::{LocalTransport, PendingPartial, ShardInfo, ShardTransport};
+use crate::transport::{
+    LocalTransport, PendingPartial, PollOutcome, ReplicaBreaker, ReplicaConfig, ShardInfo,
+    ShardTransport,
+};
 use crate::{InferResponse, ServeConfig, ServeError, ServeStats, TopicServer};
 
 /// How many times a request is retried after observing shards on different
@@ -72,15 +90,139 @@ pub struct RouterStats {
     /// Number of shards behind the router.
     pub n_shards: usize,
     /// Shard requests submitted to each shard, in shard order — one routed
-    /// document counts once per shard it touched (per round, under EM).
-    /// Counted router-side, so it is exact even when a shard is remote.
+    /// document counts once per shard it touched (per round, under EM),
+    /// and hedged or retried legs count once per submission. Counted
+    /// router-side, so it is exact even when a shard is remote.
     pub shard_requests: Vec<u64>,
+    /// Fan-out legs resubmitted after a transport error (one bounded retry
+    /// per leg; the partial is idempotent pure computation).
+    pub transport_retries: u64,
+    /// Hedge submissions: legs raced onto a second replica after
+    /// [`ReplicaConfig::hedge_delay`] without a reply.
+    pub hedges: u64,
+    /// Circuit-breaker trips across all replicas (closed/half-open → open).
+    pub breaker_trips: u64,
+    /// Circuit-breaker re-admissions across all replicas (open/half-open →
+    /// closed, on any successful exchange or health probe).
+    pub breaker_readmits: u64,
+    /// Per-shard, per-replica admission: `replica_health[s][r]` is `false`
+    /// while replica `r` of shard `s` has its breaker open.
+    pub replica_health: Vec<Vec<bool>>,
 }
 
-/// One in-flight fan-out leg: the shard index, the `(span id, span
-/// start µs)` of its `shard {s}` trace span when the request is traced,
-/// and the transport's pending reply handle.
-type PendingShard<T> = (usize, Option<(u64, u64)>, <T as ShardTransport>::Pending);
+/// One replica's health as seen by a live [`ShardRouter::fleet_health`]
+/// probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// The replica answered this probe (`observe_epoch` over the
+    /// `/healthz` seam).
+    pub reachable: bool,
+    /// The replica's breaker is not open after the probe's outcome was
+    /// recorded (probe success re-admits; probe failures count toward the
+    /// trip threshold).
+    pub admitted: bool,
+}
+
+/// A live, probed view of the whole fleet's availability; see
+/// [`ShardRouter::fleet_health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetHealth {
+    /// Per-shard, per-replica probe results, in plan order.
+    pub shards: Vec<Vec<ReplicaHealth>>,
+    /// `true` when some plan range has zero replicas that are both
+    /// reachable and admitted — the fleet cannot answer every document,
+    /// and a router-backed `/healthz` reports 503 so load balancers stop
+    /// routing here.
+    pub degraded: bool,
+}
+
+/// One plan range's replica set: one or more transports serving identical
+/// snapshot slices, each with its own [`ReplicaBreaker`]. Selection
+/// rotates by the request's seed-derived choice with tripped replicas
+/// demoted to last — a healthy fleet routes deterministically, and a
+/// fully-tripped set still tries everything (the request itself doubles
+/// as the recovery probe).
+#[derive(Debug)]
+pub struct ReplicaSet<T> {
+    replicas: Vec<T>,
+    breakers: Vec<ReplicaBreaker>,
+}
+
+impl<T: ShardTransport> ReplicaSet<T> {
+    fn new(replicas: Vec<T>, config: &ReplicaConfig) -> Self {
+        let breakers = replicas
+            .iter()
+            .map(|_| ReplicaBreaker::new(config))
+            .collect();
+        ReplicaSet { replicas, breakers }
+    }
+
+    /// Number of replicas in the set.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the set holds no replicas (construction refuses this).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica transports, in replica order.
+    pub fn replicas(&self) -> &[T] {
+        &self.replicas
+    }
+
+    /// Replica `r`'s circuit breaker.
+    pub fn breaker(&self, r: usize) -> Option<&ReplicaBreaker> {
+        self.breakers.get(r)
+    }
+
+    /// This request's replica preference: rotate the set by the
+    /// seed-derived `choice`, then move replicas whose breaker refuses
+    /// admission to the back (not out — with every breaker open, traffic
+    /// itself is the probe that re-admits a recovered replica).
+    fn preference(&self, choice: usize) -> Vec<usize> {
+        let n = self.replicas.len();
+        let rotated: Vec<usize> = (0..n).map(|i| (choice + i) % n).collect();
+        let mut order: Vec<usize> = rotated
+            .iter()
+            .copied()
+            .filter(|&r| self.breakers.get(r).is_some_and(ReplicaBreaker::admit))
+            .collect();
+        for r in rotated {
+            if !order.contains(&r) {
+                order.push(r);
+            }
+        }
+        order
+    }
+}
+
+/// One in-flight fan-out leg: which shard and replica it was submitted
+/// to, the `(span id, span start µs)` of its `shard {s}` trace span when
+/// the request is traced, the trace context that hedge and retry
+/// resubmissions reuse, and the transport's pending reply handle.
+struct Leg<T: ShardTransport> {
+    shard: usize,
+    replica: usize,
+    span: Option<(u64, u64)>,
+    ctx: TraceContext,
+    pending: T::Pending,
+}
+
+/// Everything needed to resubmit one fan-out leg verbatim — hedge and
+/// retry replicas must receive exactly the bytes the primary got, or the
+/// merged θ would depend on which replica answered: the shard's word
+/// slice, the request body, the request seed (drives replica
+/// preference), the caller's deadline, and the span leg events attach
+/// under (the fan-out or em-round wave).
+struct LegRequest<'a> {
+    words: &'a [u32],
+    request: PartialRequest,
+    seed: u64,
+    deadline: Option<Instant>,
+    wave_span: Option<u64>,
+}
 
 /// A fleet of vocabulary shards behind a single-server interface; see the
 /// [module docs](self) for the protocol. Generic over the
@@ -89,12 +231,15 @@ type PendingShard<T> = (usize, Option<(u64, u64)>, <T as ShardTransport>::Pendin
 /// processes on other hosts.
 pub struct ShardRouter<T: ShardTransport = LocalTransport> {
     plan: ShardPlan,
-    shards: Vec<T>,
+    shards: Vec<ReplicaSet<T>>,
     config: ServeConfig,
+    replica_config: ReplicaConfig,
     n_topics: usize,
     alpha: f32,
     requests: AtomicU64,
     skew_retries: AtomicU64,
+    transport_retries: AtomicU64,
+    hedges: AtomicU64,
     shard_requests: Vec<AtomicU64>,
     /// The latest epoch the router has itself observed (validated at
     /// construction, advanced by publications and by the versions riding
@@ -134,6 +279,32 @@ impl ShardRouter<LocalTransport> {
         plan: ShardPlan,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
+        ShardRouter::start_replicated(snapshot, plan, config, 1, ReplicaConfig::default())
+    }
+
+    /// [`ShardRouter::start`] with `n_replicas` in-process servers per plan
+    /// range, each serving an identical slice of `snapshot` — the local
+    /// form of a replicated fleet (useful for failover tests; production
+    /// replicas live on separate machines behind
+    /// [`ShardRouter::with_replica_sets`]). `replica_config` tunes the
+    /// per-replica circuit breakers and hedging.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::start`], plus [`ServeError::InvalidConfig`] when
+    /// `n_replicas` is zero.
+    pub fn start_replicated(
+        snapshot: InferenceSnapshot,
+        plan: ShardPlan,
+        config: ServeConfig,
+        n_replicas: usize,
+        replica_config: ReplicaConfig,
+    ) -> Result<Self, ServeError> {
+        if n_replicas == 0 {
+            return Err(ServeError::InvalidConfig {
+                detail: "a replica set needs at least one replica".into(),
+            });
+        }
         if plan.vocab_size() != snapshot.vocab_size() {
             return Err(ServeError::InvalidConfig {
                 detail: format!(
@@ -148,13 +319,24 @@ impl ShardRouter<LocalTransport> {
         let shards = plan
             .ranges()
             .map(|range| {
-                TopicServer::start(snapshot.shard(range.clone()), config)
-                    .map(|server| LocalTransport::with_range(server, range))
+                (0..n_replicas)
+                    .map(|_| {
+                        TopicServer::start(snapshot.shard(range.clone()), config)
+                            .map(|server| LocalTransport::with_range(server, range.clone()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|replicas| ReplicaSet::new(replicas, &replica_config))
             })
             .collect::<Result<Vec<_>, _>>()?;
         // Freshly started servers publish their snapshot as version 1.
         Ok(ShardRouter::assemble(
-            plan, shards, config, n_topics, alpha, 1,
+            plan,
+            shards,
+            config,
+            replica_config,
+            n_topics,
+            alpha,
+            1,
         ))
     }
 
@@ -196,80 +378,79 @@ impl<T: ShardTransport> ShardRouter<T> {
         transports: Vec<T>,
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
-        if transports.len() != plan.n_shards() {
+        let sets = transports.into_iter().map(|t| vec![t]).collect();
+        ShardRouter::with_replica_sets(plan, sets, config, ReplicaConfig::default())
+    }
+
+    /// [`ShardRouter::with_transports`] generalised to replica sets:
+    /// `sets[s]` holds every transport serving `plan.range(s)` (each must
+    /// hold an *identical* slice — same shape, same epoch — since replica
+    /// answers must be interchangeable bit for bit). Every replica is
+    /// validated like a shard in [`ShardRouter::with_transports`].
+    /// `replica_config` tunes the per-replica circuit breakers and
+    /// hedging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] on any mismatch or an empty
+    /// replica set, and propagates transport errors from unreachable
+    /// shards.
+    pub fn with_replica_sets(
+        plan: ShardPlan,
+        sets: Vec<Vec<T>>,
+        config: ServeConfig,
+        replica_config: ReplicaConfig,
+    ) -> Result<Self, ServeError> {
+        if sets.len() != plan.n_shards() {
             return Err(ServeError::InvalidConfig {
                 detail: format!(
-                    "plan has {} shards but {} transports were provided",
+                    "plan has {} shards but {} replica sets were provided",
                     plan.n_shards(),
-                    transports.len()
+                    sets.len()
                 ),
             });
         }
-        let infos = transports
+        if let Some(s) = sets.iter().position(Vec::is_empty) {
+            return Err(ServeError::InvalidConfig {
+                detail: format!("shard {s} has an empty replica set"),
+            });
+        }
+        let infos = sets
             .iter()
-            .map(ShardTransport::shard_info)
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .map(ShardTransport::shard_info)
+                    .collect::<Result<Vec<_>, _>>()
+            })
             .collect::<Result<Vec<_>, _>>()?;
-        let reference = &infos[0];
-        for (s, (info, range)) in infos.iter().zip(plan.ranges()).enumerate() {
-            let expected = (range.end - range.start) as usize;
-            if info.vocab_size != expected {
-                return Err(ServeError::InvalidConfig {
-                    detail: format!(
-                        "shard {s} holds {} words but the plan assigns it {expected}",
-                        info.vocab_size
-                    ),
-                });
-            }
-            if info.n_topics != reference.n_topics
-                || info.alpha.to_bits() != reference.alpha.to_bits()
-            {
-                return Err(ServeError::InvalidConfig {
-                    detail: format!("shard {s} disagrees with shard 0 on K or alpha"),
-                });
-            }
-            if info.epoch != reference.epoch {
-                return Err(ServeError::InvalidConfig {
-                    detail: format!(
-                        "shard {s} serves epoch {} but shard 0 serves {}",
-                        info.epoch, reference.epoch
-                    ),
-                });
-            }
-            // A shard that knows its global range must sit in the plan
-            // slot that serves it — this is what catches a transport
-            // vector wired up in the wrong order (equal widths would slip
-            // past the size check and silently produce wrong answers). A
-            // shard reporting the local default `[0, vocab_size)` cannot
-            // be distinguished from an unconfigured one, so only an
-            // explicit global range is enforced.
-            let local_default = (0, info.vocab_size as u32);
-            if info.shard_range != local_default && info.shard_range != (range.start, range.end) {
-                return Err(ServeError::InvalidConfig {
-                    detail: format!(
-                        "shard {s} serves global words {}..{} but the plan assigns it {}..{}",
-                        info.shard_range.0, info.shard_range.1, range.start, range.end
-                    ),
-                });
-            }
-            if info.fold_in != config.fold_in {
-                return Err(ServeError::InvalidConfig {
-                    detail: format!(
-                        "shard {s} applies fold-in {:?} but the router expects {:?}",
-                        info.fold_in, config.fold_in
-                    ),
-                });
+        let reference = &infos[0][0];
+        for (s, (shard_infos, range)) in infos.iter().zip(plan.ranges()).enumerate() {
+            for (r, info) in shard_infos.iter().enumerate() {
+                validate_replica(s, r, info, &range, reference, &config)?;
             }
         }
         let (n_topics, alpha, epoch) = (reference.n_topics, reference.alpha, reference.epoch);
+        let shards = sets
+            .into_iter()
+            .map(|replicas| ReplicaSet::new(replicas, &replica_config))
+            .collect();
         Ok(ShardRouter::assemble(
-            plan, transports, config, n_topics, alpha, epoch,
+            plan,
+            shards,
+            config,
+            replica_config,
+            n_topics,
+            alpha,
+            epoch,
         ))
     }
 
     fn assemble(
         plan: ShardPlan,
-        shards: Vec<T>,
+        shards: Vec<ReplicaSet<T>>,
         config: ServeConfig,
+        replica_config: ReplicaConfig,
         n_topics: usize,
         alpha: f32,
         epoch: u64,
@@ -279,10 +460,13 @@ impl<T: ShardTransport> ShardRouter<T> {
             plan,
             shards,
             config,
+            replica_config,
             n_topics,
             alpha,
             requests: AtomicU64::new(0),
             skew_retries: AtomicU64::new(0),
+            transport_retries: AtomicU64::new(0),
+            hedges: AtomicU64::new(0),
             shard_requests,
             last_epoch: AtomicU64::new(epoch),
             publish_lock: Mutex::new(()),
@@ -321,8 +505,8 @@ impl<T: ShardTransport> ShardRouter<T> {
         &self.config
     }
 
-    /// The transports the router fans out over, in shard order.
-    pub fn transports(&self) -> &[T] {
+    /// The replica sets the router fans out over, in shard order.
+    pub fn replica_sets(&self) -> &[ReplicaSet<T>] {
         &self.shards
     }
 
@@ -368,25 +552,58 @@ impl<T: ShardTransport> ShardRouter<T> {
             });
         }
         let _guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let epoch = self.shards[0].observe_epoch()? + 1;
-        // Stage every shard before committing any: slicing and (for remote
-        // fleets) uploading happen outside the swap window, so the commit
-        // loop is as tight as possible.
-        for (transport, range) in self.shards.iter().zip(self.plan.ranges()) {
-            transport.prepare_publish(snapshot.shard(range), epoch)?;
+        let epoch = self.observe_fleet_epoch()? + 1;
+        // Stage every replica of every shard before committing any:
+        // slicing and (for remote fleets) uploading happen outside the
+        // swap window, so the commit loop is as tight as possible.
+        for (set, range) in self.shards.iter().zip(self.plan.ranges()) {
+            for transport in set.replicas() {
+                transport.prepare_publish(snapshot.shard(range.clone()), epoch)?;
+            }
         }
         let mut committed = 0;
-        for transport in &self.shards {
+        for transport in self.shards.iter().flat_map(ReplicaSet::replicas) {
             committed = transport.commit_publish(epoch)?;
         }
         debug_assert!(
             self.shards
                 .iter()
+                .flat_map(ReplicaSet::replicas)
                 .all(|t| t.observe_epoch().map(|e| e == epoch).unwrap_or(true)),
             "shard publications diverged under the publish lock"
         );
         self.last_epoch.fetch_max(committed, Ordering::Relaxed);
         Ok(committed)
+    }
+
+    /// Live-probes the fleet's epoch through shard 0's replicas in
+    /// replica order, with breaker accounting: the first replica that
+    /// answers is authoritative (replicas serve identical slices), and
+    /// only when every replica is unreachable does the last transport
+    /// error propagate.
+    fn observe_fleet_epoch(&self) -> Result<u64, ServeError> {
+        let mut last_err = None;
+        if let Some(set) = self.shards.first() {
+            for (r, transport) in set.replicas().iter().enumerate() {
+                match transport.observe_epoch() {
+                    Ok(epoch) => {
+                        if let Some(breaker) = set.breaker(r) {
+                            breaker.record_success();
+                        }
+                        return Ok(epoch);
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::Transport { .. }) {
+                            if let Some(breaker) = set.breaker(r) {
+                                breaker.record_failure();
+                            }
+                        }
+                        last_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(last_err.unwrap_or(ServeError::Closed))
     }
 
     /// Exports and publishes the current state of `model`; the sharded
@@ -519,10 +736,9 @@ impl<T: ShardTransport> ShardRouter<T> {
             });
         }
         let mut merged: Vec<(u32, f32)> = Vec::with_capacity(n * self.shards.len());
-        for (transport, range) in self.shards.iter().zip(self.plan.ranges()) {
+        for (set, range) in self.shards.iter().zip(self.plan.ranges()) {
             merged.extend(
-                transport
-                    .top_words(k, n)?
+                shard_top_words(set, k, n)?
                     .into_iter()
                     .map(|(local, prob)| (local + range.start, prob)),
             );
@@ -558,16 +774,40 @@ impl<T: ShardTransport> ShardRouter<T> {
             .collect()
     }
 
-    /// Fetches every shard's info concurrently, in shard order. On a
-    /// remote fleet these are network round trips, and one down shard
-    /// must not serialise the others behind its connect timeout (a stats
-    /// scrape would otherwise stall for `n_shards × timeout`).
+    /// Fetches every shard's info concurrently, in shard order, trying
+    /// each shard's replicas in replica order until one answers (with
+    /// breaker accounting on transport failures). On a remote fleet these
+    /// are network round trips, and one down shard must not serialise the
+    /// others behind its connect timeout (a stats scrape would otherwise
+    /// stall for `n_shards × timeout`).
     fn all_shard_infos(&self) -> Vec<Option<ShardInfo>> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|transport| scope.spawn(move || transport.shard_info().ok()))
+                .map(|set| {
+                    scope.spawn(move || {
+                        set.replicas()
+                            .iter()
+                            .enumerate()
+                            .find_map(|(r, transport)| match transport.shard_info() {
+                                Ok(info) => {
+                                    if let Some(breaker) = set.breaker(r) {
+                                        breaker.record_success();
+                                    }
+                                    Some(info)
+                                }
+                                Err(e) => {
+                                    if matches!(e, ServeError::Transport { .. }) {
+                                        if let Some(breaker) = set.breaker(r) {
+                                            breaker.record_failure();
+                                        }
+                                    }
+                                    None
+                                }
+                            })
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -576,9 +816,24 @@ impl<T: ShardTransport> ShardRouter<T> {
         })
     }
 
-    /// Router-level counters (documents routed, skew retries, epoch,
-    /// per-shard request counts).
+    /// Router-level counters (documents routed, skew retries, transport
+    /// retries, hedges, breaker trips/re-admissions, epoch, per-shard
+    /// request counts, per-replica admission).
     pub fn router_stats(&self) -> RouterStats {
+        let mut breaker_trips = 0;
+        let mut breaker_readmits = 0;
+        let mut replica_health = Vec::with_capacity(self.shards.len());
+        for set in &self.shards {
+            let mut admitted = Vec::with_capacity(set.len());
+            for r in 0..set.len() {
+                if let Some(breaker) = set.breaker(r) {
+                    breaker_trips += breaker.trips();
+                    breaker_readmits += breaker.readmits();
+                    admitted.push(breaker.is_admitted());
+                }
+            }
+            replica_health.push(admitted);
+        }
         RouterStats {
             requests: self.requests.load(Ordering::Relaxed),
             skew_retries: self.skew_retries.load(Ordering::Relaxed),
@@ -589,7 +844,64 @@ impl<T: ShardTransport> ShardRouter<T> {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            transport_retries: self.transport_retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            breaker_trips,
+            breaker_readmits,
+            replica_health,
         }
+    }
+
+    /// Live-probes every replica's reachability (one
+    /// [`ShardTransport::observe_epoch`] each — the `/shard-info`–
+    /// `/healthz` seam on a remote fleet), concurrently so one dead
+    /// replica cannot stall the sweep behind its connect timeout, and
+    /// records each outcome on the replica's breaker: a probe success
+    /// re-admits a recovered replica, a probe failure counts toward the
+    /// trip threshold. The router-backed `GET /healthz` serves this view
+    /// and answers 503 when [`FleetHealth::degraded`].
+    pub fn fleet_health(&self) -> FleetHealth {
+        let probes: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<Vec<_>> = self
+                .shards
+                .iter()
+                .map(|set| {
+                    set.replicas()
+                        .iter()
+                        .map(|transport| scope.spawn(move || transport.observe_epoch().is_ok()))
+                        .collect()
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|set| {
+                    set.into_iter()
+                        .map(|handle| handle.join().unwrap_or(false))
+                        .collect()
+                })
+                .collect()
+        });
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut degraded = false;
+        for (set, probed) in self.shards.iter().zip(probes) {
+            let mut replicas = Vec::with_capacity(set.len());
+            for (r, reachable) in probed.into_iter().enumerate() {
+                if let Some(breaker) = set.breaker(r) {
+                    if reachable {
+                        breaker.record_success();
+                    } else {
+                        breaker.record_failure();
+                    }
+                    replicas.push(ReplicaHealth {
+                        reachable,
+                        admitted: breaker.is_admitted(),
+                    });
+                }
+            }
+            degraded |= !replicas.iter().any(|r| r.reachable && r.admitted);
+            shards.push(replicas);
+        }
+        FleetHealth { shards, degraded }
     }
 
     /// Tears the router down (for a local fleet this joins every shard's
@@ -622,10 +934,16 @@ impl<T: ShardTransport> ShardRouter<T> {
             let reborrowed = trace.as_mut().map(|(t, parent)| (&mut **t, *parent));
             let result = match self.config.fold_in.kind {
                 FoldInKind::Esca => self.attempt_esca(&split, seed, deadline, reborrowed),
-                FoldInKind::Em => self.attempt_em(&split, deadline, reborrowed),
+                FoldInKind::Em => self.attempt_em(&split, seed, deadline, reborrowed),
             };
             match result {
                 Err(ServeError::ShardVersionSkew) if attempts < MAX_SKEW_RETRIES => {
+                    // A retry that starts past the deadline can only
+                    // discover the timeout one full fan-out later; fail
+                    // now, and as a deadline rather than as skew.
+                    if deadline.is_some_and(|at| Instant::now() >= at) {
+                        return Err(ServeError::DeadlineExceeded);
+                    }
                     attempts += 1;
                     self.skew_retries.fetch_add(1, Ordering::Relaxed);
                     if let Some((t, parent)) = trace.as_mut() {
@@ -666,18 +984,31 @@ impl<T: ShardTransport> ShardRouter<T> {
         let fanout_span = trace
             .as_mut()
             .map(|(t, parent)| t.begin(Some(*parent), "fan-out"));
+        let request_for = |s: usize| PartialRequest::FoldIn {
+            seed: derive_shard_seed(seed, s),
+        };
         let pending = self.fan_out(
             split,
+            seed,
             deadline,
-            |s| PartialRequest::FoldIn {
-                seed: derive_shard_seed(seed, s),
-            },
+            &request_for,
             trace.as_mut().map(|(t, _)| &mut **t).zip(fanout_span),
         )?;
         let mut merged = PartialFoldIn::empty(self.n_topics);
         let (mut version, mut n_oov) = (None, 0usize);
-        for (s, span, pending) in pending {
-            let response = collect_shard(s, span, pending.wait(deadline), fanout_span, &mut trace)?;
+        for leg in pending {
+            let s = leg.shard;
+            let response = self.settle_leg(
+                leg,
+                &LegRequest {
+                    words: &split[s],
+                    request: request_for(s),
+                    seed,
+                    deadline,
+                    wave_span: fanout_span,
+                },
+                &mut trace,
+            )?;
             check_version(&mut version, &response)?;
             merged.merge(&response.partial);
             n_oov += response.n_oov;
@@ -715,6 +1046,7 @@ impl<T: ShardTransport> ShardRouter<T> {
     fn attempt_em(
         &self,
         split: &[Vec<u32>],
+        seed: u64,
         deadline: Option<Instant>,
         mut trace: Option<(&mut TraceBuilder, u64)>,
     ) -> Result<InferResponse, ServeError> {
@@ -736,19 +1068,31 @@ impl<T: ShardTransport> ShardRouter<T> {
             let round_span = trace
                 .as_mut()
                 .map(|(t, parent)| t.begin(Some(*parent), format!("em-round {round}")));
+            let request_for = |_s: usize| PartialRequest::EmRound {
+                round,
+                theta: Arc::clone(&theta),
+            };
             let pending = self.fan_out(
                 split,
+                seed,
                 deadline,
-                |_| PartialRequest::EmRound {
-                    round,
-                    theta: Arc::clone(&theta),
-                },
+                &request_for,
                 trace.as_mut().map(|(t, _)| &mut **t).zip(round_span),
             )?;
             let mut merged = PartialFoldIn::empty(k);
-            for (s, span, pending) in pending {
-                let response =
-                    collect_shard(s, span, pending.wait(deadline), round_span, &mut trace)?;
+            for leg in pending {
+                let s = leg.shard;
+                let response = self.settle_leg(
+                    leg,
+                    &LegRequest {
+                        words: &split[s],
+                        request: request_for(s),
+                        seed,
+                        deadline,
+                        wave_span: round_span,
+                    },
+                    &mut trace,
+                )?;
                 check_version(&mut version, &response)?;
                 merged.merge(&response.partial);
                 if round == 0 {
@@ -780,21 +1124,27 @@ impl<T: ShardTransport> ShardRouter<T> {
     }
 
     /// Submits `request_for(shard)` to every shard with words in `split`,
-    /// returning the pending handles for [`PendingPartial::wait`]. All
-    /// submissions land before any reply is awaited, so shards execute
-    /// concurrently — in-process or across the network.
+    /// returning one in-flight [`Leg`] per touched shard for
+    /// [`ShardRouter::settle_leg`]. All submissions land before any reply
+    /// is awaited, so shards execute concurrently — in-process or across
+    /// the network. Within each shard the replica is chosen by
+    /// [`derive_replica_choice`] (seed-deterministic on a healthy fleet);
+    /// a replica whose *submission* fails with a transport error is
+    /// recorded on its breaker and the next preferred replica is tried,
+    /// so the fan-out only fails when a whole set is unreachable.
     ///
     /// With a trace, each submission opens a `shard {s}` span under the
     /// given parent and forwards a [`TraceContext`] pointing at it, so the
     /// shard's own spans re-attach under the right leg of the fan-out; the
-    /// returned tuple carries `(span id, span start)` for the collector.
+    /// returned leg carries `(span id, span start)` for the collector.
     fn fan_out(
         &self,
         split: &[Vec<u32>],
+        seed: u64,
         deadline: Option<Instant>,
-        request_for: impl Fn(usize) -> PartialRequest,
+        request_for: &impl Fn(usize) -> PartialRequest,
         mut trace: Option<(&mut TraceBuilder, u64)>,
-    ) -> Result<Vec<PendingShard<T>>, ServeError> {
+    ) -> Result<Vec<Leg<T>>, ServeError> {
         let mut pending = Vec::new();
         for (s, words) in split.iter().enumerate() {
             if words.is_empty() {
@@ -808,13 +1158,217 @@ impl<T: ShardTransport> ShardRouter<T> {
                 (Some((t, _)), Some((span_id, _))) => TraceContext::child(t.trace_id(), span_id),
                 _ => TraceContext::disabled(),
             };
-            let handle = self.shards[s]
-                .submit_partial(words.clone(), request_for(s), deadline, ctx)
-                .map_err(|e| attribute_shard(e, s))?;
-            self.shard_requests[s].fetch_add(1, Ordering::Relaxed);
-            pending.push((s, span, handle));
+            let set = &self.shards[s];
+            let mut submitted = None;
+            let mut last_err = None;
+            for r in set.preference(derive_replica_choice(seed, s, set.len())) {
+                match set.replicas()[r].submit_partial(words.clone(), request_for(s), deadline, ctx)
+                {
+                    Ok(handle) => {
+                        self.shard_requests[s].fetch_add(1, Ordering::Relaxed);
+                        submitted = Some((r, handle));
+                        break;
+                    }
+                    Err(e @ ServeError::Transport { .. }) => {
+                        if let Some(breaker) = set.breaker(r) {
+                            breaker.record_failure();
+                        }
+                        last_err = Some(e);
+                    }
+                    // Overload, closure and bad requests are not replica
+                    // faults; failing over would just repeat them.
+                    Err(e) => {
+                        last_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            match submitted {
+                Some((replica, handle)) => pending.push(Leg {
+                    shard: s,
+                    replica,
+                    span,
+                    ctx,
+                    pending: handle,
+                }),
+                None => return Err(attribute_shard(last_err.unwrap_or(ServeError::Closed), s)),
+            }
         }
         Ok(pending)
+    }
+
+    /// Finishes one fan-out leg: waits for the reply (racing a hedge
+    /// replica when [`ReplicaConfig::hedge_delay`] is set), records the
+    /// outcome on the answering replica's breaker, gives a transport
+    /// failure one bounded retry against the next preferred replica, and
+    /// stitches trace spans via [`collect_shard`].
+    fn settle_leg(
+        &self,
+        leg: Leg<T>,
+        req: &LegRequest<'_>,
+        trace: &mut Option<(&mut TraceBuilder, u64)>,
+    ) -> Result<PartialResponse, ServeError> {
+        let Leg {
+            shard,
+            replica,
+            span,
+            ctx,
+            pending,
+        } = leg;
+        let (mut outcome, responder) = self.race_hedge(shard, replica, pending, req, ctx, trace);
+        self.note_leg_outcome(shard, responder, &outcome);
+        if matches!(outcome, Err(ServeError::Transport { .. })) {
+            outcome = self.retry_leg(shard, responder, req, ctx, trace);
+        }
+        collect_shard(shard, span, outcome, req.wave_span, trace)
+    }
+
+    /// Waits for `pending` from `replica`, hedging onto the next
+    /// preferred replica if [`ReplicaConfig::hedge_delay`] elapses with no
+    /// reply: both legs are then polled and the first settled outcome
+    /// wins, with the loser's handle dropped (which cancels it
+    /// transport-side). Returns the outcome and the replica that produced
+    /// it. Hedging cannot mix versions — replicas serve identical slices
+    /// with identical shard-derived seeds, and every response still
+    /// passes the version check.
+    fn race_hedge(
+        &self,
+        shard: usize,
+        replica: usize,
+        pending: T::Pending,
+        req: &LegRequest<'_>,
+        ctx: TraceContext,
+        trace: &mut Option<(&mut TraceBuilder, u64)>,
+    ) -> (Result<PartialResponse, ServeError>, usize) {
+        let deadline = req.deadline;
+        let set = &self.shards[shard];
+        let Some(delay) = self.replica_config.hedge_delay else {
+            return (pending.wait(deadline), replica);
+        };
+        if set.len() <= 1 {
+            return (pending.wait(deadline), replica);
+        }
+        let hedge_at = Instant::now() + delay;
+        let first_bound = deadline.map_or(hedge_at, |at| at.min(hedge_at));
+        let primary = match pending.wait_until(first_bound) {
+            PollOutcome::Ready(outcome) => return (outcome, replica),
+            PollOutcome::Pending(primary) => primary,
+        };
+        if deadline.is_some_and(|at| Instant::now() >= at) {
+            return (Err(ServeError::DeadlineExceeded), replica);
+        }
+        let other = set
+            .preference(derive_replica_choice(req.seed, shard, set.len()))
+            .into_iter()
+            .find(|&r| r != replica);
+        let Some(other) = other else {
+            return (primary.wait(deadline), replica);
+        };
+        let hedge = match set.replicas()[other].submit_partial(
+            req.words.to_vec(),
+            req.request.clone(),
+            deadline,
+            ctx,
+        ) {
+            Ok(handle) => handle,
+            // A replica that cannot even accept the hedge is no better
+            // than the one we are already waiting on.
+            Err(_) => return (primary.wait(deadline), replica),
+        };
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+        self.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+        if let Some((t, parent)) = trace.as_mut() {
+            t.event(
+                req.wave_span.unwrap_or(*parent),
+                format!("hedge {} replica {other}", ShardPlan::span_name(shard)),
+            );
+        }
+        let slice = Duration::from_millis(1);
+        let mut primary = primary;
+        let mut hedge = hedge;
+        loop {
+            match primary.wait_until(Instant::now() + slice) {
+                PollOutcome::Ready(Ok(response)) => return (Ok(response), replica),
+                PollOutcome::Ready(Err(e)) => {
+                    self.note_leg_outcome(shard, replica, &Err(e));
+                    return (hedge.wait(deadline), other);
+                }
+                PollOutcome::Pending(p) => primary = p,
+            }
+            match hedge.wait_until(Instant::now() + slice) {
+                PollOutcome::Ready(Ok(response)) => return (Ok(response), other),
+                PollOutcome::Ready(Err(e)) => {
+                    self.note_leg_outcome(shard, other, &Err(e));
+                    return (primary.wait(deadline), replica);
+                }
+                PollOutcome::Pending(h) => hedge = h,
+            }
+            if deadline.is_some_and(|at| Instant::now() >= at) {
+                return (Err(ServeError::DeadlineExceeded), replica);
+            }
+        }
+    }
+
+    /// The bounded transport retry (the partial is idempotent pure
+    /// computation, so a resend cannot double-count anything): one fresh
+    /// submission after `failed` produced a transport error, preferring a
+    /// different replica — a single-replica set retries the same one,
+    /// where a fresh connection heals a dropped keep-alive. Counted in
+    /// [`RouterStats::transport_retries`] and recorded as a trace event
+    /// alongside the `skew retry {n}` events.
+    fn retry_leg(
+        &self,
+        shard: usize,
+        failed: usize,
+        req: &LegRequest<'_>,
+        ctx: TraceContext,
+        trace: &mut Option<(&mut TraceBuilder, u64)>,
+    ) -> Result<PartialResponse, ServeError> {
+        let deadline = req.deadline;
+        if deadline.is_some_and(|at| Instant::now() >= at) {
+            return Err(ServeError::DeadlineExceeded);
+        }
+        let set = &self.shards[shard];
+        let target = set
+            .preference(derive_replica_choice(req.seed, shard, set.len()))
+            .into_iter()
+            .find(|&r| r != failed)
+            .unwrap_or(failed);
+        self.transport_retries.fetch_add(1, Ordering::Relaxed);
+        if let Some((t, parent)) = trace.as_mut() {
+            t.event(
+                req.wave_span.unwrap_or(*parent),
+                format!("transport retry {}", ShardPlan::span_name(shard)),
+            );
+        }
+        let outcome = set.replicas()[target]
+            .submit_partial(req.words.to_vec(), req.request.clone(), deadline, ctx)
+            .and_then(|handle| {
+                self.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
+                handle.wait(deadline)
+            });
+        self.note_leg_outcome(shard, target, &outcome);
+        outcome
+    }
+
+    /// Records one leg's outcome on the replica that served it: a success
+    /// re-admits (and resets the failure streak), a transport failure
+    /// counts toward the trip threshold, and request-level errors (bad
+    /// request, deadline, overload) say nothing about replica health.
+    fn note_leg_outcome(
+        &self,
+        shard: usize,
+        replica: usize,
+        outcome: &Result<PartialResponse, ServeError>,
+    ) {
+        let Some(breaker) = self.shards.get(shard).and_then(|set| set.breaker(replica)) else {
+            return;
+        };
+        match outcome {
+            Ok(_) => breaker.record_success(),
+            Err(ServeError::Transport { .. }) => breaker.record_failure(),
+            Err(_) => {}
+        }
     }
 
     /// The uniform θ an empty document gets, cast through the same `f64 →
@@ -823,6 +1377,100 @@ impl<T: ShardTransport> ShardRouter<T> {
     fn uniform_theta(&self) -> Vec<f32> {
         vec![(1.0f64 / self.n_topics as f64) as f32; self.n_topics]
     }
+}
+
+/// Validates one replica's [`ShardInfo`] against the plan slot it was
+/// wired into and the fleet-wide reference (replica 0 of shard 0): the
+/// slice width must match the plan's range, topic count, α, fold-in
+/// parameters and epoch must agree across the fleet (the router finishes
+/// merges with those parameters, so a disagreement would silently change
+/// answers), and an explicitly configured global range must sit in the
+/// right plan slot.
+fn validate_replica(
+    s: usize,
+    r: usize,
+    info: &ShardInfo,
+    range: &std::ops::Range<u32>,
+    reference: &ShardInfo,
+    config: &ServeConfig,
+) -> Result<(), ServeError> {
+    let expected = (range.end - range.start) as usize;
+    if info.vocab_size != expected {
+        return Err(ServeError::InvalidConfig {
+            detail: format!(
+                "shard {s} replica {r} holds {} words but the plan assigns it {expected}",
+                info.vocab_size
+            ),
+        });
+    }
+    if info.n_topics != reference.n_topics || info.alpha.to_bits() != reference.alpha.to_bits() {
+        return Err(ServeError::InvalidConfig {
+            detail: format!("shard {s} replica {r} disagrees with shard 0 on K or alpha"),
+        });
+    }
+    if info.epoch != reference.epoch {
+        return Err(ServeError::InvalidConfig {
+            detail: format!(
+                "shard {s} replica {r} serves epoch {} but shard 0 serves {}",
+                info.epoch, reference.epoch
+            ),
+        });
+    }
+    // A shard that knows its global range must sit in the plan slot that
+    // serves it — this is what catches a transport vector wired up in the
+    // wrong order (equal widths would slip past the size check and
+    // silently produce wrong answers). A shard reporting the local
+    // default `[0, vocab_size)` cannot be distinguished from an
+    // unconfigured one, so only an explicit global range is enforced.
+    let local_default = (0, info.vocab_size as u32);
+    if info.shard_range != local_default && info.shard_range != (range.start, range.end) {
+        return Err(ServeError::InvalidConfig {
+            detail: format!(
+                "shard {s} replica {r} serves global words {}..{} but the plan assigns it {}..{}",
+                info.shard_range.0, info.shard_range.1, range.start, range.end
+            ),
+        });
+    }
+    if info.fold_in != config.fold_in {
+        return Err(ServeError::InvalidConfig {
+            detail: format!(
+                "shard {s} replica {r} applies fold-in {:?} but the router expects {:?}",
+                info.fold_in, config.fold_in
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// One shard's local top words with replica failover: replicas hold
+/// identical slices, so the first one that answers is authoritative.
+/// Transport errors rotate to the next replica (with breaker
+/// accounting); any other error is the request's own fault and returns
+/// immediately.
+fn shard_top_words<T: ShardTransport>(
+    set: &ReplicaSet<T>,
+    k: usize,
+    n: usize,
+) -> Result<Vec<(u32, f32)>, ServeError> {
+    let mut last_err = None;
+    for (r, transport) in set.replicas().iter().enumerate() {
+        match transport.top_words(k, n) {
+            Ok(rows) => {
+                if let Some(breaker) = set.breaker(r) {
+                    breaker.record_success();
+                }
+                return Ok(rows);
+            }
+            Err(e @ ServeError::Transport { .. }) => {
+                if let Some(breaker) = set.breaker(r) {
+                    breaker.record_failure();
+                }
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or(ServeError::Closed))
 }
 
 /// Records the first observed snapshot version and rejects any later

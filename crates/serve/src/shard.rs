@@ -33,6 +33,24 @@ pub fn derive_shard_seed(seed: u64, shard: usize) -> u64 {
     seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Derives which of `n_replicas` serves shard `shard` for a request-level
+/// `seed` — the seed-deterministic replica selector behind replicated plan
+/// ranges. Replicas of a shard serve identical snapshot slices with
+/// identical shard-derived seeds, so the *answer* never depends on the
+/// choice; determinism here is about making request → replica routing
+/// replayable (and spreading load evenly, via a SplitMix64-style mix of
+/// the already-derived shard seed).
+pub fn derive_replica_choice(seed: u64, shard: usize, n_replicas: usize) -> usize {
+    if n_replicas <= 1 {
+        return 0;
+    }
+    let mut mixed = derive_shard_seed(seed, shard);
+    mixed ^= mixed >> 30;
+    mixed = mixed.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    mixed ^= mixed >> 27;
+    (mixed % n_replicas as u64) as usize
+}
+
 /// A partition of the vocabulary `0..V` into contiguous word-id ranges,
 /// one per shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,6 +287,26 @@ mod tests {
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), derived.len(), "shard seeds must differ");
+    }
+
+    #[test]
+    fn derive_replica_choice_is_deterministic_and_in_range() {
+        for n in 1..5usize {
+            for seed in [0u64, 1, 42, u64::MAX] {
+                for shard in 0..4 {
+                    let choice = derive_replica_choice(seed, shard, n);
+                    assert!(choice < n);
+                    assert_eq!(choice, derive_replica_choice(seed, shard, n));
+                }
+            }
+        }
+        // The selector actually spreads: across many seeds every replica of
+        // a 3-replica set sees traffic.
+        let mut hit = [false; 3];
+        for seed in 0..64u64 {
+            hit[derive_replica_choice(seed, 1, 3)] = true;
+        }
+        assert_eq!(hit, [true; 3]);
     }
 
     #[test]

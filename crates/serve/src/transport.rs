@@ -32,6 +32,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -73,10 +74,29 @@ pub struct ShardInfo {
     pub stats: ServeStats,
 }
 
+/// The outcome of a bounded [`PendingPartial::wait_until`] poll: either a
+/// settled reply, or the still-pending handle so the caller can resume the
+/// wait later. Handing the handle back (instead of erroring at the bound)
+/// is what lets the router race two replicas of the same shard — the
+/// mechanism behind hedged requests — and interleave deadline checks
+/// without dedicating a thread per in-flight leg.
+#[derive(Debug)]
+pub enum PollOutcome<P> {
+    /// The shard answered (or failed terminally) within the bound.
+    Ready(Result<PartialResponse, ServeError>),
+    /// No reply yet; resume with another `wait_until` or a final `wait`.
+    Pending(P),
+}
+
 /// A submitted-but-not-yet-answered partial request; the other half of
 /// [`ShardTransport::submit_partial`]. Splitting submission from the wait
 /// is what lets the router land every shard's request before blocking on
 /// any reply, so shards execute concurrently.
+///
+/// Dropping a pending handle cancels the wait: the shard's eventual reply
+/// is discarded at the channel (both transports tolerate a vanished
+/// receiver), which is how the router abandons the losing leg of a hedged
+/// request.
 pub trait PendingPartial {
     /// Awaits the shard's reply, honouring the request deadline the router
     /// passed at submission.
@@ -87,6 +107,15 @@ pub trait PendingPartial {
     /// [`ServeError::Closed`] when the shard (or its transport) has shut
     /// down, and transport- or shard-reported errors otherwise.
     fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError>;
+
+    /// Waits until `until` at the latest. Unlike [`PendingPartial::wait`],
+    /// reaching the bound is not an error: the handle comes back as
+    /// [`PollOutcome::Pending`] so the caller can hedge, check its own
+    /// deadline, or resume waiting. A bound already in the past still
+    /// checks for an already-arrived reply before yielding the handle.
+    fn wait_until(self, until: Instant) -> PollOutcome<Self>
+    where
+        Self: Sized;
 }
 
 /// How a [`ShardRouter`](crate::ShardRouter) reaches one shard.
@@ -210,6 +239,170 @@ impl StagedEpoch {
 }
 
 // ---------------------------------------------------------------------------
+// Per-replica circuit breaker.
+// ---------------------------------------------------------------------------
+
+/// Breaker state: traffic flows normally.
+const STATE_CLOSED: u8 = 0;
+/// Breaker state: the replica is ejected from routing until its cooldown
+/// elapses (then a single probe may half-open it).
+const STATE_OPEN: u8 = 1;
+/// Breaker state: one probe request is in flight; its outcome closes or
+/// re-opens the breaker.
+const STATE_HALF_OPEN: u8 = 2;
+
+/// Replica-set tuning for a [`ShardRouter`](crate::ShardRouter): how its
+/// per-replica circuit breakers trip and recover, and whether fan-out legs
+/// are hedged. The default — no hedging, trip after 3 consecutive
+/// transport failures, probe again after 1 s — leaves a single-replica
+/// fleet behaving exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaConfig {
+    /// Hedge a fan-out leg by submitting to a second replica after this
+    /// long without a reply (derive it from the leg's p99; see
+    /// `docs/SERVING.md`). `None` disables hedging. Hedging is inert on
+    /// single-replica sets.
+    pub hedge_delay: Option<Duration>,
+    /// Consecutive transport failures that trip a replica's breaker.
+    pub failure_threshold: u32,
+    /// How long a tripped replica sits out before a single request (or
+    /// health probe) may half-open the breaker.
+    pub cooldown: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            hedge_delay: None,
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One replica's circuit breaker: consecutive transport failures trip it
+/// [`STATE_CLOSED`] → [`STATE_OPEN`]; after the cooldown a single request
+/// half-opens it ([`STATE_HALF_OPEN`]) as the probe whose outcome closes
+/// or re-trips it. Success from *any* path (traffic, a health probe via
+/// the `/healthz` seam) re-admits immediately.
+///
+/// All state is atomics — no locks — so breaker checks on the fan-out hot
+/// path never contend, and every transition bumps a counter (trips,
+/// re-admissions, probes) surfaced through `/stats` and `/metrics`; the
+/// `breaker-instrumentation` lint rule enforces the latter.
+#[derive(Debug)]
+pub struct ReplicaBreaker {
+    state: AtomicU8,
+    consecutive_failures: AtomicU32,
+    /// When the breaker last opened, in µs since `birth` (an `Instant`
+    /// cannot live in an atomic).
+    opened_at_us: AtomicU64,
+    birth: Instant,
+    threshold: u32,
+    cooldown: Duration,
+    trips: AtomicU64,
+    readmits: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl ReplicaBreaker {
+    /// A closed breaker with the given trip threshold and cooldown.
+    pub fn new(config: &ReplicaConfig) -> Self {
+        ReplicaBreaker {
+            state: AtomicU8::new(STATE_CLOSED),
+            consecutive_failures: AtomicU32::new(0),
+            opened_at_us: AtomicU64::new(0),
+            birth: Instant::now(),
+            threshold: config.failure_threshold.max(1),
+            cooldown: config.cooldown,
+            trips: AtomicU64::new(0),
+            readmits: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether routing currently admits this replica: closed or half-open,
+    /// or open with the cooldown elapsed — in which case the breaker
+    /// transitions to half-open and this call admits the probe request.
+    pub fn admit(&self) -> bool {
+        if self.state.load(Ordering::Acquire) != STATE_OPEN {
+            return true;
+        }
+        let opened = Duration::from_micros(self.opened_at_us.load(Ordering::Acquire));
+        if self.birth.elapsed().saturating_sub(opened) < self.cooldown {
+            return false;
+        }
+        let probing = self
+            .state
+            .compare_exchange(
+                STATE_OPEN,
+                STATE_HALF_OPEN,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if probing {
+            self.probes.fetch_add(1, Ordering::Relaxed);
+        }
+        // Losing the race means another request became the probe; it is
+        // already on its way, so this one stays away until its outcome.
+        probing
+    }
+
+    /// Whether the breaker is not open (ignoring cooldown) — the
+    /// admission flag reported in stats, with no side effects.
+    pub fn is_admitted(&self) -> bool {
+        self.state.load(Ordering::Acquire) != STATE_OPEN
+    }
+
+    /// Records a successful exchange with the replica: resets the failure
+    /// run and closes the breaker, counting a re-admission when it was
+    /// open or half-open.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        if self.state.swap(STATE_CLOSED, Ordering::AcqRel) != STATE_CLOSED {
+            self.readmits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a transport failure against the replica; trips the breaker
+    /// once the consecutive-failure run reaches the threshold (a half-open
+    /// probe failure re-trips immediately).
+    pub fn record_failure(&self) {
+        let run = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let was = self.state.load(Ordering::Acquire);
+        let trip = run >= self.threshold || was == STATE_HALF_OPEN;
+        if trip && was != STATE_OPEN {
+            self.opened_at_us
+                .store(self.birth.elapsed().as_micros() as u64, Ordering::Release);
+            if self.state.swap(STATE_OPEN, Ordering::AcqRel) != STATE_OPEN {
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if trip {
+            // Already open: refresh the cooldown clock so a dead replica
+            // is probed once per cooldown, not hammered.
+            self.opened_at_us
+                .store(self.birth.elapsed().as_micros() as u64, Ordering::Release);
+        }
+    }
+
+    /// Lifetime trip count.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime re-admission count (open/half-open → closed).
+    pub fn readmits(&self) -> u64 {
+        self.readmits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime half-open probe count.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Local transport: in-process TopicServer, PR 4 behaviour bit for bit.
 // ---------------------------------------------------------------------------
 
@@ -263,6 +456,18 @@ pub struct LocalPending {
     timings: Option<Arc<JobTimings>>,
 }
 
+impl LocalPending {
+    fn finish(&self, reply: JobReply) -> Result<PartialResponse, ServeError> {
+        let mut response = expect_partial(reply)?;
+        // The same span subtree a remote shard would ship inline, so the
+        // router's stitching is transport-agnostic.
+        if let Some(timings) = &self.timings {
+            response.spans = partial_spans(timings);
+        }
+        Ok(response)
+    }
+}
+
 impl PendingPartial for LocalPending {
     fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
         let reply = match deadline {
@@ -277,13 +482,18 @@ impl PendingPartial for LocalPending {
                 })?
             }
         };
-        let mut response = expect_partial(reply)?;
-        // The same span subtree a remote shard would ship inline, so the
-        // router's stitching is transport-agnostic.
-        if let Some(timings) = &self.timings {
-            response.spans = partial_spans(timings);
+        self.finish(reply)
+    }
+
+    fn wait_until(self, until: Instant) -> PollOutcome<LocalPending> {
+        // A zero-duration recv_timeout still drains an already-arrived
+        // reply, so a bound in the past degrades to a non-blocking poll.
+        let bound = until.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(bound) {
+            Ok(reply) => PollOutcome::Ready(self.finish(reply)),
+            Err(RecvTimeoutError::Timeout) => PollOutcome::Pending(self),
+            Err(RecvTimeoutError::Disconnected) => PollOutcome::Ready(Err(ServeError::Closed)),
         }
-        Ok(response)
     }
 }
 
@@ -593,6 +803,17 @@ impl PendingPartial for HttpPending {
         };
         let (status, body) = outcome?;
         decode_body(status, &body, wire::decode_partial_response)
+    }
+
+    fn wait_until(self, until: Instant) -> PollOutcome<HttpPending> {
+        let bound = until.saturating_duration_since(Instant::now());
+        match self.0.recv_timeout(bound) {
+            Ok(outcome) => PollOutcome::Ready(outcome.and_then(|(status, body)| {
+                decode_body(status, &body, wire::decode_partial_response)
+            })),
+            Err(RecvTimeoutError::Timeout) => PollOutcome::Pending(self),
+            Err(RecvTimeoutError::Disconnected) => PollOutcome::Ready(Err(ServeError::Closed)),
+        }
     }
 }
 
@@ -934,6 +1155,74 @@ mod tests {
             "the staged epoch-3 snapshot must survive the stale commit"
         );
         assert_eq!(transport.observe_epoch().unwrap(), 3);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_readmits_on_success() {
+        let config = ReplicaConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(0),
+            ..ReplicaConfig::default()
+        };
+        let breaker = ReplicaBreaker::new(&config);
+        assert!(breaker.admit() && breaker.is_admitted());
+        breaker.record_failure();
+        breaker.record_failure();
+        assert!(breaker.is_admitted(), "below threshold");
+        breaker.record_failure();
+        assert!(!breaker.is_admitted());
+        assert_eq!(breaker.trips(), 1);
+        // Zero cooldown: the next admission is the half-open probe.
+        assert!(breaker.admit());
+        assert_eq!(breaker.probes(), 1);
+        // A failed probe re-trips immediately…
+        breaker.record_failure();
+        assert!(!breaker.is_admitted());
+        assert_eq!(breaker.trips(), 2);
+        // …and a successful one re-admits.
+        assert!(breaker.admit());
+        breaker.record_success();
+        assert!(breaker.is_admitted());
+        assert_eq!(breaker.readmits(), 1);
+    }
+
+    #[test]
+    fn open_breaker_rejects_until_cooldown() {
+        let config = ReplicaConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+            ..ReplicaConfig::default()
+        };
+        let breaker = ReplicaBreaker::new(&config);
+        breaker.record_failure();
+        assert!(!breaker.is_admitted());
+        assert!(!breaker.admit(), "cooldown is far in the future");
+        assert_eq!(breaker.probes(), 0);
+    }
+
+    #[test]
+    fn wait_until_hands_the_pending_handle_back() {
+        let transport = transport();
+        let mut pending = transport
+            .submit_partial(
+                vec![0, 3, 6],
+                PartialRequest::FoldIn { seed: 4 },
+                None,
+                TraceContext::disabled(),
+            )
+            .unwrap();
+        let give_up = Instant::now() + Duration::from_secs(5);
+        let response = loop {
+            match pending.wait_until(Instant::now() + Duration::from_millis(1)) {
+                PollOutcome::Ready(r) => break r.unwrap(),
+                PollOutcome::Pending(p) => {
+                    assert!(Instant::now() < give_up, "shard never answered");
+                    pending = p;
+                }
+            }
+        };
+        assert_eq!(response.partial.n_words, 3);
+        assert_eq!(response.snapshot_version, 1);
     }
 
     #[test]

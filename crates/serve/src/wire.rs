@@ -331,8 +331,10 @@ fn encode_endpoint_stats(endpoint: &EndpointStats) -> JsonValue {
 
 /// Encodes the router-level counters complementing the shard-aggregated
 /// `server` block of `GET /stats`: the fleet epoch, skew retries, documents
-/// routed, and how many shard requests each shard received. Absent from
-/// direct (unsharded) servers.
+/// routed, how many shard requests each shard received, plus the
+/// self-healing counters (transport retries, hedges, breaker
+/// trips/re-admissions) and per-replica admission. Absent from direct
+/// (unsharded) servers.
 fn encode_router_stats(router: &RouterStats) -> JsonValue {
     JsonValue::object([
         ("requests", JsonValue::from(router.requests)),
@@ -346,6 +348,25 @@ fn encode_router_stats(router: &RouterStats) -> JsonValue {
                     .shard_requests
                     .iter()
                     .map(|&n| JsonValue::from(n))
+                    .collect(),
+            ),
+        ),
+        (
+            "transport_retries",
+            JsonValue::from(router.transport_retries),
+        ),
+        ("hedges", JsonValue::from(router.hedges)),
+        ("breaker_trips", JsonValue::from(router.breaker_trips)),
+        ("breaker_readmits", JsonValue::from(router.breaker_readmits)),
+        (
+            "replica_health",
+            JsonValue::Array(
+                router
+                    .replica_health
+                    .iter()
+                    .map(|set| {
+                        JsonValue::Array(set.iter().map(|&ok| JsonValue::Bool(ok)).collect())
+                    })
                     .collect(),
             ),
         ),
@@ -460,12 +481,32 @@ pub fn encode_prometheus(
         };
         counter("saber_router_requests_total", router.requests);
         counter("saber_router_skew_retries_total", router.skew_retries);
+        counter(
+            "saber_router_transport_retries_total",
+            router.transport_retries,
+        );
+        counter("saber_router_hedges_total", router.hedges);
+        counter("saber_router_breaker_trips_total", router.breaker_trips);
+        counter(
+            "saber_router_breaker_readmits_total",
+            router.breaker_readmits,
+        );
         let _ = writeln!(out, "# TYPE saber_router_shard_requests_total counter");
         for (s, &n) in router.shard_requests.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "saber_router_shard_requests_total{{shard=\"{s}\"}} {n}"
             );
+        }
+        let _ = writeln!(out, "# TYPE saber_router_replica_admitted gauge");
+        for (s, set) in router.replica_health.iter().enumerate() {
+            for (r, &admitted) in set.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "saber_router_replica_admitted{{shard=\"{s}\",replica=\"{r}\"}} {}",
+                    u64::from(admitted)
+                );
+            }
         }
     }
     // Exactly one TYPE line per metric name: the five endpoint series

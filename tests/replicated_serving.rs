@@ -1,0 +1,930 @@
+//! Differential suite for the replicated, self-healing shard fleet
+//! (ISSUE 9): replica sets must change *availability*, never *answers*.
+//!
+//! Contracts under test:
+//!
+//! * a replicated local fleet answers bit-identically to the
+//!   single-replica router over the same plan — replica selection is
+//!   seed-deterministic and replicas serve identical slices;
+//! * killing a replica mid-stream over real TCP drops nothing and leaves
+//!   ESCA θ bit-identical (EM within 1e-5 L∞ of direct serving and
+//!   bit-identical to local routing), version-pure across the failure;
+//! * a replica's circuit breaker trips after repeated transport failures
+//!   and re-admits once a health probe sees the replica back;
+//! * hedged requests fire under a zero hedge delay and never produce an
+//!   answer mixing two snapshot versions, even mid-publication;
+//! * **regression (deadline-skew bug)**: a fan-out that keeps observing
+//!   version skew fails with `DeadlineExceeded`, not `ShardVersionSkew`,
+//!   once the caller's deadline has passed;
+//! * **regression (transient-transport bug)**: one transient transport
+//!   failure costs one bounded retry (counted, traced), not the request;
+//! * the router-backed `GET /healthz` degrades to 503 when a plan range
+//!   has lost every replica;
+//! * a loadgen chaos replay (kill a replica after N requests) drops
+//!   nothing and replays θ bit-identically to the healthy fleet.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saber_loadgen::replay::{
+    replay, replay_model, replay_with_chaos, ChaosTrigger, RateProfile, ReplayConfig, Topology,
+    TopologyHandle,
+};
+use saber_loadgen::synth::synthesize_trace;
+use saberlda::corpus::synthetic::SyntheticSpec;
+use saberlda::serve::{
+    derive_replica_choice, derive_shard_seed, FoldInKind, FoldInParams, HttpConfig, HttpServer,
+    HttpTransport, InferenceSnapshot, LocalTransport, PartialRequest, PartialResponse,
+    PendingPartial, PollOutcome, ReplicaConfig, ServeConfig, ServeError, ShardInfo, ShardPlan,
+    ShardRouter, ShardTransport, TopicServer,
+};
+use saberlda::trace::{TraceBuilder, TraceContext, TraceId};
+use saberlda::LdaModel;
+
+const VOCAB: usize = 60;
+const K: usize = 5;
+
+fn random_model(seed: u64) -> LdaModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = LdaModel::new(VOCAB, K, 0.08, 0.01).unwrap();
+    for v in 0..VOCAB {
+        for k in 0..K {
+            model.word_topic_mut()[(v, k)] = rng.gen_range(0u32..20);
+        }
+        let hot = rng.gen_range(0usize..K);
+        model.word_topic_mut()[(v, hot)] += 5;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn planted_model(shift: usize) -> LdaModel {
+    let mut model = LdaModel::new(VOCAB, K, 0.05, 0.01).unwrap();
+    for v in 0..VOCAB {
+        model.word_topic_mut()[(v, (v + shift) % K)] = 50;
+    }
+    model.refresh_probabilities();
+    model
+}
+
+fn random_doc(rng: &mut StdRng, len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|_| rng.gen_range(0u32..VOCAB as u32))
+        .collect()
+}
+
+fn config(kind: FoldInKind) -> ServeConfig {
+    ServeConfig {
+        n_workers: 2,
+        fold_in: FoldInParams {
+            kind,
+            ..FoldInParams::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn bits(theta: &[f32]) -> Vec<u32> {
+    theta.iter().map(|x| x.to_bits()).collect()
+}
+
+fn linf(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// A replicated shard fleet over real localhost TCP: `replicas` HTTP
+/// listeners per plan range, each its own `TopicServer` over the same
+/// slice. Servers ride in `Option` so a test can kill one mid-stream.
+fn spawn_replicated_fleet(
+    model: &LdaModel,
+    plan: &ShardPlan,
+    replicas: usize,
+    serve_config: ServeConfig,
+) -> (Vec<Vec<Option<HttpServer>>>, Vec<Vec<HttpTransport>>) {
+    let snapshot = InferenceSnapshot::from_model(model, serve_config.sampler);
+    let mut fleet = Vec::new();
+    let mut sets = Vec::new();
+    for range in plan.ranges() {
+        let mut servers = Vec::new();
+        let mut transports = Vec::new();
+        for _ in 0..replicas {
+            let server =
+                Arc::new(TopicServer::start(snapshot.shard(range.clone()), serve_config).unwrap());
+            let http = HttpServer::bind(
+                "127.0.0.1:0",
+                server,
+                None,
+                HttpConfig {
+                    shard_range: Some((range.start, range.end)),
+                    ..HttpConfig::default()
+                },
+            )
+            .unwrap();
+            transports.push(HttpTransport::connect(http.local_addr()).unwrap());
+            servers.push(Some(http));
+        }
+        fleet.push(servers);
+        sets.push(transports);
+    }
+    (fleet, sets)
+}
+
+fn shutdown_fleet(fleet: Vec<Vec<Option<HttpServer>>>) {
+    for server in fleet.into_iter().flatten().flatten() {
+        server.shutdown();
+    }
+}
+
+/// Seeds whose deterministic replica choice for `shard` lands on
+/// `replica` — so a test can aim requests at a specific (possibly dead)
+/// replica.
+fn seeds_choosing(shard: usize, replica: usize, n_replicas: usize, count: usize) -> Vec<u64> {
+    (0..10_000u64)
+        .filter(|&seed| derive_replica_choice(seed, shard, n_replicas) == replica)
+        .take(count)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Replication never changes answers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn replicated_local_fleet_is_bit_identical_to_single_replica() {
+    // The foundation of every failover guarantee: replicas serve identical
+    // slices with identical shard-derived seeds, so WHICH replica answers
+    // can never show up in θ.
+    for kind in [FoldInKind::Esca, FoldInKind::Em] {
+        let model = random_model(11);
+        let cfg = config(kind);
+        let plan = ShardPlan::uniform(VOCAB, 2).unwrap();
+        let single = ShardRouter::from_model(&model, plan.clone(), cfg).unwrap();
+        for n_replicas in [2usize, 3] {
+            let snapshot = InferenceSnapshot::from_model(&model, cfg.sampler);
+            let replicated = ShardRouter::start_replicated(
+                snapshot,
+                plan.clone(),
+                cfg,
+                n_replicas,
+                ReplicaConfig::default(),
+            )
+            .unwrap();
+            let mut rng = StdRng::seed_from_u64(50);
+            for seed in 0..8u64 {
+                let doc = random_doc(&mut rng, 4 + (seed as usize) * 3);
+                let a = single.infer_topics(doc.clone(), seed).unwrap();
+                let b = replicated.infer_topics(doc, seed).unwrap();
+                assert_eq!(
+                    bits(&a.theta),
+                    bits(&b.theta),
+                    "{kind:?} seed {seed}: {n_replicas}-replica fleet diverged from single-replica"
+                );
+                assert_eq!(a.snapshot_version, b.snapshot_version);
+                assert_eq!(a.n_oov, b.n_oov);
+            }
+            replicated.shutdown();
+        }
+        single.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill a replica mid-stream — differential proof over real TCP
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_replica_mid_stream_keeps_esca_answers_bit_identical() {
+    let model = random_model(3);
+    let cfg = config(FoldInKind::Esca);
+    let plan = ShardPlan::uniform(VOCAB, 2).unwrap();
+    let reference = ShardRouter::from_model(&model, plan.clone(), cfg).unwrap();
+
+    let (mut fleet, sets) = spawn_replicated_fleet(&model, &plan, 2, cfg);
+    let router = ShardRouter::with_replica_sets(plan, sets, cfg, ReplicaConfig::default()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(77);
+    // Pre-kill phase: any seed. Post-kill phase: seeds whose shard-0
+    // replica choice IS the dead replica, so the failover path is
+    // genuinely exercised, not dodged by selection.
+    let before: Vec<u64> = (0..6).collect();
+    let after = seeds_choosing(0, 1, 2, 6);
+    let docs: Vec<Vec<u32>> = (0..before.len() + after.len())
+        .map(|i| random_doc(&mut rng, 5 + i * 2))
+        .collect();
+
+    for (i, &seed) in before.iter().enumerate() {
+        let a = reference.infer_topics(docs[i].clone(), seed).unwrap();
+        let b = router.infer_topics(docs[i].clone(), seed).unwrap();
+        assert_eq!(bits(&a.theta), bits(&b.theta), "pre-kill doc {i} diverged");
+        assert_eq!(b.snapshot_version, 1, "pre-kill doc {i} off-version");
+    }
+
+    // Kill shard 0's replica 1 mid-stream — in-flight and future requests
+    // aimed at it must fail over, not fail.
+    fleet[0][1].take().unwrap().shutdown();
+
+    for (j, &seed) in after.iter().enumerate() {
+        let i = before.len() + j;
+        let a = reference.infer_topics(docs[i].clone(), seed).unwrap();
+        let b = router
+            .infer_topics(docs[i].clone(), seed)
+            .unwrap_or_else(|e| panic!("post-kill doc {i} dropped: {e:?}"));
+        assert_eq!(bits(&a.theta), bits(&b.theta), "post-kill doc {i} diverged");
+        assert_eq!(b.snapshot_version, 1, "post-kill doc {i} off-version");
+    }
+
+    let stats = router.router_stats();
+    assert!(
+        stats.transport_retries >= 1,
+        "post-kill requests aimed at the dead replica must have retried: {stats:?}"
+    );
+    assert_eq!(stats.requests, (before.len() + after.len()) as u64);
+
+    reference.shutdown();
+    router.shutdown();
+    shutdown_fleet(fleet);
+}
+
+#[test]
+fn killed_replica_mid_stream_keeps_em_answers_within_tolerance() {
+    let model = random_model(7);
+    let cfg = config(FoldInKind::Em);
+    let plan = ShardPlan::uniform(VOCAB, 2).unwrap();
+    let direct = TopicServer::from_model(&model, cfg).unwrap();
+    let local = ShardRouter::from_model(&model, plan.clone(), cfg).unwrap();
+
+    let (mut fleet, sets) = spawn_replicated_fleet(&model, &plan, 2, cfg);
+    let router = ShardRouter::with_replica_sets(plan, sets, cfg, ReplicaConfig::default()).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(13);
+    let seeds = seeds_choosing(1, 0, 2, 8);
+    let docs: Vec<Vec<u32>> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, _)| random_doc(&mut rng, 6 + i * 3))
+        .collect();
+
+    // Kill shard 1's replica 0 — every one of these seeds prefers it
+    // there, so each EM round's fan-out to shard 1 must fail over.
+    fleet[1][0].take().unwrap().shutdown();
+
+    for (i, (&seed, doc)) in seeds.iter().zip(&docs).enumerate() {
+        let reference = direct.infer_topics(doc.clone(), seed).unwrap();
+        let via_local = local.infer_topics(doc.clone(), seed).unwrap();
+        let answer = router
+            .infer_topics(doc.clone(), seed)
+            .unwrap_or_else(|e| panic!("post-kill EM doc {i} dropped: {e:?}"));
+        let err = linf(&reference.theta, &answer.theta);
+        assert!(
+            err <= 1e-5,
+            "post-kill EM doc {i}: L∞ = {err} vs direct exceeds 1e-5"
+        );
+        assert_eq!(
+            bits(&via_local.theta),
+            bits(&answer.theta),
+            "post-kill EM doc {i} diverged from local routing"
+        );
+        assert_eq!(
+            answer.snapshot_version, 1,
+            "post-kill EM doc {i} off-version"
+        );
+    }
+
+    direct.shutdown();
+    local.shutdown();
+    router.shutdown();
+    shutdown_fleet(fleet);
+}
+
+// ---------------------------------------------------------------------------
+// Mock transports for deterministic failure injection
+// ---------------------------------------------------------------------------
+
+fn injected_transport_error() -> ServeError {
+    ServeError::Transport {
+        detail: "injected fault".into(),
+        shard: None,
+        addr: None,
+    }
+}
+
+/// Delegates to a `LocalTransport` but refuses everything while `dead` —
+/// a deterministic stand-in for an unreachable replica.
+#[derive(Debug)]
+struct FlakyTransport {
+    inner: LocalTransport,
+    dead: Arc<AtomicBool>,
+}
+
+impl ShardTransport for FlakyTransport {
+    type Pending = <LocalTransport as ShardTransport>::Pending;
+
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+        trace: TraceContext,
+    ) -> Result<Self::Pending, ServeError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(injected_transport_error());
+        }
+        self.inner.submit_partial(words, request, deadline, trace)
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        self.inner.top_words(k, n)
+    }
+
+    fn shard_info(&self) -> Result<ShardInfo, ServeError> {
+        self.inner.shard_info()
+    }
+
+    fn observe_epoch(&self) -> Result<u64, ServeError> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(injected_transport_error());
+        }
+        self.inner.observe_epoch()
+    }
+
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
+        self.inner.prepare_publish(slice, epoch)
+    }
+
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
+        self.inner.commit_publish(epoch)
+    }
+}
+
+fn local_transport(model: &LdaModel, cfg: ServeConfig) -> LocalTransport {
+    let snapshot = InferenceSnapshot::from_model(model, cfg.sampler);
+    let server = TopicServer::start(snapshot.shard(0..VOCAB as u32), cfg).unwrap();
+    LocalTransport::with_range(server, 0..VOCAB as u32)
+}
+
+#[test]
+fn breaker_trips_on_repeated_failures_and_readmits_after_recovery() {
+    let model = random_model(21);
+    let cfg = config(FoldInKind::Esca);
+    let plan = ShardPlan::single(VOCAB).unwrap();
+    let reference = TopicServer::from_model(&model, cfg).unwrap();
+
+    let dead = Arc::new(AtomicBool::new(false));
+    let replicas = vec![vec![
+        FlakyTransport {
+            inner: local_transport(&model, cfg),
+            dead: Arc::new(AtomicBool::new(false)),
+        },
+        FlakyTransport {
+            inner: local_transport(&model, cfg),
+            dead: Arc::clone(&dead),
+        },
+    ]];
+    let router = ShardRouter::with_replica_sets(
+        plan,
+        replicas,
+        cfg,
+        ReplicaConfig {
+            failure_threshold: 1,
+            ..ReplicaConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let seeds = seeds_choosing(0, 1, 2, 4);
+
+    // Healthy: requests aimed at replica 1 answer there, bit-identically
+    // to direct serving.
+    let doc = random_doc(&mut rng, 9);
+    let healthy = router.infer_topics(doc.clone(), seeds[0]).unwrap();
+    assert_eq!(
+        bits(&reference.infer_topics(doc.clone(), seeds[0]).unwrap().theta),
+        bits(&healthy.theta),
+    );
+    assert_eq!(router.router_stats().breaker_trips, 0);
+
+    // Replica 1 dies. The next request aimed at it fails over at submit
+    // time, and with failure_threshold=1 the breaker trips immediately.
+    dead.store(true, Ordering::SeqCst);
+    let failed_over = router.infer_topics(doc.clone(), seeds[1]).unwrap();
+    assert_eq!(
+        bits(&reference.infer_topics(doc.clone(), seeds[1]).unwrap().theta),
+        bits(&failed_over.theta),
+        "failover changed the answer"
+    );
+    let stats = router.router_stats();
+    assert!(stats.breaker_trips >= 1, "breaker never tripped: {stats:?}");
+    assert_eq!(
+        stats.replica_health,
+        vec![vec![true, false]],
+        "tripped replica still reported admitted"
+    );
+
+    // Replica recovers; a health probe sees it and re-admits.
+    dead.store(false, Ordering::SeqCst);
+    let health = router.fleet_health();
+    assert!(!health.degraded);
+    assert!(
+        health.shards[0][1].reachable && health.shards[0][1].admitted,
+        "probe did not re-admit the recovered replica: {health:?}"
+    );
+    let stats = router.router_stats();
+    assert!(
+        stats.breaker_readmits >= 1,
+        "re-admission not counted: {stats:?}"
+    );
+    assert_eq!(stats.replica_health, vec![vec![true, true]]);
+
+    // And it serves again, still bit-identically.
+    let recovered = router.infer_topics(doc.clone(), seeds[2]).unwrap();
+    assert_eq!(
+        bits(&reference.infer_topics(doc.clone(), seeds[2]).unwrap().theta),
+        bits(&recovered.theta)
+    );
+
+    reference.shutdown();
+    router.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Hedged requests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hedged_requests_fire_and_never_mix_versions() {
+    // A zero hedge delay hedges essentially every request while the main
+    // thread publishes alternating planted models through the router. ESCA
+    // is deterministic per (words, seed, snapshot), so every legal answer
+    // equals one of two precomputed θ vectors bit-for-bit — an answer
+    // stitched from two replicas on different versions would match
+    // neither.
+    let cfg = config(FoldInKind::Esca);
+    let plan = ShardPlan::single(VOCAB).unwrap();
+    let doc: Vec<u32> = (0..18).map(|i| (i * 7 % VOCAB) as u32).collect();
+    let seed = 9u64;
+
+    let expected: Vec<Vec<u32>> = [planted_model(0), planted_model(1)]
+        .iter()
+        .map(|model| {
+            let reference = TopicServer::from_model(model, cfg).unwrap();
+            let theta = bits(&reference.infer_topics(doc.clone(), seed).unwrap().theta);
+            reference.shutdown();
+            theta
+        })
+        .collect();
+    assert_ne!(expected[0], expected[1], "versions must be distinguishable");
+
+    let model = planted_model(0);
+    let replicas = vec![vec![
+        local_transport(&model, cfg),
+        local_transport(&model, cfg),
+    ]];
+    let router = Arc::new(
+        ShardRouter::with_replica_sets(
+            plan,
+            replicas,
+            cfg,
+            ReplicaConfig {
+                hedge_delay: Some(Duration::ZERO),
+                ..ReplicaConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    let publisher = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || {
+            for round in 0..30usize {
+                router
+                    .publish_model(&planted_model((round + 1) % 2))
+                    .unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    for i in 0..300u32 {
+        let response = router.infer_topics(doc.clone(), seed).unwrap();
+        // Version v serves planted_model((v - 1) % 2).
+        let shift = ((response.snapshot_version - 1) % 2) as usize;
+        assert_eq!(
+            bits(&response.theta),
+            expected[shift],
+            "request {i} (version {}) mixed replica versions",
+            response.snapshot_version
+        );
+    }
+    publisher.join().unwrap();
+
+    let stats = router.router_stats();
+    assert!(
+        stats.hedges >= 1,
+        "zero hedge delay over 300 requests never hedged: {stats:?}"
+    );
+
+    match Arc::try_unwrap(router) {
+        Ok(router) => router.shutdown(),
+        Err(_) => panic!("router still shared"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: skew retries must honour the deadline
+// ---------------------------------------------------------------------------
+
+/// Rewrites every response's snapshot version to a fresh counter value
+/// (and sleeps a little first), so a 2-shard fan-out observes version
+/// skew on every attempt — the pathological publish storm, on demand.
+#[derive(Debug)]
+struct SkewTransport {
+    inner: LocalTransport,
+    version: Arc<AtomicU64>,
+}
+
+#[derive(Debug)]
+struct SkewPending {
+    inner: <LocalTransport as ShardTransport>::Pending,
+    version: Arc<AtomicU64>,
+}
+
+impl PendingPartial for SkewPending {
+    fn wait(self, _deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
+        std::thread::sleep(Duration::from_millis(5));
+        // Ignore the caller's deadline on the inner wait: the reply is
+        // already computed, and the point of this mock is to prove the
+        // DEADLINE error comes from the router's retry check, not the leg.
+        self.inner.wait(None).map(|mut response| {
+            response.snapshot_version = self.version.fetch_add(1, Ordering::SeqCst);
+            response
+        })
+    }
+
+    fn wait_until(self, _until: Instant) -> PollOutcome<Self> {
+        PollOutcome::Ready(self.wait(None))
+    }
+}
+
+impl ShardTransport for SkewTransport {
+    type Pending = SkewPending;
+
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+        trace: TraceContext,
+    ) -> Result<Self::Pending, ServeError> {
+        Ok(SkewPending {
+            inner: self.inner.submit_partial(words, request, deadline, trace)?,
+            version: Arc::clone(&self.version),
+        })
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        self.inner.top_words(k, n)
+    }
+
+    fn shard_info(&self) -> Result<ShardInfo, ServeError> {
+        self.inner.shard_info()
+    }
+
+    fn observe_epoch(&self) -> Result<u64, ServeError> {
+        self.inner.observe_epoch()
+    }
+
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
+        self.inner.prepare_publish(slice, epoch)
+    }
+
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
+        self.inner.commit_publish(epoch)
+    }
+}
+
+fn skew_router() -> ShardRouter<SkewTransport> {
+    let model = random_model(31);
+    let cfg = config(FoldInKind::Esca);
+    let plan = ShardPlan::uniform(VOCAB, 2).unwrap();
+    let snapshot = InferenceSnapshot::from_model(&model, cfg.sampler);
+    let version = Arc::new(AtomicU64::new(100));
+    let transports = plan
+        .ranges()
+        .map(|range| {
+            let server = TopicServer::start(snapshot.shard(range.clone()), cfg).unwrap();
+            SkewTransport {
+                inner: LocalTransport::with_range(server, range),
+                version: Arc::clone(&version),
+            }
+        })
+        .collect::<Vec<_>>();
+    ShardRouter::with_transports(plan, transports, cfg).unwrap()
+}
+
+#[test]
+fn skew_retry_honours_the_deadline() {
+    // Doc touching both shards, so every attempt sees two (always
+    // different) versions.
+    let doc: Vec<u32> = vec![1, 2, 31, 32];
+
+    // Without a deadline the router exhausts its retries and reports skew
+    // — the mock really does manufacture persistent skew.
+    let router = skew_router();
+    match router.infer_topics(doc.clone(), 0) {
+        Err(ServeError::ShardVersionSkew) => {}
+        other => panic!("expected ShardVersionSkew without a deadline, got {other:?}"),
+    }
+    assert_eq!(router.router_stats().skew_retries, 3);
+    router.shutdown();
+
+    // With a deadline that expires during the retries, the router must
+    // fail with DeadlineExceeded — the bug reported exhausted-skew
+    // instead, burning a full extra fan-out after the caller's budget was
+    // already gone.
+    let router = skew_router();
+    match router.infer_with_deadline(doc, 0, Duration::from_millis(25)) {
+        Err(ServeError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded past the deadline, got {other:?}"),
+    }
+    assert!(
+        router.router_stats().skew_retries >= 1,
+        "the deadline check must sit on the retry path, not before the first attempt"
+    );
+    router.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Regression: transient transport failure costs one retry, not the request
+// ---------------------------------------------------------------------------
+
+/// First submission hands back a pending that fails its wait with a
+/// transport error; every later submission is genuine. The shape of a
+/// connection reset racing a reply.
+#[derive(Debug)]
+struct FailOnceTransport {
+    inner: LocalTransport,
+    submissions: AtomicU32,
+}
+
+#[derive(Debug)]
+enum FailOncePending {
+    Fail,
+    Real(<LocalTransport as ShardTransport>::Pending),
+}
+
+impl PendingPartial for FailOncePending {
+    fn wait(self, deadline: Option<Instant>) -> Result<PartialResponse, ServeError> {
+        match self {
+            FailOncePending::Fail => Err(injected_transport_error()),
+            FailOncePending::Real(pending) => pending.wait(deadline),
+        }
+    }
+
+    fn wait_until(self, until: Instant) -> PollOutcome<Self> {
+        match self {
+            FailOncePending::Fail => PollOutcome::Ready(Err(injected_transport_error())),
+            FailOncePending::Real(pending) => match pending.wait_until(until) {
+                PollOutcome::Ready(result) => PollOutcome::Ready(result),
+                PollOutcome::Pending(pending) => {
+                    PollOutcome::Pending(FailOncePending::Real(pending))
+                }
+            },
+        }
+    }
+}
+
+impl ShardTransport for FailOnceTransport {
+    type Pending = FailOncePending;
+
+    fn submit_partial(
+        &self,
+        words: Vec<u32>,
+        request: PartialRequest,
+        deadline: Option<Instant>,
+        trace: TraceContext,
+    ) -> Result<Self::Pending, ServeError> {
+        if self.submissions.fetch_add(1, Ordering::SeqCst) == 0 {
+            return Ok(FailOncePending::Fail);
+        }
+        Ok(FailOncePending::Real(
+            self.inner.submit_partial(words, request, deadline, trace)?,
+        ))
+    }
+
+    fn top_words(&self, k: usize, n: usize) -> Result<Vec<(u32, f32)>, ServeError> {
+        self.inner.top_words(k, n)
+    }
+
+    fn shard_info(&self) -> Result<ShardInfo, ServeError> {
+        self.inner.shard_info()
+    }
+
+    fn observe_epoch(&self) -> Result<u64, ServeError> {
+        self.inner.observe_epoch()
+    }
+
+    fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
+        self.inner.prepare_publish(slice, epoch)
+    }
+
+    fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
+        self.inner.commit_publish(epoch)
+    }
+}
+
+#[test]
+fn transient_transport_failure_costs_one_bounded_retry() {
+    let model = random_model(41);
+    let cfg = config(FoldInKind::Esca);
+    let reference = TopicServer::from_model(&model, cfg).unwrap();
+    let router = ShardRouter::with_transports(
+        ShardPlan::single(VOCAB).unwrap(),
+        vec![FailOnceTransport {
+            inner: local_transport(&model, cfg),
+            submissions: AtomicU32::new(0),
+        }],
+        cfg,
+    )
+    .unwrap();
+
+    let doc: Vec<u32> = (0..12).map(|i| (i * 5 % VOCAB) as u32).collect();
+    let seed = 2u64;
+    let mut trace = TraceBuilder::new(TraceId::mint());
+    let root = trace.begin(None, "ingress");
+    let answer = router
+        .infer_with_trace(doc.clone(), seed, Duration::from_secs(5), &mut trace, root)
+        .unwrap_or_else(|e| panic!("a single transient failure dropped the request: {e:?}"));
+    trace.end(root);
+    let done = trace.finish();
+
+    // Same bytes as if nothing had gone wrong (shard 0's derived seed is
+    // the raw request seed, so direct serving is the reference).
+    assert_eq!(derive_shard_seed(seed, 0), seed);
+    let expected = reference.infer_topics(doc, seed).unwrap();
+    assert_eq!(bits(&expected.theta), bits(&answer.theta));
+
+    // Exactly one bounded retry, counted and traced.
+    let stats = router.router_stats();
+    assert_eq!(stats.transport_retries, 1, "{stats:?}");
+    let events: Vec<&str> = done
+        .spans
+        .iter()
+        .flat_map(|span| span.events.iter())
+        .map(|event| event.message.as_str())
+        .collect();
+    assert!(
+        events.contains(&"transport retry shard 0"),
+        "retry not announced in the trace: {events:?}"
+    );
+
+    reference.shutdown();
+    router.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Router-backed /healthz degrades when a range loses every replica
+// ---------------------------------------------------------------------------
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let body = response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_string();
+    (status, body)
+}
+
+#[test]
+fn router_healthz_degrades_to_503_when_a_range_loses_every_replica() {
+    let model = random_model(51);
+    let cfg = config(FoldInKind::Esca);
+    let plan = ShardPlan::single(VOCAB).unwrap();
+    let (mut fleet, sets) = spawn_replicated_fleet(&model, &plan, 2, cfg);
+    let router = Arc::new(
+        ShardRouter::with_replica_sets(plan, sets, cfg, ReplicaConfig::default()).unwrap(),
+    );
+    let front = HttpServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&router),
+        None,
+        HttpConfig::default(),
+    )
+    .unwrap();
+
+    // Healthy: 200, and the body carries per-replica fleet health.
+    let (status, body) = http_get(front.local_addr(), "/healthz");
+    assert_eq!(status, 200, "healthy fleet: {body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(
+        body.contains("\"fleet\":[[{\"reachable\":true,\"admitted\":true},{\"reachable\":true,\"admitted\":true}]]"),
+        "{body}"
+    );
+
+    // One replica down: still serving, still 200 — that is the point of
+    // replication.
+    fleet[0][0].take().unwrap().shutdown();
+    let (status, body) = http_get(front.local_addr(), "/healthz");
+    assert_eq!(status, 200, "one live replica left is not degraded: {body}");
+    assert!(body.contains("\"reachable\":false"), "{body}");
+
+    // Every replica of the range down: degraded, 503 — the bug reported
+    // 200 \"ok\" while the fleet could not answer a single request.
+    fleet[0][1].take().unwrap().shutdown();
+    assert!(router.fleet_health().degraded);
+    let (status, body) = http_get(front.local_addr(), "/healthz");
+    assert_eq!(status, 503, "dead fleet must fail the health check: {body}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+    front.shutdown();
+    match Arc::try_unwrap(router) {
+        Ok(router) => router.shutdown(),
+        Err(_) => panic!("router still shared"),
+    }
+    shutdown_fleet(fleet);
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen chaos replay: kill a replica under load, drop nothing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_replay_kills_a_replica_and_drops_nothing() {
+    let trace = synthesize_trace(&SyntheticSpec::small_test(), 60, 0xC0FFEE);
+    let model = replay_model(trace.vocab_size() as usize, 8, 7).unwrap();
+    let topology = Topology::ReplicatedShards {
+        shards: 2,
+        replicas: 2,
+    };
+    let replay_config = ReplayConfig {
+        threads: 4,
+        deadline: Duration::from_secs(10),
+        collect_thetas: true,
+    };
+    let profile = RateProfile::Fixed { qps: 20_000.0 };
+
+    let healthy = TopologyHandle::build(topology, &model, &ServeConfig::default()).unwrap();
+    let baseline = replay(&healthy.backend(), &trace, &profile, &replay_config);
+    healthy.shutdown();
+    assert_eq!(baseline.ok, baseline.requests, "healthy replay dropped");
+
+    let handle =
+        Arc::new(TopologyHandle::build(topology, &model, &ServeConfig::default()).unwrap());
+    let chaos = {
+        let handle = Arc::clone(&handle);
+        ChaosTrigger::new(20, move || {
+            assert!(handle.kill_replica(0, 1), "kill target missing");
+        })
+    };
+    let outcome = replay_with_chaos(
+        &handle.backend(),
+        &trace,
+        &profile,
+        &replay_config,
+        Some(&chaos),
+    );
+    assert!(chaos.fired(), "chaos trigger never fired");
+    drop(chaos);
+    assert_eq!(
+        outcome.ok, outcome.requests,
+        "killing a replica mid-replay dropped requests: {outcome:?}"
+    );
+
+    let healthy_thetas = baseline.thetas.expect("collect_thetas");
+    let chaos_thetas = outcome.thetas.expect("collect_thetas");
+    for (i, (a, b)) in healthy_thetas.iter().zip(chaos_thetas.iter()).enumerate() {
+        assert!(a.is_some(), "healthy request {i} has no θ");
+        assert_eq!(
+            a, b,
+            "request {i}: θ changed when a replica died mid-replay"
+        );
+    }
+
+    match Arc::try_unwrap(handle) {
+        Ok(handle) => handle.shutdown(),
+        Err(_) => panic!("topology handle still shared"),
+    }
+}

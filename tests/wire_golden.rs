@@ -336,6 +336,11 @@ fn prometheus_bytes_are_stable() {
         epoch: 2,
         n_shards: 2,
         shard_requests: vec![3, 1],
+        transport_retries: 2,
+        hedges: 5,
+        breaker_trips: 1,
+        breaker_readmits: 1,
+        replica_health: vec![vec![true, false], vec![true]],
     };
     let text = wire::encode_prometheus(&serve, 2, 2, &http, Some(&router));
     // Spot-pin the counters and the serve histogram; the endpoint
@@ -369,9 +374,21 @@ saber_shards 2\n\
 saber_router_requests_total 4\n\
 # TYPE saber_router_skew_retries_total counter\n\
 saber_router_skew_retries_total 1\n\
+# TYPE saber_router_transport_retries_total counter\n\
+saber_router_transport_retries_total 2\n\
+# TYPE saber_router_hedges_total counter\n\
+saber_router_hedges_total 5\n\
+# TYPE saber_router_breaker_trips_total counter\n\
+saber_router_breaker_trips_total 1\n\
+# TYPE saber_router_breaker_readmits_total counter\n\
+saber_router_breaker_readmits_total 1\n\
 # TYPE saber_router_shard_requests_total counter\n\
 saber_router_shard_requests_total{shard=\"0\"} 3\n\
 saber_router_shard_requests_total{shard=\"1\"} 1\n\
+# TYPE saber_router_replica_admitted gauge\n\
+saber_router_replica_admitted{shard=\"0\",replica=\"0\"} 1\n\
+saber_router_replica_admitted{shard=\"0\",replica=\"1\"} 0\n\
+saber_router_replica_admitted{shard=\"1\",replica=\"0\"} 1\n\
 # TYPE saber_serve_latency_seconds histogram\n\
 saber_serve_latency_seconds_bucket{le=\"0.0001\"} 0\n\
 saber_serve_latency_seconds_bucket{le=\"0.001\"} 0\n\
@@ -475,11 +492,16 @@ fn stats_body_with_router_member_is_stable() {
         epoch: 2,
         n_shards: 3,
         shard_requests: vec![6, 5, 4],
+        transport_retries: 2,
+        hedges: 0,
+        breaker_trips: 1,
+        breaker_readmits: 1,
+        replica_health: vec![vec![true], vec![false], vec![true]],
     };
     let body = wire::encode_stats_body(&serve, 2, 3, &http, Some(&router)).to_string();
     assert!(
         body.contains(
-            r#""router":{"requests":6,"skew_retries":1,"epoch":2,"shards":3,"shard_requests":[6,5,4]}"#
+            r#""router":{"requests":6,"skew_retries":1,"epoch":2,"shards":3,"shard_requests":[6,5,4],"transport_retries":2,"hedges":0,"breaker_trips":1,"breaker_readmits":1,"replica_health":[[true],[false],[true]]}"#
         ),
         "stats body missing the router block: {body}"
     );
@@ -558,7 +580,10 @@ fn http_bodies_are_stable_end_to_end_for_a_sharded_router() {
             http.local_addr(),
             "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
         ),
-        r#"{"status":"ok","snapshot_version":1,"n_topics":3,"vocab_size":12,"shards":3}"#,
+        concat!(
+            r#"{"status":"ok","snapshot_version":1,"n_topics":3,"vocab_size":12,"shards":3,"#,
+            r#""fleet":[[{"reachable":true,"admitted":true}],[{"reachable":true,"admitted":true}],[{"reachable":true,"admitted":true}]]}"#,
+        ),
     );
     let request = format!(
         "POST /infer HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -684,9 +709,11 @@ fn router_backed_stats_carry_the_router_block_over_tcp() {
         "GET /stats HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
     );
     assert!(
-        stats_body.contains(
-            r#""router":{"requests":0,"skew_retries":0,"epoch":1,"shards":3,"shard_requests":[0,0,0]}"#
-        ),
+        stats_body.contains(concat!(
+            r#""router":{"requests":0,"skew_retries":0,"epoch":1,"shards":3,"shard_requests":[0,0,0],"#,
+            r#""transport_retries":0,"hedges":0,"breaker_trips":0,"breaker_readmits":0,"#,
+            r#""replica_health":[[true],[true],[true]]}"#,
+        )),
         "router-backed /stats lost its RouterStats: {stats_body}"
     );
     let metrics_body = http_body(
@@ -696,7 +723,12 @@ fn router_backed_stats_carry_the_router_block_over_tcp() {
     for line in [
         "saber_router_requests_total 0\n",
         "saber_router_skew_retries_total 0\n",
+        "saber_router_transport_retries_total 0\n",
+        "saber_router_hedges_total 0\n",
+        "saber_router_breaker_trips_total 0\n",
+        "saber_router_breaker_readmits_total 0\n",
         "saber_router_shard_requests_total{shard=\"2\"} 0\n",
+        "saber_router_replica_admitted{shard=\"2\",replica=\"0\"} 1\n",
         "saber_shards 3\n",
     ] {
         assert!(
