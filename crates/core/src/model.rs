@@ -130,6 +130,34 @@ impl LdaModel {
         self.vocab_size * self.n_topics
     }
 
+    /// Recomputes `B̂` for only the given rows, reusing the per-topic
+    /// denominators (`topic_totals`) cached by the last full
+    /// [`LdaModel::refresh_probabilities`] — the incremental `Preprocess`
+    /// behind continuous publication. Keeping the denominators deliberately
+    /// stale between full refreshes is what makes this exact for delta
+    /// publication: a row not in `rows` keeps its previous bits, so the set
+    /// of changed `B̂` rows is precisely `rows`, and shipping only those
+    /// rows reconstructs the full matrix bit-for-bit on the serving side
+    /// (the standard lazy-denominator approximation of online LDA; a
+    /// periodic full refresh rebases the drift). Returns the number of
+    /// matrix elements written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row id is `>= vocab_size`.
+    pub fn refresh_probability_rows(&mut self, rows: &[u32]) -> usize {
+        let vbeta = self.vocab_size as f32 * self.beta;
+        for &v in rows {
+            let v = v as usize;
+            let counts = self.word_topic.row(v);
+            let probs = self.word_topic_prob.row_mut(v);
+            for k in 0..self.n_topics {
+                probs[k] = (counts[k] as f32 + self.beta) / (self.topic_totals[k] as f32 + vbeta);
+            }
+        }
+        rows.len() * self.n_topics
+    }
+
     /// Rebuilds `B` from scratch given every token's `(word, topic)` pair
     /// (the `CountByVZ` function of Alg. 1) and refreshes `B̂`.
     pub fn rebuild_from_assignments<'a, I>(&mut self, assignments: I)
@@ -264,6 +292,41 @@ mod tests {
         assert!(top[0].1 > top[1].1);
         assert_eq!(m.top_words(0, 100).len(), 5);
         assert!(m.top_words(0, 0).is_empty());
+    }
+
+    #[test]
+    fn row_refresh_reuses_cached_denominators_and_leaves_other_rows_untouched() {
+        let mut m = LdaModel::new(6, 3, 0.1, 0.05).unwrap();
+        m.rebuild_from_assignments(vec![(0u32, 0u32), (1, 1), (2, 2), (3, 0)]);
+        let before: Vec<Vec<u32>> = (0..6)
+            .map(|v| {
+                m.word_topic_prob()
+                    .row(v)
+                    .iter()
+                    .map(|p| p.to_bits())
+                    .collect()
+            })
+            .collect();
+        // Mutate counts of rows 1 and 4, then refresh only those rows.
+        m.word_topic_mut()[(1, 1)] = 9;
+        m.word_topic_mut()[(4, 0)] = 3;
+        let written = m.refresh_probability_rows(&[1, 4]);
+        assert_eq!(written, 2 * 3);
+        for v in [0usize, 2, 3, 5] {
+            let bits: Vec<u32> = m
+                .word_topic_prob()
+                .row(v)
+                .iter()
+                .map(|p| p.to_bits())
+                .collect();
+            assert_eq!(bits, before[v], "untouched row {v} changed bits");
+        }
+        // Refreshed rows use the *cached* totals (still those of the last
+        // full refresh), not recomputed column sums.
+        let vbeta = 6.0 * 0.05;
+        let expected = (9.0 + 0.05) / (m.topic_totals()[1] as f32 + vbeta);
+        assert_eq!(m.word_prob(1, 1).to_bits(), expected.to_bits());
+        assert_eq!(m.topic_totals(), &[2, 1, 1], "totals must stay cached");
     }
 
     #[test]

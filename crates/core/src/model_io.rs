@@ -25,6 +25,37 @@ const VERSION: u32 = 1;
 const SNAPSHOT_MAGIC: &[u8; 8] = b"SABRSNAP";
 const SNAPSHOT_VERSION: u32 = 1;
 
+const DELTA_MAGIC: &[u8; 8] = b"SABRDELT";
+const DELTA_VERSION: u32 = 1;
+
+/// Size in bytes of a `SABRSNAP` header (magic + version + dims + α +
+/// sampler code), ahead of the raw `B̂` bits.
+pub const SNAPSHOT_HEADER_BYTES: u64 = 8 + 4 + 8 + 8 + 4 + 1;
+
+/// Size in bytes of a `SABRDELTA` header (magic + version + base/target
+/// epochs + dims + α + sampler code + row count), ahead of the rows.
+pub const DELTA_HEADER_BYTES: u64 = 8 + 4 + 8 + 8 + 8 + 8 + 4 + 1 + 8;
+
+/// Exact encoded size of a `SABRSNAP` snapshot with the given dimensions,
+/// or `None` on overflow — what [`load_snapshot`] will consume, and the
+/// full-slice cost a delta publication is compared against.
+pub fn snapshot_encoded_bytes(vocab_size: u64, n_topics: u64) -> Option<u64> {
+    vocab_size
+        .checked_mul(n_topics)?
+        .checked_mul(4)?
+        .checked_add(SNAPSHOT_HEADER_BYTES)
+}
+
+/// Exact encoded size of a `SABRDELTA` carrying `n_rows` changed rows of
+/// `n_topics` probabilities each, or `None` on overflow.
+pub fn delta_encoded_bytes(n_rows: u64, n_topics: u64) -> Option<u64> {
+    n_topics
+        .checked_mul(4)?
+        .checked_add(4)?
+        .checked_mul(n_rows)?
+        .checked_add(DELTA_HEADER_BYTES)
+}
+
 /// Writes `model` to `writer`.
 ///
 /// # Errors
@@ -182,6 +213,75 @@ pub fn save_snapshot_parts<W: Write>(
     Ok(())
 }
 
+/// A parsed `SABRSNAP` header: the dimensions and scalar metadata ahead of
+/// the raw `B̂` bits. Splitting the header read from the body read lets a
+/// booting shard validate the header-declared size against the file length
+/// *before* consuming (or allocating for) a multi-GB body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotHeader {
+    /// Vocabulary size `V` (number of `B̂` rows).
+    pub vocab_size: usize,
+    /// Topic count `K` (number of `B̂` columns).
+    pub n_topics: usize,
+    /// Document–topic smoothing α.
+    pub alpha: f32,
+    /// Sampler-kind discriminant, opaque to this module.
+    pub sampler_code: u8,
+}
+
+impl SnapshotHeader {
+    /// The total encoded size (header + body) a snapshot with this header
+    /// must have, or `None` on overflow.
+    pub fn encoded_bytes(&self) -> Option<u64> {
+        snapshot_encoded_bytes(self.vocab_size as u64, self.n_topics as u64)
+    }
+}
+
+/// Reads and validates a `SABRSNAP` header, leaving `reader` positioned at
+/// the first `B̂` byte.
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] for truncated input and
+/// [`SaberError::InvalidConfig`] for a bad magic number, unsupported format
+/// version or implausible dimensions.
+pub fn read_snapshot_header<R: Read>(reader: &mut R) -> Result<SnapshotHeader> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != SNAPSHOT_MAGIC {
+        return Err(SaberError::InvalidConfig {
+            detail: "not a SaberLDA snapshot file (bad magic)".into(),
+        });
+    }
+    let version = read_u32(reader)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("unsupported snapshot version {version}"),
+        });
+    }
+    let vocab_size = read_u64(reader)? as usize;
+    let n_topics = read_u64(reader)? as usize;
+    let alpha = read_f32(reader)?;
+    let mut sampler_code = [0u8; 1];
+    reader.read_exact(&mut sampler_code)?;
+    if vocab_size == 0
+        || n_topics == 0
+        || vocab_size > (1 << 32)
+        || n_topics > (1 << 20)
+        || vocab_size.checked_mul(n_topics).is_none()
+    {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("implausible snapshot dimensions {vocab_size} x {n_topics}"),
+        });
+    }
+    Ok(SnapshotHeader {
+        vocab_size,
+        n_topics,
+        alpha,
+        sampler_code: sampler_code[0],
+    })
+}
+
 /// Reads a snapshot payload previously written by [`save_snapshot`].
 ///
 /// # Errors
@@ -190,17 +290,164 @@ pub fn save_snapshot_parts<W: Write>(
 /// [`SaberError::InvalidConfig`] for a bad magic number, unsupported format
 /// version or implausible dimensions.
 pub fn load_snapshot<R: Read>(mut reader: R) -> Result<SnapshotPayload> {
+    let header = read_snapshot_header(&mut reader)?;
+    let total = header.vocab_size * header.n_topics;
+    // Grow the matrix as data actually arrives instead of pre-allocating
+    // from the (untrusted) header: dimensions within the plausibility
+    // bounds can still describe petabytes, and an up-front allocation of
+    // that size would abort the process. A short body fails with a
+    // truncated-input I/O error long before memory becomes a concern.
+    let mut bhat = Vec::new();
+    for _ in 0..total {
+        bhat.push(read_f32(&mut reader)?);
+    }
+    Ok(SnapshotPayload {
+        vocab_size: header.vocab_size,
+        n_topics: header.n_topics,
+        alpha: header.alpha,
+        sampler_code: header.sampler_code,
+        bhat,
+    })
+}
+
+/// An incremental snapshot update in the versioned `SABRDELTA` format: the
+/// `B̂` rows that changed between two publication epochs, plus everything a
+/// shard needs to check the delta applies to what it is serving. Applying a
+/// delta whose `base_version` matches the served snapshot, row by row, must
+/// reconstruct exactly the bytes a full `SABRSNAP` publication of the
+/// target epoch would have delivered — the trainer's lazy-denominator row
+/// refresh ([`crate::LdaModel::refresh_probability_rows`]) is what makes
+/// the changed-row set exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaPayload {
+    /// The snapshot version this delta applies on top of.
+    pub base_version: u64,
+    /// The snapshot version the patched snapshot serves as
+    /// (must be greater than `base_version`).
+    pub target_version: u64,
+    /// Vocabulary size `V` of the snapshot being patched.
+    pub vocab_size: usize,
+    /// Topic count `K`.
+    pub n_topics: usize,
+    /// Document–topic smoothing α.
+    pub alpha: f32,
+    /// Sampler-kind discriminant, opaque to this module.
+    pub sampler_code: u8,
+    /// Changed rows as `(row id, new B̂ row)` pairs, with strictly
+    /// increasing in-range row ids and each row `n_topics` long — the
+    /// canonical encoding, so a save/load round trip is byte-exact.
+    pub rows: Vec<(u32, Vec<f32>)>,
+}
+
+impl DeltaPayload {
+    /// The exact number of bytes [`save_delta`] writes for this payload,
+    /// or `None` on overflow.
+    pub fn encoded_bytes(&self) -> Option<u64> {
+        delta_encoded_bytes(self.rows.len() as u64, self.n_topics as u64)
+    }
+}
+
+/// Writes a delta payload to `writer` in the versioned `SABRDELTA` format:
+/// magic, format version, base and target epochs, dimensions, α, sampler
+/// code, row count, then each changed row as its id plus raw little-endian
+/// `B̂` bits (so a round trip is bit-exact).
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] on write failures and
+/// [`SaberError::InvalidConfig`] when the payload is not canonical: target
+/// epoch not ahead of the base, a row of the wrong length, an
+/// out-of-range row id, or row ids not strictly increasing.
+pub fn save_delta<W: Write>(delta: &DeltaPayload, mut writer: W) -> Result<()> {
+    if delta.target_version <= delta.base_version {
+        return Err(SaberError::InvalidConfig {
+            detail: format!(
+                "delta target epoch {} is not ahead of its base {}",
+                delta.target_version, delta.base_version
+            ),
+        });
+    }
+    if delta.rows.len() > delta.vocab_size {
+        return Err(SaberError::InvalidConfig {
+            detail: format!(
+                "delta carries {} rows for a {}-word vocabulary",
+                delta.rows.len(),
+                delta.vocab_size
+            ),
+        });
+    }
+    let mut previous: Option<u32> = None;
+    for (row, probs) in &delta.rows {
+        if *row as usize >= delta.vocab_size || previous.is_some_and(|p| p >= *row) {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "delta row ids must be strictly increasing and < {}",
+                    delta.vocab_size
+                ),
+            });
+        }
+        if probs.len() != delta.n_topics {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "delta row {row} carries {} probabilities for K = {}",
+                    probs.len(),
+                    delta.n_topics
+                ),
+            });
+        }
+        previous = Some(*row);
+    }
+    writer.write_all(DELTA_MAGIC)?;
+    writer.write_all(&DELTA_VERSION.to_le_bytes())?;
+    writer.write_all(&delta.base_version.to_le_bytes())?;
+    writer.write_all(&delta.target_version.to_le_bytes())?;
+    writer.write_all(&(delta.vocab_size as u64).to_le_bytes())?;
+    writer.write_all(&(delta.n_topics as u64).to_le_bytes())?;
+    writer.write_all(&delta.alpha.to_le_bytes())?;
+    writer.write_all(&[delta.sampler_code])?;
+    writer.write_all(&(delta.rows.len() as u64).to_le_bytes())?;
+    for (row, probs) in &delta.rows {
+        writer.write_all(&row.to_le_bytes())?;
+        for &p in probs {
+            writer.write_all(&p.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a delta payload previously written by [`save_delta`]. Strict: a
+/// malformed input of any kind is an error, never a panic, and the decoder
+/// consumes exactly the encoded bytes — trailing garbage is rejected, so a
+/// framing bug upstream cannot be silently half-parsed.
+///
+/// # Errors
+///
+/// Returns [`SaberError::Io`] for truncated input and
+/// [`SaberError::InvalidConfig`] for a bad magic number, unsupported format
+/// version, implausible dimensions, a target epoch not ahead of the base,
+/// a row count exceeding the vocabulary, out-of-range or non-increasing
+/// row ids, or trailing bytes after the last row.
+pub fn load_delta<R: Read>(mut reader: R) -> Result<DeltaPayload> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
-    if &magic != SNAPSHOT_MAGIC {
+    if &magic != DELTA_MAGIC {
         return Err(SaberError::InvalidConfig {
-            detail: "not a SaberLDA snapshot file (bad magic)".into(),
+            detail: "not a SaberLDA snapshot delta (bad magic)".into(),
         });
     }
     let version = read_u32(&mut reader)?;
-    if version != SNAPSHOT_VERSION {
+    if version != DELTA_VERSION {
         return Err(SaberError::InvalidConfig {
-            detail: format!("unsupported snapshot version {version}"),
+            detail: format!("unsupported snapshot delta version {version}"),
+        });
+    }
+    let base_version = read_u64(&mut reader)?;
+    let target_version = read_u64(&mut reader)?;
+    if target_version <= base_version {
+        return Err(SaberError::InvalidConfig {
+            detail: format!(
+                "delta target epoch {target_version} is not ahead of its base {base_version}"
+            ),
         });
     }
     let vocab_size = read_u64(&mut reader)? as usize;
@@ -208,32 +455,58 @@ pub fn load_snapshot<R: Read>(mut reader: R) -> Result<SnapshotPayload> {
     let alpha = read_f32(&mut reader)?;
     let mut sampler_code = [0u8; 1];
     reader.read_exact(&mut sampler_code)?;
-    let total = vocab_size.checked_mul(n_topics);
     if vocab_size == 0
         || n_topics == 0
         || vocab_size > (1 << 32)
         || n_topics > (1 << 20)
-        || total.is_none()
+        || vocab_size.checked_mul(n_topics).is_none()
     {
         return Err(SaberError::InvalidConfig {
-            detail: format!("implausible snapshot dimensions {vocab_size} x {n_topics}"),
+            detail: format!("implausible delta dimensions {vocab_size} x {n_topics}"),
         });
     }
-    // Grow the matrix as data actually arrives instead of pre-allocating
-    // from the (untrusted) header: dimensions within the plausibility
-    // bounds can still describe petabytes, and an up-front allocation of
-    // that size would abort the process. A short body fails with a
-    // truncated-input I/O error long before memory becomes a concern.
-    let mut bhat = Vec::new();
-    for _ in 0..total.expect("checked above") {
-        bhat.push(read_f32(&mut reader)?);
+    let n_rows = read_u64(&mut reader)? as usize;
+    if n_rows > vocab_size {
+        return Err(SaberError::InvalidConfig {
+            detail: format!("delta claims {n_rows} rows for a {vocab_size}-word vocabulary"),
+        });
     }
-    Ok(SnapshotPayload {
+    // Rows grow as data arrives — same hostile-header defence as
+    // `load_snapshot`: a plausible header can still describe far more data
+    // than the body carries, and pre-allocating from it would abort.
+    let mut rows: Vec<(u32, Vec<f32>)> = Vec::new();
+    let mut previous: Option<u32> = None;
+    for _ in 0..n_rows {
+        let row = read_u32(&mut reader)?;
+        if row as usize >= vocab_size || previous.is_some_and(|p| p >= row) {
+            return Err(SaberError::InvalidConfig {
+                detail: format!("delta row ids must be strictly increasing and < {vocab_size}"),
+            });
+        }
+        previous = Some(row);
+        let mut probs = Vec::new();
+        for _ in 0..n_topics {
+            probs.push(read_f32(&mut reader)?);
+        }
+        rows.push((row, probs));
+    }
+    // The encoding is length-prefixed, not terminator-framed: exactly one
+    // delta per message. A single successfully read extra byte means the
+    // framing upstream is wrong; reject it rather than ignore it.
+    let mut trailing = [0u8; 1];
+    if reader.read(&mut trailing)? != 0 {
+        return Err(SaberError::InvalidConfig {
+            detail: "trailing bytes after the last delta row".into(),
+        });
+    }
+    Ok(DeltaPayload {
+        base_version,
+        target_version,
         vocab_size,
         n_topics,
         alpha,
         sampler_code: sampler_code[0],
-        bhat,
+        rows,
     })
 }
 
@@ -350,6 +623,118 @@ mod tests {
             load_snapshot(hostile.as_slice()),
             Err(SaberError::Io(_))
         ));
+    }
+
+    fn sample_delta() -> DeltaPayload {
+        DeltaPayload {
+            base_version: 3,
+            target_version: 4,
+            vocab_size: 6,
+            n_topics: 2,
+            alpha: 0.1,
+            sampler_code: 0,
+            rows: vec![(1, vec![0.25, 0.75]), (4, vec![0.5, 0.5])],
+        }
+    }
+
+    #[test]
+    fn delta_roundtrip_is_bit_exact() {
+        let delta = sample_delta();
+        let mut buf = Vec::new();
+        save_delta(&delta, &mut buf).unwrap();
+        assert_eq!(buf.len() as u64, delta.encoded_bytes().unwrap());
+        let loaded = load_delta(buf.as_slice()).unwrap();
+        assert_eq!(loaded, delta);
+        // And re-encoding the decoded payload reproduces the bytes.
+        let mut again = Vec::new();
+        save_delta(&loaded, &mut again).unwrap();
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn delta_decoder_rejects_malformed_inputs() {
+        let delta = sample_delta();
+        let mut buf = Vec::new();
+        save_delta(&delta, &mut buf).unwrap();
+        // Bad magic, wrong version, truncation, trailing bytes.
+        assert!(load_delta(&b"WRONGMAG rest"[..]).is_err());
+        let mut wrong_version = buf.clone();
+        wrong_version[8] = 9;
+        assert!(load_delta(wrong_version.as_slice()).is_err());
+        for cut in 1..buf.len() {
+            assert!(load_delta(&buf[..cut]).is_err(), "prefix of {cut} bytes");
+        }
+        let mut trailing = buf.clone();
+        trailing.push(0);
+        assert!(matches!(
+            load_delta(trailing.as_slice()),
+            Err(SaberError::InvalidConfig { .. })
+        ));
+        // Target epoch must be ahead of the base.
+        let stale = DeltaPayload {
+            target_version: 3,
+            ..sample_delta()
+        };
+        assert!(save_delta(&stale, &mut Vec::new()).is_err());
+        // Row ids must be strictly increasing and in range.
+        let out_of_range = DeltaPayload {
+            rows: vec![(6, vec![0.5, 0.5])],
+            ..sample_delta()
+        };
+        assert!(save_delta(&out_of_range, &mut Vec::new()).is_err());
+        let unsorted = DeltaPayload {
+            rows: vec![(4, vec![0.5, 0.5]), (1, vec![0.25, 0.75])],
+            ..sample_delta()
+        };
+        assert!(save_delta(&unsorted, &mut Vec::new()).is_err());
+        let ragged = DeltaPayload {
+            rows: vec![(1, vec![0.5])],
+            ..sample_delta()
+        };
+        assert!(save_delta(&ragged, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn delta_load_survives_a_hostile_header() {
+        // Maximum "plausible" dimensions and a row count of V, with no
+        // body: must fail with a truncated-input error, not pre-allocate.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(b"SABRDELT");
+        hostile.extend_from_slice(&1u32.to_le_bytes());
+        hostile.extend_from_slice(&1u64.to_le_bytes());
+        hostile.extend_from_slice(&2u64.to_le_bytes());
+        hostile.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        hostile.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        hostile.extend_from_slice(&0.1f32.to_le_bytes());
+        hostile.push(0);
+        hostile.extend_from_slice(&(1u64 << 32).to_le_bytes());
+        assert!(matches!(
+            load_delta(hostile.as_slice()),
+            Err(SaberError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_header_reports_its_encoded_size() {
+        let payload = SnapshotPayload {
+            vocab_size: 3,
+            n_topics: 2,
+            alpha: 0.05,
+            sampler_code: 1,
+            bhat: vec![0.5; 6],
+        };
+        let mut buf = Vec::new();
+        save_snapshot(&payload, &mut buf).unwrap();
+        let header = read_snapshot_header(&mut buf.as_slice()).unwrap();
+        assert_eq!(header.vocab_size, 3);
+        assert_eq!(header.n_topics, 2);
+        assert_eq!(header.encoded_bytes().unwrap(), buf.len() as u64);
+        assert_eq!(
+            snapshot_encoded_bytes(3, 2).unwrap(),
+            SNAPSHOT_HEADER_BYTES + 6 * 4
+        );
+        assert!(snapshot_encoded_bytes(u64::MAX, 2).is_none());
+        assert!(delta_encoded_bytes(u64::MAX, u64::MAX).is_none());
     }
 
     #[test]

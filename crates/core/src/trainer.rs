@@ -18,6 +18,7 @@
 //! convergence experiments additionally evaluate held-out likelihood between
 //! iterations.
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -54,6 +55,17 @@ pub struct SaberLda {
     cost: CostModel,
     rng: StdRng,
     iteration: usize,
+    /// Word ids whose `B̂` rows (and samplers) changed since the last
+    /// [`SaberLda::take_touched_rows`] — a `BTreeSet` so the exported row
+    /// list is deterministically sorted.
+    touched: BTreeSet<u32>,
+    /// Chunk indices needing incremental re-sampling (ingested since the
+    /// last full iteration).
+    dirty_chunks: BTreeSet<usize>,
+    /// `B̂` rows recomputed one at a time by the incremental path.
+    rows_rebuilt: u64,
+    /// Full `O(V·K)` refresh + sampler rebuilds.
+    full_rebuilds: u64,
 }
 
 impl SaberLda {
@@ -97,6 +109,10 @@ impl SaberLda {
             samplers: Vec::new(),
             rng,
             iteration: 0,
+            touched: BTreeSet::new(),
+            dirty_chunks: BTreeSet::new(),
+            rows_rebuilt: 0,
+            full_rebuilds: 0,
         };
         // Initial M-step (not timed as an iteration).
         let mut tracker = MemoryTracker::new(trainer.config.device.l2_cache_bytes);
@@ -268,6 +284,153 @@ impl SaberLda {
                 WordSampler::build(self.config.preprocess, self.model.word_topic_prob().row(v))
             })
             .collect();
+        // A full refresh rewrites every B̂ row (the per-topic denominators
+        // change), so every row is dirty for the next snapshot export, and
+        // every chunk is freshly sampled against consistent counts.
+        self.touched.extend(0..self.model.vocab_size() as u32);
+        self.dirty_chunks.clear();
+        self.full_rebuilds += 1;
+    }
+
+    /// Ingests `docs` (word-id documents) as one new streamed chunk:
+    /// topics are randomised from the trainer's RNG stream, the tokens are
+    /// added to `B`, and only the `B̂` rows (and per-word samplers) of the
+    /// words the new documents actually use are recomputed — `O(changed·K)`
+    /// instead of the `O(V·K)` full preprocess, using the cached per-topic
+    /// denominators ([`LdaModel::refresh_probability_rows`]). The chunk is
+    /// marked for incremental re-sampling by
+    /// [`SaberLda::iterate_incremental`]. Returns the number of tokens
+    /// ingested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::InvalidCorpus`] when `docs` carries no tokens
+    /// or a word id outside the trainer's vocabulary.
+    pub fn ingest(&mut self, docs: Vec<Vec<u32>>) -> Result<u64> {
+        let documents = docs.into_iter().map(saber_corpus::Document::new).collect();
+        let corpus = Corpus::from_documents(self.model.vocab_size(), documents).map_err(|e| {
+            SaberError::InvalidCorpus {
+                detail: format!("ingested documents are invalid: {e}"),
+            }
+        })?;
+        if corpus.n_tokens() == 0 {
+            return Err(SaberError::InvalidCorpus {
+                detail: "ingested documents carry no tokens".into(),
+            });
+        }
+        let mut chunks = build_chunks(
+            &corpus,
+            1,
+            self.config.token_order,
+            self.config.sort_words_by_frequency,
+        );
+        let mut chunk = chunks.remove(0);
+        chunk.randomize_topics(self.config.n_topics, &mut self.rng);
+        let tokens = chunk.n_tokens() as u64;
+        let mut tracker = MemoryTracker::new(self.config.device.l2_cache_bytes);
+        accumulate_word_topic(&chunk, self.model.word_topic_mut(), &mut tracker);
+        self.doc_topics.push(rebuild_doc_topic(
+            &chunk,
+            self.config.n_topics,
+            self.config.count_rebuild,
+            &mut tracker,
+        ));
+        let changed: BTreeSet<u32> = chunk.word_ids.iter().copied().collect();
+        self.chunks.push(chunk);
+        self.dirty_chunks.insert(self.chunks.len() - 1);
+        self.refresh_rows(&changed);
+        Ok(tokens)
+    }
+
+    /// One incremental E/M pass over only the chunks ingested since the
+    /// last full iteration: each dirty chunk's tokens are re-sampled, `B`
+    /// is updated by subtracting the chunk's old assignments and adding the
+    /// new ones (no full rebuild), the chunk's document–topic matrix is
+    /// rebuilt, and only the `B̂` rows and samplers of words appearing in
+    /// dirty chunks are recomputed. Returns the number of tokens sampled
+    /// (0 when nothing is dirty). The chunks stay dirty — call again for
+    /// further passes, or [`SaberLda::iterate`] for a full sweep.
+    pub fn iterate_incremental(&mut self) -> u64 {
+        let device_l2 = self.config.device.l2_cache_bytes;
+        let mut tokens = 0u64;
+        let mut changed: BTreeSet<u32> = BTreeSet::new();
+        let dirty: Vec<usize> = self.dirty_chunks.iter().copied().collect();
+        for ci in dirty {
+            {
+                let chunk = &self.chunks[ci];
+                for (word, _, topic) in chunk.iter_tokens() {
+                    self.model.word_topic_mut()[(word as usize, topic as usize)] -= 1;
+                }
+            }
+            let mut tracker = MemoryTracker::new(device_l2);
+            tokens += sample_chunk(
+                &mut self.chunks[ci],
+                &self.doc_topics[ci],
+                &self.model,
+                &self.samplers,
+                &self.config,
+                &mut tracker,
+                &mut self.rng,
+            );
+            accumulate_word_topic(&self.chunks[ci], self.model.word_topic_mut(), &mut tracker);
+            self.doc_topics[ci] = rebuild_doc_topic(
+                &self.chunks[ci],
+                self.config.n_topics,
+                self.config.count_rebuild,
+                &mut tracker,
+            );
+            changed.extend(self.chunks[ci].word_ids.iter().copied());
+        }
+        self.refresh_rows(&changed);
+        tokens
+    }
+
+    /// Recomputes `B̂` rows and samplers for exactly `rows`, with cached
+    /// denominators, and marks them touched for the next export.
+    fn refresh_rows(&mut self, rows: &BTreeSet<u32>) {
+        let sorted: Vec<u32> = rows.iter().copied().collect();
+        self.model.refresh_probability_rows(&sorted);
+        for &v in &sorted {
+            self.samplers[v as usize] = WordSampler::build(
+                self.config.preprocess,
+                self.model.word_topic_prob().row(v as usize),
+            );
+        }
+        self.rows_rebuilt += sorted.len() as u64;
+        self.touched.extend(sorted);
+    }
+
+    /// Rebases the lazily-stale per-topic denominators: a full `B̂` refresh
+    /// and sampler rebuild (every row becomes touched). The continuous
+    /// pipeline calls this on a cadence so incremental drift stays bounded.
+    pub fn full_refresh(&mut self) {
+        self.model.refresh_probabilities();
+        self.samplers = (0..self.model.vocab_size())
+            .map(|v| {
+                WordSampler::build(self.config.preprocess, self.model.word_topic_prob().row(v))
+            })
+            .collect();
+        self.touched.extend(0..self.model.vocab_size() as u32);
+        self.full_rebuilds += 1;
+    }
+
+    /// The word ids whose `B̂` rows changed since the last call (sorted,
+    /// deduplicated), clearing the set — the changed-row list a snapshot
+    /// export turns into a `SABRDELTA`.
+    pub fn take_touched_rows(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.touched).into_iter().collect()
+    }
+
+    /// `B̂` rows recomputed individually by the incremental path (ingest and
+    /// incremental iterations) since construction.
+    pub fn rows_rebuilt(&self) -> u64 {
+        self.rows_rebuilt
+    }
+
+    /// Full `O(V·K)` preprocess passes since construction (initial M-step
+    /// included).
+    pub fn full_rebuilds(&self) -> u64 {
+        self.full_rebuilds
     }
 
     /// Counters attributed to the A-update phase (everything the M-step
@@ -516,6 +679,102 @@ mod tests {
             t_large > t_small / 6.0,
             "throughput collapsed with more topics: {t_small} -> {t_large}"
         );
+    }
+
+    #[test]
+    fn ingest_rebuilds_only_touched_rows_and_conserves_tokens() {
+        let corpus = SyntheticSpec::small_test().generate(11);
+        let mut lda = SaberLda::new(small_config(6, 1), &corpus).unwrap();
+        // Construction runs the initial (full) M-step: every row is touched,
+        // nothing has gone through the incremental path yet.
+        assert_eq!(lda.full_rebuilds(), 1);
+        assert_eq!(lda.rows_rebuilt(), 0);
+        let initial = lda.take_touched_rows();
+        assert_eq!(initial.len(), corpus.vocab_size());
+        assert!(lda.take_touched_rows().is_empty());
+
+        let docs = vec![vec![0u32, 1, 2, 1], vec![2u32, 3, 3]];
+        let distinct: BTreeSet<u32> = docs.iter().flatten().copied().collect();
+        let n_new: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        let before = lda.model().word_topic().total();
+        assert_eq!(lda.ingest(docs).unwrap(), n_new);
+        // Exactly the distinct ingested words were rebuilt — not O(V).
+        assert_eq!(lda.rows_rebuilt(), distinct.len() as u64);
+        assert!((distinct.len() as u64) < corpus.vocab_size() as u64);
+        let touched = lda.take_touched_rows();
+        assert_eq!(touched, distinct.iter().copied().collect::<Vec<u32>>());
+        assert_eq!(lda.model().word_topic().total(), before + n_new);
+        assert_eq!(lda.full_rebuilds(), 1);
+    }
+
+    #[test]
+    fn incremental_iteration_touches_only_dirty_words_and_keeps_other_rows_bit_identical() {
+        let corpus = SyntheticSpec::small_test().generate(12);
+        let mut lda = SaberLda::new(small_config(6, 1), &corpus).unwrap();
+        lda.take_touched_rows();
+        let frozen: Vec<Vec<f32>> = (0..corpus.vocab_size())
+            .map(|v| lda.model().word_topic_prob().row(v).to_vec())
+            .collect();
+
+        let docs = vec![vec![0u32, 1, 2], vec![1u32, 4, 4, 0]];
+        let distinct: BTreeSet<u32> = docs.iter().flatten().copied().collect();
+        let n_new: u64 = docs.iter().map(|d| d.len() as u64).sum();
+        lda.ingest(docs).unwrap();
+        let total_after_ingest = lda.model().word_topic().total();
+        // Re-sampling the dirty chunk moves counts between topics but never
+        // creates or destroys tokens, and only re-touches the dirty words.
+        assert_eq!(lda.iterate_incremental(), n_new);
+        assert_eq!(lda.model().word_topic().total(), total_after_ingest);
+        assert_eq!(lda.rows_rebuilt(), 2 * distinct.len() as u64);
+        assert_eq!(
+            lda.take_touched_rows(),
+            distinct.iter().copied().collect::<Vec<u32>>()
+        );
+        for (v, frozen_row) in frozen.iter().enumerate() {
+            if !distinct.contains(&(v as u32)) {
+                assert_eq!(
+                    lda.model().word_topic_prob().row(v),
+                    frozen_row.as_slice(),
+                    "untouched B̂ row {v} changed bits"
+                );
+            }
+        }
+        // With nothing newly ingested the dirty chunk is still re-sampled.
+        assert_eq!(lda.iterate_incremental(), n_new);
+        // A full iteration clears the dirty set; afterwards the incremental
+        // pass is a no-op.
+        lda.iterate();
+        assert_eq!(lda.iterate_incremental(), 0);
+    }
+
+    #[test]
+    fn incremental_training_is_deterministic_for_a_seed() {
+        let corpus = SyntheticSpec::small_test().generate(13);
+        let mut a = SaberLda::new(small_config(5, 1), &corpus).unwrap();
+        let mut b = SaberLda::new(small_config(5, 1), &corpus).unwrap();
+        for lda in [&mut a, &mut b] {
+            lda.ingest(vec![vec![1u32, 2, 3], vec![0u32, 0, 5]])
+                .unwrap();
+            lda.iterate_incremental();
+            lda.full_refresh();
+        }
+        for v in 0..corpus.vocab_size() {
+            assert_eq!(
+                a.model().word_topic_prob().row(v),
+                b.model().word_topic_prob().row(v)
+            );
+        }
+        assert_eq!(a.take_touched_rows(), b.take_touched_rows());
+    }
+
+    #[test]
+    fn ingest_rejects_out_of_vocab_and_empty_batches() {
+        let corpus = SyntheticSpec::small_test().generate(14);
+        let v = corpus.vocab_size() as u32;
+        let mut lda = SaberLda::new(small_config(4, 1), &corpus).unwrap();
+        assert!(lda.ingest(vec![vec![v]]).is_err());
+        assert!(lda.ingest(vec![]).is_err());
+        assert!(lda.ingest(vec![vec![]]).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The rule engine: seven lexical rules wired to the workspace invariants.
+//! The rule engine: eight lexical rules wired to the workspace invariants.
 //!
 //! Every rule is scoped to the files whose invariants it protects (see
 //! `docs/LINTS.md` for the catalogue) and runs over the token stream of
@@ -21,7 +21,7 @@ pub struct Diagnostic {
 }
 
 /// Rule identifiers, in catalogue order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     NO_PANIC_SERVING,
     DETERMINISM,
     WIRE_GOLDEN_COVERAGE,
@@ -29,6 +29,7 @@ pub const RULES: [&str; 8] = [
     LOCK_DISCIPLINE,
     TRACE_PROPAGATION,
     BREAKER_INSTRUMENTATION,
+    EPOCH_THREADING,
     BAD_SUPPRESSION,
 ];
 
@@ -50,6 +51,10 @@ pub const TRACE_PROPAGATION: &str = "trace-propagation";
 /// Circuit-breaker state transitions must be counter-instrumented, so an
 /// operator can see every trip and re-admission in `RouterStats`.
 pub const BREAKER_INSTRUMENTATION: &str = "breaker-instrumentation";
+/// Every `publish*`/`commit*` seam in the training pipeline must thread an
+/// epoch value — an epoch-less publication cannot be fenced by the
+/// two-phase commit and can tear a fleet across versions.
+pub const EPOCH_THREADING: &str = "epoch-threading";
 /// Meta-rule: malformed / reason-less / unused suppression comments.
 pub const BAD_SUPPRESSION: &str = "bad-suppression";
 
@@ -79,6 +84,7 @@ pub fn run(files: &[(String, String)]) -> Vec<Diagnostic> {
         lock_discipline(file, &mut diagnostics);
         trace_propagation(file, &mut diagnostics);
         breaker_instrumentation(file, &mut diagnostics);
+        epoch_threading(file, &mut diagnostics);
     }
     wire_golden_coverage(&lexed, &mut diagnostics);
     let mut diagnostics = apply_suppressions(&lexed, diagnostics);
@@ -877,6 +883,62 @@ fn breaker_instrumentation(file: &LexedFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 8: epoch-threading
+// ---------------------------------------------------------------------------
+
+/// Where the continuous-training daemon publishes epochs to a live fleet.
+fn epoch_scope(path: &str) -> bool {
+    path.starts_with("crates/pipeline/src/")
+}
+
+/// Whether this identifier names a publication/commit seam: `publish`,
+/// `commit`, or anything prefixed `publish_`/`commit_`.
+fn is_epoch_seam(name: &str) -> bool {
+    name == "publish"
+        || name == "commit"
+        || name.starts_with("publish_")
+        || name.starts_with("commit_")
+}
+
+/// Flags `publish*(..)` / `commit*(..)` calls and signatures in the
+/// pipeline crate whose argument list names no `*epoch*` identifier. The
+/// two-phase protocol fences every swap on an expected epoch; a seam that
+/// does not thread one bypasses the fence and can tear a fleet across
+/// versions (exactly what the `/commit-epoch` 409 exists to prevent).
+fn epoch_threading(file: &LexedFile, out: &mut Vec<Diagnostic>) {
+    if !epoch_scope(&file.rel_path) {
+        return;
+    }
+    for i in 0..file.tokens.len() {
+        if file.in_test[i] || file.tokens[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.text(i);
+        if !is_epoch_seam(name) || file.text(i + 1) != "(" {
+            continue;
+        }
+        let Some(close) = matching_delim(file, i + 1, "(", ")") else {
+            continue;
+        };
+        let threaded = (i + 2..close)
+            .any(|k| file.tokens[k].kind == TokenKind::Ident && file.text(k).contains("epoch"));
+        if !threaded {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: file.tokens[i].line,
+                rule: EPOCH_THREADING,
+                message: format!(
+                    "`{name}(..)` threads no epoch value through the publication seam — \
+                     without an expected epoch the two-phase commit cannot fence the \
+                     swap and a fleet can tear across versions; pass the epoch (or \
+                     rename the helper if it is not a publication seam)"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1210,6 +1272,52 @@ mod tests {
         let in_tests = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
                         b.state.store(STATE_OPEN, Ordering::SeqCst);\n    }\n}\n";
         assert!(lint_one("crates/serve/src/transport.rs", in_tests).is_empty());
+    }
+
+    // -- epoch-threading ----------------------------------------------------
+
+    #[test]
+    fn epoch_less_publish_and_commit_seams_are_flagged() {
+        let src = "fn f(&mut self) {\n    self.router.publish_incremental(snapshot, &rows);\n}\n\
+                   fn g(&self) {\n    transport.commit(range);\n}\n";
+        let diags = lint_one("crates/pipeline/src/lib.rs", src);
+        assert_eq!(rule_ids(&diags), [EPOCH_THREADING, EPOCH_THREADING]);
+        assert_eq!(diags[0].line, 2);
+        assert!(
+            diags[0].message.contains("publish_incremental"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(diags[1].line, 5);
+    }
+
+    #[test]
+    fn seams_that_thread_an_epoch_pass() {
+        let call = "fn f(&mut self) {\n    \
+                    self.router.publish_incremental(snapshot, &rows, self.served_epoch);\n}\n";
+        assert!(lint_one("crates/pipeline/src/lib.rs", call).is_empty());
+        // Any `*epoch*` identifier in the argument list counts, including
+        // a signature's parameter name.
+        let signature = "fn publish_full(&self, snapshot: InferenceSnapshot, base_epoch: u64) \
+                         -> Result<u64, E> {\n    Ok(base_epoch + 1)\n}\n";
+        assert!(lint_one("crates/pipeline/src/lib.rs", signature).is_empty());
+    }
+
+    #[test]
+    fn epoch_rule_is_scoped_and_ignores_non_seam_idents() {
+        // Outside the pipeline crate the same call is the router's own
+        // business (it fences internally).
+        let src = "fn f(&mut self) {\n    self.router.publish_incremental(snapshot, &rows);\n}\n";
+        assert!(lint_one("crates/serve/src/router.rs", src).is_empty());
+        // `publish_every` as a struct field (no call parens) is config, not
+        // a seam; `republish(..)` does not match the prefix grammar.
+        let config = "struct C {\n    publish_every: u64,\n}\n\
+                      fn f() {\n    republish(rows);\n}\n";
+        assert!(lint_one("crates/pipeline/src/lib.rs", config).is_empty());
+        // Test code may drive seams without an epoch (fixtures).
+        let in_tests = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                        publish(snapshot);\n    }\n}\n";
+        assert!(lint_one("crates/pipeline/src/lib.rs", in_tests).is_empty());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod replay;
 pub mod report;
+pub mod scenario;
 pub mod synth;
 pub mod trace;
 
@@ -60,5 +61,6 @@ pub use replay::{
 };
 pub use replay::{replay_with_chaos, ChaosTrigger};
 pub use report::{BenchReport, LatencySummary, Regression, TopologyReport, TraceSummary};
+pub use scenario::{serve_while_training, ServeTrainReport};
 pub use synth::{preset_spec, request_seed, synthesize_trace};
 pub use trace::{RequestTrace, TraceError, TraceRequest};

@@ -9,10 +9,12 @@
 //!                      [--profile NAME] [--out-dir DIR]
 //!                      [--baseline FILE] [--tolerance F]
 //! saber-loadgen smoke [--out-dir DIR] [--baseline FILE] [--tolerance F]
+//! saber-loadgen serve-train [--requests N] [--stream-docs N] [--topics K]
+//!                           [--shards N] [--seed S] [--rate PROFILE]
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 runtime failure, 3 baseline
-//! regression.
+//! regression (or, for `serve-train`, dropped requests).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,7 +34,9 @@ const USAGE: &str = "usage: saber-loadgen <synth|replay|smoke> [options]
   replay  --trace FILE [--topology direct|local:N|remote:N]... [--rate PROFILE]
           [--topics K] [--threads N] [--deadline-ms MS] [--profile NAME]
           [--out-dir DIR] [--baseline FILE] [--tolerance F]
-  smoke   [--out-dir DIR] [--baseline FILE] [--tolerance F]";
+  smoke   [--out-dir DIR] [--baseline FILE] [--tolerance F]
+  serve-train [--requests N] [--stream-docs N] [--topics K] [--shards N]
+          [--seed S] [--rate PROFILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "synth" => cmd_synth(rest),
         "replay" => cmd_replay(rest),
         "smoke" => cmd_smoke(rest),
+        "serve-train" => cmd_serve_train(rest),
         _ => {
             eprintln!("unknown command {command:?}\n{USAGE}");
             return ExitCode::from(1);
@@ -265,6 +270,99 @@ fn cmd_replay(args: &[String]) -> Result<ExitCode, String> {
         topologies: rows,
     };
     finish(&report, &out_dir, flags.get("--baseline"), tolerance)
+}
+
+fn cmd_serve_train(args: &[String]) -> Result<ExitCode, String> {
+    use saber_core::{SaberLda, SaberLdaConfig};
+    use saber_loadgen::scenario::serve_while_training;
+    use saber_pipeline::{DocumentFeed, PipelineConfig, TrainingPipeline};
+
+    let flags = Flags::parse(
+        args,
+        &[
+            "--requests",
+            "--stream-docs",
+            "--topics",
+            "--shards",
+            "--seed",
+            "--rate",
+        ],
+    )?;
+    let requests = flags.parse_num("--requests", 240usize)?;
+    let stream_docs = flags.parse_num("--stream-docs", 128usize)?;
+    let topics = flags.parse_num("--topics", 16usize)?;
+    let shards = flags.parse_num("--shards", 2usize)?;
+    let seed = flags.parse_num("--seed", 7u64)?;
+    let rate = parse_rate(flags.get("--rate").unwrap_or("fixed:1000"))?;
+
+    let spec = SyntheticSpec::small_test();
+    let warmup = SyntheticSpec {
+        n_docs: 128,
+        ..spec.clone()
+    }
+    .generate(seed);
+    let trainer_config = SaberLdaConfig::builder()
+        .n_topics(topics)
+        .n_iterations(5)
+        .seed(seed)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut trainer = SaberLda::new(trainer_config, &warmup).map_err(|e| e.to_string())?;
+    trainer.train();
+    let pipeline = TrainingPipeline::bootstrap_local(
+        trainer,
+        shards,
+        ServeConfig::default(),
+        PipelineConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let feed = DocumentFeed::synthetic(
+        &SyntheticSpec {
+            n_docs: stream_docs,
+            ..spec.clone()
+        },
+        seed ^ 0x5AB3_0002,
+    );
+    let trace = synthesize_trace(&spec, requests, seed ^ 0x5AB3_0003);
+    eprintln!(
+        "serve-train: {requests} requests vs {stream_docs} streamed docs on {shards} shard(s)…"
+    );
+    let (report, pipeline) = serve_while_training(
+        pipeline,
+        feed,
+        &trace,
+        &rate,
+        &ReplayConfig {
+            threads: 4,
+            deadline: Duration::from_secs(5),
+            collect_thetas: false,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    pipeline.shutdown();
+    println!(
+        "requests: {} ok / {} dispatched ({} overloaded, {} deadline, {} other)",
+        report.outcome.ok,
+        report.outcome.requests,
+        report.outcome.overloaded,
+        report.outcome.deadline_exceeded,
+        report.outcome.other_errors
+    );
+    println!(
+        "pipeline: {} epochs ({} pure delta), {}/{} rows shipped, {} fallbacks, final epoch {}",
+        report.epochs_published,
+        report.delta_epochs,
+        report.rows_shipped,
+        report.rows_total,
+        report.fallbacks,
+        report.final_epoch
+    );
+    if !report.zero_drops() {
+        eprintln!("FAIL: requests were dropped during training");
+        return Ok(ExitCode::from(3));
+    }
+    println!("zero drops across {} epoch swaps", report.epochs_published);
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_smoke(args: &[String]) -> Result<ExitCode, String> {

@@ -664,6 +664,10 @@ fn route(
             let (status, body) = handle_publish_shard(request, state);
             return (status, body, None, JSON_CONTENT_TYPE, 0);
         }
+        ("POST", "/publish-delta") => {
+            let (status, body) = handle_publish_delta(request, state);
+            return (status, body, None, JSON_CONTENT_TYPE, 0);
+        }
         ("POST", "/commit-epoch") => {
             let (status, body) = handle_commit_epoch(request, state);
             return (status, body, None, JSON_CONTENT_TYPE, 0);
@@ -676,7 +680,10 @@ fn route(
             let body = wire::encode_error(405, "use GET for this endpoint").to_string();
             return (405, body, None, JSON_CONTENT_TYPE, 0);
         }
-        (_, "/infer" | "/infer-partial" | "/publish-shard" | "/commit-epoch") => {
+        (
+            _,
+            "/infer" | "/infer-partial" | "/publish-shard" | "/publish-delta" | "/commit-epoch",
+        ) => {
             let body = wire::encode_error(405, "use POST for this endpoint").to_string();
             return (405, body, None, JSON_CONTENT_TYPE, 0);
         }
@@ -887,6 +894,81 @@ fn handle_publish_shard(request: &Request, state: &HttpState) -> (u16, String) {
     (200, body.to_string())
 }
 
+/// Stages a `SABRDELTA` publication: the delta is applied over the shard's
+/// *currently served* snapshot and the patched result staged for the
+/// delta's target epoch, exactly as if a full `SABRSNAP` of that epoch had
+/// been uploaded. A 409 means the shard declined cleanly — its served
+/// version is not the delta's base, the target is not ahead, or the
+/// backend cannot expose its snapshot — and the publisher falls back to a
+/// full `/publish-shard`.
+fn handle_publish_delta(request: &Request, state: &HttpState) -> (u16, String) {
+    let target = match request.header("x-saber-epoch").map(str::parse::<u64>) {
+        Some(Ok(epoch)) => epoch,
+        _ => return error(400, "delta publication requires an X-Saber-Epoch header"),
+    };
+    let delta = match saber_core::model_io::load_delta(&request.body[..]) {
+        Ok(delta) => delta,
+        Err(e) => return error(400, &format!("malformed delta body: {e}")),
+    };
+    if delta.target_version != target {
+        return error(
+            400,
+            &format!(
+                "X-Saber-Epoch {target} does not match the delta's target epoch {}",
+                delta.target_version
+            ),
+        );
+    }
+    let current = state.backend.snapshot_version();
+    if target <= current {
+        return error(
+            409,
+            &format!("epoch {target} is not ahead of the served epoch {current}"),
+        );
+    }
+    let snapshot = match state.backend.current_snapshot() {
+        Some(snapshot) => snapshot,
+        None => {
+            return error(
+                409,
+                "this backend cannot apply deltas; publish a full snapshot",
+            )
+        }
+    };
+    if delta.base_version != snapshot.version() {
+        return error(
+            409,
+            &format!(
+                "delta base epoch {} does not match the served epoch {}",
+                delta.base_version,
+                snapshot.version()
+            ),
+        );
+    }
+    if delta.vocab_size != snapshot.vocab_size() || delta.n_topics != snapshot.n_topics() {
+        return error(
+            400,
+            &format!(
+                "delta is {}x{} but this shard serves {}x{}",
+                delta.vocab_size,
+                delta.n_topics,
+                snapshot.vocab_size(),
+                snapshot.n_topics()
+            ),
+        );
+    }
+    let patched = match snapshot.apply_delta(&delta) {
+        Ok(patched) => patched,
+        Err(e) => return error(400, &format!("delta does not apply: {e}")),
+    };
+    state.staged.stage(target, patched);
+    let body = saber_core::json::JsonValue::object([(
+        "staged_epoch",
+        saber_core::json::JsonValue::from(target),
+    )]);
+    (200, body.to_string())
+}
+
 fn handle_commit_epoch(request: &Request, state: &HttpState) -> (u16, String) {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
@@ -899,6 +981,22 @@ fn handle_commit_epoch(request: &Request, state: &HttpState) -> (u16, String) {
         Some(epoch) => epoch,
         None => return error(400, "commit requires an 'epoch' member"),
     };
+    // When the committer names its target epoch in the header too, both
+    // must agree — a commit that would swap in whatever happened to be
+    // staged last is exactly the stale-stage race a continuous publisher
+    // hits.
+    if let Some(header) = request.header("x-saber-epoch") {
+        match header.parse::<u64>() {
+            Ok(h) if h == epoch => {}
+            Ok(h) => {
+                return error(
+                    409,
+                    &format!("X-Saber-Epoch {h} does not match the commit body epoch {epoch}"),
+                )
+            }
+            Err(_) => return error(400, "unparsable X-Saber-Epoch header"),
+        }
+    }
     match state
         .staged
         .take_for_commit(epoch, state.backend.snapshot_version())

@@ -101,7 +101,7 @@ pub mod wire;
 pub use http::{
     EndpointStats, HttpConfig, HttpServer, HttpStats, RecordedRequest, RequestRecorder,
 };
-pub use router::{FleetHealth, ReplicaHealth, ReplicaSet, RouterStats, ShardRouter};
+pub use router::{FleetHealth, PipelineStats, ReplicaHealth, ReplicaSet, RouterStats, ShardRouter};
 pub use server::{
     InferRequest, InferResponse, PartialRequest, PartialResponse, ServeConfig, ServeStats,
     TopicServer,
@@ -285,6 +285,15 @@ pub trait InferenceBackend: Send + Sync + std::fmt::Debug {
             detail: "this backend does not accept epoch publications".into(),
         })
     }
+
+    /// The snapshot this backend currently serves, when it holds exactly
+    /// one — the base a `POST /publish-delta` applies its changed rows to.
+    /// `None` (the default, and a router's answer — a router holds shard
+    /// slices, not one whole snapshot) makes the endpoint decline deltas
+    /// with a 409 so the publisher falls back to full snapshots.
+    fn current_snapshot(&self) -> Option<std::sync::Arc<InferenceSnapshot>> {
+        None
+    }
 }
 
 impl InferenceBackend for TopicServer {
@@ -384,6 +393,10 @@ impl InferenceBackend for TopicServer {
         epoch: u64,
     ) -> Result<u64, ServeError> {
         self.publish_at(snapshot, epoch)
+    }
+
+    fn current_snapshot(&self) -> Option<std::sync::Arc<InferenceSnapshot>> {
+        Some(self.snapshot())
     }
 }
 

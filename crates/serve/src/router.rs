@@ -41,7 +41,7 @@
 //! * **Replication & self-healing** — since PR 9 a plan range can be
 //!   served by a [`ReplicaSet`] of ≥ 2 transports holding identical
 //!   snapshot slices. Each replica has a
-//!   [`ReplicaBreaker`](crate::ReplicaBreaker): consecutive transport
+//!   [`ReplicaBreaker`]: consecutive transport
 //!   failures eject it from routing, a cooldown later a single request (or
 //!   a [`ShardRouter::fleet_health`] probe over the `/healthz` seam)
 //!   half-opens the breaker, and any success re-admits. Fan-out legs get
@@ -52,7 +52,7 @@
 //!   responses are bit-identical, and the version check spans every leg —
 //!   hedged, retried or not — exactly as before. Replica *selection* is
 //!   seed-deterministic on a healthy fleet
-//!   ([`derive_replica_choice`](crate::derive_replica_choice)).
+//!   ([`derive_replica_choice`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -108,6 +108,50 @@ pub struct RouterStats {
     /// Per-shard, per-replica admission: `replica_health[s][r]` is `false`
     /// while replica `r` of shard `s` has its breaker open.
     pub replica_health: Vec<Vec<bool>>,
+    /// Publication-path counters, present once this router has published
+    /// at least one epoch (`None` before — a fleet that never publishes
+    /// reports exactly the pre-pipeline stats block).
+    pub pipeline: Option<PipelineStats>,
+}
+
+/// Counters of the continuous-publication path, surfaced under
+/// `"pipeline"` in `GET /stats` and as `saber_pipeline_*` in `/metrics`.
+/// Row counts are per *staging operation* (one per replica of each shard
+/// range), so they measure what actually crossed the publish seam:
+/// `rows_shipped / rows_total` is the fraction of `B̂` rows a delta-first
+/// publisher avoided re-sending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Epochs successfully published through this router (full or delta).
+    pub epochs_published: u64,
+    /// Publications that staged **every** replica via a `SABRDELTA` (no
+    /// full-snapshot fallback anywhere in the fleet).
+    pub delta_epochs: u64,
+    /// `B̂` rows actually shipped across all staging operations.
+    pub rows_shipped: u64,
+    /// `B̂` rows a full publication would have shipped for the same
+    /// staging operations.
+    pub rows_total: u64,
+    /// Fallbacks to a full `SABRSNAP`: one per stale-base publication,
+    /// plus one per replica that declined (or priced out) its delta.
+    pub fallbacks: u64,
+    /// Wall-clock µs of the most recent publication (observe + stage +
+    /// commit).
+    pub last_publish_micros: u64,
+    /// Cumulative publication wall-clock µs.
+    pub publish_micros_total: u64,
+}
+
+/// The atomics behind [`PipelineStats`].
+#[derive(Debug, Default)]
+struct PipelineCounters {
+    epochs_published: AtomicU64,
+    delta_epochs: AtomicU64,
+    rows_shipped: AtomicU64,
+    rows_total: AtomicU64,
+    fallbacks: AtomicU64,
+    last_publish_micros: AtomicU64,
+    publish_micros_total: AtomicU64,
 }
 
 /// One replica's health as seen by a live [`ShardRouter::fleet_health`]
@@ -251,6 +295,9 @@ pub struct ShardRouter<T: ShardTransport = LocalTransport> {
     /// interleave shard swaps (which could strand shards on permanently
     /// different versions).
     publish_lock: Mutex<()>,
+    /// Publication-path counters ([`PipelineStats`]); all zero until the
+    /// first publish.
+    pipeline: PipelineCounters,
 }
 
 impl<T: ShardTransport> std::fmt::Debug for ShardRouter<T> {
@@ -470,6 +517,7 @@ impl<T: ShardTransport> ShardRouter<T> {
             shard_requests,
             last_epoch: AtomicU64::new(epoch),
             publish_lock: Mutex::new(()),
+            pipeline: PipelineCounters::default(),
         }
     }
 
@@ -540,6 +588,39 @@ impl<T: ShardTransport> ShardRouter<T> {
     /// shards on mixed epochs — answers stay version-pure via skew
     /// retries, and re-publishing resolves the fleet).
     pub fn publish(&self, snapshot: InferenceSnapshot) -> Result<u64, ServeError> {
+        self.publish_impl(&snapshot, None)
+    }
+
+    /// [`ShardRouter::publish`] with the incremental fast path: the caller
+    /// names the `B̂` rows that changed (global word ids, sorted) and the
+    /// epoch the fleet should currently serve (`base_epoch`). Each replica
+    /// is first offered a `SABRDELTA` of its range's changed rows
+    /// ([`ShardTransport::prepare_publish_delta`]); a replica that
+    /// declines, a range whose delta would not be smaller than its full
+    /// slice, or an observed fleet epoch different from `base_epoch` falls
+    /// back to the full-slice staging — both paths stage bit-identical
+    /// snapshots, so answers never depend on which was taken. The same
+    /// all-or-nothing two-phase commit applies. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardRouter::publish`].
+    pub fn publish_incremental(
+        &self,
+        snapshot: InferenceSnapshot,
+        changed_rows: &[u32],
+        base_epoch: u64,
+    ) -> Result<u64, ServeError> {
+        self.publish_impl(&snapshot, Some((changed_rows, base_epoch)))
+    }
+
+    /// The shared two-phase publication, with the optional delta fast
+    /// path and [`PipelineStats`] accounting.
+    fn publish_impl(
+        &self,
+        snapshot: &InferenceSnapshot,
+        delta: Option<(&[u32], u64)>,
+    ) -> Result<u64, ServeError> {
         if snapshot.vocab_size() != self.plan.vocab_size() || snapshot.n_topics() != self.n_topics {
             return Err(ServeError::InvalidConfig {
                 detail: format!(
@@ -551,14 +632,62 @@ impl<T: ShardTransport> ShardRouter<T> {
                 ),
             });
         }
+        let started = Instant::now();
         let _guard = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
-        let epoch = self.observe_fleet_epoch()? + 1;
+        let observed = self.observe_fleet_epoch()?;
+        let epoch = observed + 1;
+        let k = self.n_topics as u64;
+        let mut rows_shipped = 0u64;
+        let mut rows_total = 0u64;
+        let mut fallbacks = 0u64;
+        // An epoch counts as delta-published only when *every* staging
+        // operation went through the delta path.
+        let mut all_delta = delta.is_some();
+        let changed = match delta {
+            Some((rows, base)) if base == observed => Some(rows),
+            Some(_) => {
+                // The caller's idea of the served epoch is stale; a delta
+                // against the wrong base would be rejected by every shard,
+                // so publish full slices in one pass instead.
+                fallbacks += 1;
+                all_delta = false;
+                None
+            }
+            None => {
+                all_delta = false;
+                None
+            }
+        };
         // Stage every replica of every shard before committing any:
         // slicing and (for remote fleets) uploading happen outside the
         // swap window, so the commit loop is as tight as possible.
         for (set, range) in self.shards.iter().zip(self.plan.ranges()) {
+            let range_len = u64::from(range.end - range.start);
+            let payload = changed.and_then(|rows| {
+                let n = rows.iter().filter(|&&v| range.contains(&v)).count() as u64;
+                let delta_bytes = saber_core::model_io::delta_encoded_bytes(n, k)?;
+                let full_bytes = saber_core::model_io::snapshot_encoded_bytes(range_len, k)?;
+                // A delta touching most of the range costs more than the
+                // slice it replaces (row ids ride along); ship full then.
+                (delta_bytes < full_bytes)
+                    .then(|| snapshot.shard_delta(range.clone(), rows, observed, epoch))
+            });
             for transport in set.replicas() {
-                transport.prepare_publish(snapshot.shard(range.clone()), epoch)?;
+                let staged_via_delta = match &payload {
+                    Some(p) => transport.prepare_publish_delta(p)?,
+                    None => false,
+                };
+                rows_total += range_len;
+                if staged_via_delta {
+                    rows_shipped += payload.as_ref().map_or(0, |p| p.rows.len() as u64);
+                } else {
+                    transport.prepare_publish(snapshot.shard(range.clone()), epoch)?;
+                    rows_shipped += range_len;
+                    if changed.is_some() {
+                        fallbacks += 1;
+                        all_delta = false;
+                    }
+                }
             }
         }
         let mut committed = 0;
@@ -573,6 +702,28 @@ impl<T: ShardTransport> ShardRouter<T> {
             "shard publications diverged under the publish lock"
         );
         self.last_epoch.fetch_max(committed, Ordering::Relaxed);
+        self.pipeline
+            .epochs_published
+            .fetch_add(1, Ordering::Relaxed);
+        if all_delta {
+            self.pipeline.delta_epochs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pipeline
+            .rows_shipped
+            .fetch_add(rows_shipped, Ordering::Relaxed);
+        self.pipeline
+            .rows_total
+            .fetch_add(rows_total, Ordering::Relaxed);
+        self.pipeline
+            .fallbacks
+            .fetch_add(fallbacks, Ordering::Relaxed);
+        let micros = started.elapsed().as_micros() as u64;
+        self.pipeline
+            .last_publish_micros
+            .store(micros, Ordering::Relaxed);
+        self.pipeline
+            .publish_micros_total
+            .fetch_add(micros, Ordering::Relaxed);
         Ok(committed)
     }
 
@@ -849,7 +1000,27 @@ impl<T: ShardTransport> ShardRouter<T> {
             breaker_trips,
             breaker_readmits,
             replica_health,
+            pipeline: self.pipeline_stats(),
         }
+    }
+
+    /// A consistent-enough copy of the publication counters, or `None`
+    /// when this router has never published (so pre-pipeline stats
+    /// consumers see an unchanged block).
+    fn pipeline_stats(&self) -> Option<PipelineStats> {
+        let epochs_published = self.pipeline.epochs_published.load(Ordering::Relaxed);
+        if epochs_published == 0 {
+            return None;
+        }
+        Some(PipelineStats {
+            epochs_published,
+            delta_epochs: self.pipeline.delta_epochs.load(Ordering::Relaxed),
+            rows_shipped: self.pipeline.rows_shipped.load(Ordering::Relaxed),
+            rows_total: self.pipeline.rows_total.load(Ordering::Relaxed),
+            fallbacks: self.pipeline.fallbacks.load(Ordering::Relaxed),
+            last_publish_micros: self.pipeline.last_publish_micros.load(Ordering::Relaxed),
+            publish_micros_total: self.pipeline.publish_micros_total.load(Ordering::Relaxed),
+        })
     }
 
     /// Live-probes every replica's reachability (one
@@ -1708,6 +1879,78 @@ mod tests {
         ));
         assert_eq!(router.epoch(), 2);
         router.shutdown();
+    }
+
+    #[test]
+    fn incremental_publish_ships_only_changed_rows_and_falls_back_on_stale_base() {
+        let fleet = router(2, FoldInKind::Esca);
+        assert!(
+            fleet.router_stats().pipeline.is_none(),
+            "a fleet that never published has no pipeline block"
+        );
+
+        // Next epoch: perturb three rows and refresh only those against the
+        // cached topic totals, so untouched B̂ rows stay bit-identical —
+        // the contract the delta path depends on.
+        let mut model = planted_model(12, 3);
+        for v in [2usize, 7, 11] {
+            model.word_topic_mut()[(v, (v + 1) % 3)] += 6;
+        }
+        model.refresh_probability_rows(&[2, 7, 11]);
+        let next = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        assert_eq!(
+            fleet
+                .publish_incremental(next.clone(), &[2, 7, 11], 1)
+                .unwrap(),
+            2
+        );
+        let stats = fleet.router_stats().pipeline.unwrap();
+        assert_eq!(stats.epochs_published, 1);
+        assert_eq!(
+            stats.delta_epochs, 1,
+            "both ranges must take the delta path"
+        );
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(stats.rows_total, 12);
+        assert_eq!(
+            stats.rows_shipped, 3,
+            "only the changed rows cross the seam"
+        );
+
+        // The delta-refreshed fleet answers exactly as one bootstrapped
+        // from the full next-epoch model.
+        let reference =
+            ShardRouter::from_model(&model, ShardPlan::uniform(12, 2).unwrap(), *fleet.config())
+                .unwrap();
+        for seed in [0u64, 9, 41] {
+            let a = fleet.infer_topics(vec![1, 2, 7, 11, 4, 2], seed).unwrap();
+            let b = reference
+                .infer_topics(vec![1, 2, 7, 11, 4, 2], seed)
+                .unwrap();
+            assert_eq!(
+                a.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.theta.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "seed {seed}: delta-published fleet diverged from a full boot"
+            );
+        }
+        reference.shutdown();
+
+        // A stale base epoch falls back to full slices — the publication
+        // still lands, but ships every row and counts the fallback.
+        assert_eq!(fleet.publish_incremental(next, &[2, 7, 11], 1).unwrap(), 3);
+        let stats = fleet.router_stats().pipeline.unwrap();
+        assert_eq!(stats.epochs_published, 2);
+        assert_eq!(
+            stats.delta_epochs, 1,
+            "the stale-base epoch is not a delta epoch"
+        );
+        assert_eq!(stats.fallbacks, 1);
+        assert_eq!(stats.rows_total, 24);
+        assert_eq!(
+            stats.rows_shipped, 15,
+            "3 delta rows, then 12 full-slice rows"
+        );
+        fleet.shutdown();
     }
 
     #[test]

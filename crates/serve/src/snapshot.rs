@@ -300,6 +300,117 @@ impl InferenceSnapshot {
         }
     }
 
+    /// Builds the `SABRDELTA` payload that upgrades this snapshot's
+    /// `range` shard from `base_version` to `target_version`: the `B̂` rows
+    /// of every changed word falling inside `range`, re-based to shard-local
+    /// ids, copied bit-for-bit from the full snapshot. `changed_rows` must
+    /// be sorted ascending and deduplicated (as
+    /// `SaberLda::take_touched_rows` returns them) so the payload is
+    /// canonical for [`saber_core::model_io::save_delta`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty, reversed or out of vocabulary bounds.
+    pub fn shard_delta(
+        &self,
+        range: Range<u32>,
+        changed_rows: &[u32],
+        base_version: u64,
+        target_version: u64,
+    ) -> model_io::DeltaPayload {
+        assert!(
+            range.start < range.end && (range.end as usize) <= self.vocab_size(),
+            "shard range {range:?} invalid for V = {}",
+            self.vocab_size()
+        );
+        let rows = changed_rows
+            .iter()
+            .filter(|&&v| range.contains(&v))
+            .map(|&v| (v - range.start, self.bhat.row(v as usize).to_vec()))
+            .collect();
+        model_io::DeltaPayload {
+            base_version,
+            target_version,
+            vocab_size: (range.end - range.start) as usize,
+            n_topics: self.n_topics(),
+            alpha: self.alpha,
+            sampler_code: self.sampler_kind.code(),
+            rows,
+        }
+    }
+
+    /// Applies a `SABRDELTA` on top of this snapshot: the changed `B̂` rows
+    /// are overwritten bit-for-bit and *only their* per-word samplers are
+    /// rebuilt — `O(changed·K)`, which is what makes continuous publication
+    /// affordable. The result is unpublished (version 0) until a cell or
+    /// fleet assigns it the delta's target epoch.
+    ///
+    /// Version bookkeeping (does `base_version` match what is being
+    /// served?) belongs to the caller — the publish seams reject or fall
+    /// back on mismatch before applying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SaberError::InvalidConfig`] when the delta's dimensions,
+    /// sampler kind or α do not match this snapshot, or a row is out of
+    /// range or ragged.
+    pub fn apply_delta(
+        &self,
+        delta: &model_io::DeltaPayload,
+    ) -> Result<InferenceSnapshot, SaberError> {
+        if delta.vocab_size != self.vocab_size() || delta.n_topics != self.n_topics() {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "delta is {} x {} but the snapshot is {} x {}",
+                    delta.vocab_size,
+                    delta.n_topics,
+                    self.vocab_size(),
+                    self.n_topics()
+                ),
+            });
+        }
+        if delta.sampler_code != self.sampler_kind.code() {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "delta sampler code {} does not match the snapshot's {}",
+                    delta.sampler_code,
+                    self.sampler_kind.code()
+                ),
+            });
+        }
+        if delta.alpha.to_bits() != self.alpha.to_bits() {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "delta alpha {} does not match the snapshot's {}",
+                    delta.alpha, self.alpha
+                ),
+            });
+        }
+        let k = self.n_topics();
+        let mut bhat = self.bhat.clone();
+        let mut samplers = self.samplers.clone();
+        for (row, values) in &delta.rows {
+            let v = *row as usize;
+            if v >= self.vocab_size() || values.len() != k {
+                return Err(SaberError::InvalidConfig {
+                    detail: format!(
+                        "delta row {row} invalid for a {} x {k} snapshot",
+                        delta.vocab_size
+                    ),
+                });
+            }
+            bhat.row_mut(v).copy_from_slice(values);
+            samplers[v] = WordSampler::build(self.sampler_kind.preprocess(), bhat.row(v));
+        }
+        Ok(InferenceSnapshot {
+            bhat,
+            samplers,
+            alpha: self.alpha,
+            sampler_kind: self.sampler_kind,
+            version: 0,
+        })
+    }
+
     /// The `n` highest-probability words of topic `k`, as `(word id,
     /// probability)` pairs in decreasing order.
     ///
@@ -377,14 +488,43 @@ impl InferenceSnapshot {
         self.save(std::io::BufWriter::new(file))
     }
 
-    /// [`InferenceSnapshot::load`] from a file at `path`.
+    /// [`InferenceSnapshot::load`] from a file at `path`, pre-validating
+    /// the header-declared dimensions against the file length: a truncated
+    /// (or padded) shard file fails fast with a clear error *before* the
+    /// multi-gigabyte `B̂` body is read, instead of as a short read
+    /// mid-matrix.
     ///
     /// # Errors
     ///
-    /// See [`InferenceSnapshot::load`].
+    /// Returns [`SaberError::InvalidConfig`] when the file length does not
+    /// match what the header declares; otherwise see
+    /// [`InferenceSnapshot::load`].
     pub fn load_file<P: AsRef<Path>>(path: P) -> Result<InferenceSnapshot, SaberError> {
-        let file = std::fs::File::open(path)?;
-        InferenceSnapshot::load(std::io::BufReader::new(file))
+        use std::io::Seek;
+        let file = std::fs::File::open(path.as_ref())?;
+        let actual = file.metadata()?.len();
+        let mut reader = std::io::BufReader::new(file);
+        let header = model_io::read_snapshot_header(&mut reader)?;
+        let expected = header
+            .encoded_bytes()
+            .ok_or_else(|| SaberError::InvalidConfig {
+                detail: format!(
+                    "snapshot dimensions {} x {} overflow the encodable size",
+                    header.vocab_size, header.n_topics
+                ),
+            })?;
+        if actual != expected {
+            return Err(SaberError::InvalidConfig {
+                detail: format!(
+                    "snapshot file {} is {actual} bytes but its header (V = {}, K = {}) declares {expected}",
+                    path.as_ref().display(),
+                    header.vocab_size,
+                    header.n_topics
+                ),
+            });
+        }
+        reader.rewind()?;
+        InferenceSnapshot::load(reader)
     }
 }
 
@@ -537,6 +677,121 @@ pub(crate) mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_reconstructs_a_full_publication_bit_for_bit() {
+        let base = InferenceSnapshot::from_model(&planted_model(16, 4), SnapshotSampler::WaryTree);
+        // The "next epoch" model: perturb a few rows, then refresh only
+        // those rows against the cached topic totals — the trainer's lazy
+        // path, which keeps every untouched B̂ row bit-identical.
+        let mut model = planted_model(16, 4);
+        for v in [2usize, 7, 11] {
+            model.word_topic_mut()[(v, (v + 1) % 4)] += 9;
+        }
+        model.refresh_probability_rows(&[2, 7, 11]);
+        let next = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let changed: Vec<u32> = (0..16u32)
+            .filter(|&v| base.bhat.row(v as usize) != next.bhat.row(v as usize))
+            .collect();
+        assert!(!changed.is_empty() && changed.len() < 16);
+        let delta = next.shard_delta(0..16, &changed, 3, 4);
+        assert_eq!(delta.rows.len(), changed.len());
+        let patched = base.apply_delta(&delta).unwrap();
+        assert_eq!(patched.version(), 0);
+        for v in 0..16usize {
+            let a: Vec<u32> = patched.bhat.row(v).iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = next.bhat.row(v).iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "row {v} differs after applying the delta");
+        }
+        let words = [1u32, 2, 7, 11, 15, 2];
+        for seed in [0u64, 9] {
+            assert_eq!(
+                patched.infer_topics(&words, seed, FoldInParams::default()),
+                next.infer_topics(&words, seed, FoldInParams::default()),
+                "patched snapshot must answer as the full one"
+            );
+        }
+        // The delta survives its wire format and still applies exactly.
+        let mut wire = Vec::new();
+        saber_core::model_io::save_delta(&delta, &mut wire).unwrap();
+        let decoded = saber_core::model_io::load_delta(wire.as_slice()).unwrap();
+        let repatched = base.apply_delta(&decoded).unwrap();
+        assert_eq!(
+            repatched
+                .bhat
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            next.bhat
+                .as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shard_delta_rebases_rows_to_local_ids() {
+        let snap = InferenceSnapshot::from_model(&planted_model(20, 4), SnapshotSampler::WaryTree);
+        let delta = snap.shard_delta(5..13, &[1, 5, 6, 12, 13, 19], 1, 2);
+        assert_eq!(delta.vocab_size, 8);
+        let ids: Vec<u32> = delta.rows.iter().map(|(v, _)| *v).collect();
+        assert_eq!(ids, vec![0, 1, 7], "global 5, 6, 12 re-based into 5..13");
+        for (local, values) in &delta.rows {
+            let global = *local as usize + 5;
+            assert_eq!(values.as_slice(), snap.bhat.row(global));
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_mismatched_shapes() {
+        let snap = InferenceSnapshot::from_model(&planted_model(8, 2), SnapshotSampler::WaryTree);
+        let other = InferenceSnapshot::from_model(&planted_model(6, 2), SnapshotSampler::WaryTree);
+        let delta = other.shard_delta(0..6, &[0, 3], 1, 2);
+        assert!(matches!(
+            snap.apply_delta(&delta),
+            Err(SaberError::InvalidConfig { .. })
+        ));
+        let alias =
+            InferenceSnapshot::from_model(&planted_model(8, 2), SnapshotSampler::AliasTable);
+        let delta = alias.shard_delta(0..8, &[1], 1, 2);
+        assert!(matches!(
+            snap.apply_delta(&delta),
+            Err(SaberError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn load_file_rejects_truncated_and_padded_files_before_reading_the_body() {
+        let dir = std::env::temp_dir().join("saberlda_snapshot_trunc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = InferenceSnapshot::from_model(&planted_model(10, 3), SnapshotSampler::WaryTree);
+        let mut bytes = Vec::new();
+        snap.save(&mut bytes).unwrap();
+
+        let truncated = dir.join("truncated.bin");
+        std::fs::write(&truncated, &bytes[..bytes.len() - 7]).unwrap();
+        let err = InferenceSnapshot::load_file(&truncated).unwrap_err();
+        assert!(
+            matches!(err, SaberError::InvalidConfig { ref detail } if detail.contains("bytes")),
+            "want a length-mismatch error, got {err:?}"
+        );
+
+        let padded = dir.join("padded.bin");
+        let mut long = bytes.clone();
+        long.extend_from_slice(&[0u8; 3]);
+        std::fs::write(&padded, &long).unwrap();
+        assert!(InferenceSnapshot::load_file(&padded).is_err());
+
+        let intact = dir.join("intact.bin");
+        std::fs::write(&intact, &bytes).unwrap();
+        assert_eq!(
+            InferenceSnapshot::load_file(&intact).unwrap().vocab_size(),
+            10
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

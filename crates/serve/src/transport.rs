@@ -38,6 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use saber_core::model_io::{save_delta, DeltaPayload};
 use saber_trace::TraceContext;
 
 use crate::server::{
@@ -187,6 +188,30 @@ pub trait ShardTransport: Send + Sync + std::fmt::Debug {
     /// not ahead of the current one).
     fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError>;
 
+    /// Stages an incremental publication: a `SABRDELTA` of the rows that
+    /// changed between `delta.base_version` (what the shard should be
+    /// serving) and `delta.target_version` (the epoch being staged).
+    /// Returns `Ok(true)` when the shard applied and staged the patched
+    /// snapshot, and `Ok(false)` when it *declined* — its served version
+    /// does not match the delta's base, or the transport/shard predates
+    /// delta support — in which case the caller falls back to a full
+    /// [`ShardTransport::prepare_publish`] of the same epoch. Both paths
+    /// stage bit-identical snapshots, so the fallback is invisible to
+    /// correctness.
+    ///
+    /// The default declines, so third-party transports stay correct
+    /// without opting in.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or shard-side rejection of a *malformed* delta
+    /// (shape mismatch, bad encoding) — distinct from the clean
+    /// `Ok(false)` decline.
+    fn prepare_publish_delta(&self, delta: &DeltaPayload) -> Result<bool, ServeError> {
+        let _ = delta;
+        Ok(false)
+    }
+
     /// Commits the staged snapshot: the shard swaps to `epoch` and serves
     /// it from its next batch. Idempotent when the shard already serves
     /// `epoch` (a retried commit must not fail the publication).
@@ -281,8 +306,8 @@ impl Default for ReplicaConfig {
 }
 
 /// One replica's circuit breaker: consecutive transport failures trip it
-/// [`STATE_CLOSED`] → [`STATE_OPEN`]; after the cooldown a single request
-/// half-opens it ([`STATE_HALF_OPEN`]) as the probe whose outcome closes
+/// `STATE_CLOSED` → `STATE_OPEN`; after the cooldown a single request
+/// half-opens it (`STATE_HALF_OPEN`) as the probe whose outcome closes
 /// or re-trips it. Success from *any* path (traffic, a health probe via
 /// the `/healthz` seam) re-admits immediately.
 ///
@@ -550,6 +575,21 @@ impl ShardTransport for LocalTransport {
     fn prepare_publish(&self, slice: InferenceSnapshot, epoch: u64) -> Result<(), ServeError> {
         self.staged.stage(epoch, slice);
         Ok(())
+    }
+
+    fn prepare_publish_delta(&self, delta: &DeltaPayload) -> Result<bool, ServeError> {
+        if self.server.snapshot_version() != delta.base_version {
+            return Ok(false);
+        }
+        let patched =
+            self.server
+                .snapshot()
+                .apply_delta(delta)
+                .map_err(|e| ServeError::InvalidConfig {
+                    detail: format!("delta does not apply to the served snapshot: {e}"),
+                })?;
+        self.staged.stage(delta.target_version, patched);
+        Ok(true)
     }
 
     fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
@@ -898,14 +938,40 @@ impl ShardTransport for HttpTransport {
         decode_body(status, &body, |_| Ok(()))
     }
 
+    fn prepare_publish_delta(&self, delta: &DeltaPayload) -> Result<bool, ServeError> {
+        let mut body = Vec::new();
+        save_delta(delta, &mut body).map_err(|e| {
+            ServeError::transport(format!("failed to serialise snapshot delta: {e}"))
+        })?;
+        let request = Self::request_bytes(
+            "POST",
+            "/publish-delta",
+            "application/octet-stream",
+            &body,
+            Some(delta.target_version),
+            None,
+        );
+        let (status, body) = self.call(request, self.config.publish_wait)?;
+        if status == 409 {
+            // The shard declined — its served version is not the delta's
+            // base (or the target is behind). Not an error: the caller
+            // falls back to a full publication of the same epoch.
+            return Ok(false);
+        }
+        decode_body(status, &body, |_| Ok(()))?;
+        Ok(true)
+    }
+
     fn commit_publish(&self, epoch: u64) -> Result<u64, ServeError> {
         let body = format!("{{\"epoch\":{epoch}}}");
+        // The epoch also rides the X-Saber-Epoch header so the shard can
+        // verify the commit names the epoch it actually has staged.
         let request = Self::request_bytes(
             "POST",
             "/commit-epoch",
             "application/json",
             body.as_bytes(),
-            None,
+            Some(epoch),
             None,
         );
         let (status, body) = self.call(request, self.config.control_wait)?;
@@ -1155,6 +1221,51 @@ mod tests {
             "the staged epoch-3 snapshot must survive the stale commit"
         );
         assert_eq!(transport.observe_epoch().unwrap(), 3);
+    }
+
+    #[test]
+    fn local_delta_staging_applies_over_a_matching_base_and_declines_otherwise() {
+        let transport = transport();
+        let mut model = planted_model(12, 3);
+        model.word_topic_mut()[(4, 1)] += 6;
+        model.refresh_probabilities();
+        let next = InferenceSnapshot::from_model(&model, SnapshotSampler::WaryTree);
+        let changed: Vec<u32> = (0..12).collect();
+        // Base 1 matches the freshly-started server's version.
+        let delta = next.shard_delta(0..12, &changed, 1, 2);
+        assert!(transport.prepare_publish_delta(&delta).unwrap());
+        assert_eq!(
+            transport.observe_epoch().unwrap(),
+            1,
+            "staging must not swap"
+        );
+        assert_eq!(transport.commit_publish(2).unwrap(), 2);
+        assert_eq!(transport.observe_epoch().unwrap(), 2);
+        // The patched snapshot serves the new model's bits.
+        let info = transport.shard_info().unwrap();
+        assert_eq!(info.epoch, 2);
+        // A delta whose base is no longer served is declined, not applied.
+        let stale = next.shard_delta(0..12, &changed, 1, 3);
+        assert!(!transport.prepare_publish_delta(&stale).unwrap());
+        // A delta with the wrong shape is a hard error.
+        let misshapen =
+            InferenceSnapshot::from_model(&planted_model(6, 3), SnapshotSampler::WaryTree)
+                .shard_delta(0..6, &[0, 2], 2, 3);
+        assert!(transport.prepare_publish_delta(&misshapen).is_err());
+    }
+
+    #[test]
+    fn commit_request_carries_the_epoch_header() {
+        let request = HttpTransport::request_bytes(
+            "POST",
+            "/commit-epoch",
+            "application/json",
+            b"{\"epoch\":7}",
+            Some(7),
+            None,
+        );
+        let text = String::from_utf8(request).unwrap();
+        assert!(text.contains("X-Saber-Epoch: 7\r\n"), "request was: {text}");
     }
 
     #[test]

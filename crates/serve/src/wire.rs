@@ -336,7 +336,7 @@ fn encode_endpoint_stats(endpoint: &EndpointStats) -> JsonValue {
 /// trips/re-admissions) and per-replica admission. Absent from direct
 /// (unsharded) servers.
 fn encode_router_stats(router: &RouterStats) -> JsonValue {
-    JsonValue::object([
+    let mut members = vec![
         ("requests", JsonValue::from(router.requests)),
         ("skew_retries", JsonValue::from(router.skew_retries)),
         ("epoch", JsonValue::from(router.epoch)),
@@ -370,7 +370,33 @@ fn encode_router_stats(router: &RouterStats) -> JsonValue {
                     .collect(),
             ),
         ),
-    ])
+    ];
+    // Present only after a first publication, so the stats bytes of a
+    // fleet that never publishes stay pinned to the pre-pipeline golden.
+    if let Some(pipeline) = &router.pipeline {
+        members.push((
+            "pipeline",
+            JsonValue::object([
+                (
+                    "epochs_published",
+                    JsonValue::from(pipeline.epochs_published),
+                ),
+                ("delta_epochs", JsonValue::from(pipeline.delta_epochs)),
+                ("rows_shipped", JsonValue::from(pipeline.rows_shipped)),
+                ("rows_total", JsonValue::from(pipeline.rows_total)),
+                ("fallbacks", JsonValue::from(pipeline.fallbacks)),
+                (
+                    "last_publish_micros",
+                    JsonValue::from(pipeline.last_publish_micros),
+                ),
+                (
+                    "publish_micros_total",
+                    JsonValue::from(pipeline.publish_micros_total),
+                ),
+            ]),
+        ));
+    }
+    JsonValue::object(members)
 }
 
 /// Encodes an error body: `{"error": detail, "status": status}`.
@@ -507,6 +533,31 @@ pub fn encode_prometheus(
                     u64::from(admitted)
                 );
             }
+        }
+        // Publication-path metrics appear only once an epoch has been
+        // published, so a never-publishing fleet's exposition matches the
+        // pre-pipeline golden byte for byte.
+        if let Some(pipeline) = &router.pipeline {
+            let mut counter = |name: &str, value: u64| {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            };
+            counter(
+                "saber_pipeline_epochs_published_total",
+                pipeline.epochs_published,
+            );
+            counter("saber_pipeline_delta_epochs_total", pipeline.delta_epochs);
+            counter("saber_pipeline_rows_shipped_total", pipeline.rows_shipped);
+            counter("saber_pipeline_rows_total", pipeline.rows_total);
+            counter("saber_pipeline_fallbacks_total", pipeline.fallbacks);
+            counter(
+                "saber_pipeline_publish_micros_total",
+                pipeline.publish_micros_total,
+            );
+            let _ = writeln!(
+                out,
+                "# TYPE saber_pipeline_last_publish_micros gauge\nsaber_pipeline_last_publish_micros {}",
+                pipeline.last_publish_micros
+            );
         }
     }
     // Exactly one TYPE line per metric name: the five endpoint series

@@ -10,7 +10,11 @@
 //!   it would have produced without the header (never a 4xx/500);
 //! * every `SABRTRACE` encode/decode round-trip is byte-exact;
 //! * truncated or corrupted trace bytes produce an error, never a panic
-//!   and never a silently shortened trace.
+//!   and never a silently shortened trace;
+//! * every `SABRDELTA` encode/decode round-trip is byte-exact, and the
+//!   strict decoder rejects truncation, trailing bytes, out-of-range or
+//!   non-increasing row ids and non-advancing epochs (ISSUE 10) — the
+//!   live `/publish-delta` seam must never panic on hostile input.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -131,6 +135,169 @@ proptest! {
         let mut framed = saber_loadgen::trace::MAGIC.to_vec();
         framed.extend_from_slice(&bytes);
         let _ = RequestTrace::decode(&framed);
+    }
+}
+
+// ------------------------------------------------------------- SABRDELTA
+
+use saberlda::core::model_io::{load_delta, save_delta, DeltaPayload};
+
+/// A canonical delta over a `vocab × k` snapshot: `row_flags` picks the
+/// changed rows (strictly increasing by construction), `fill` seeds the
+/// probability bits — arbitrary `f32` bit patterns, NaNs included, since
+/// the wire format carries raw bits.
+fn sample_delta(vocab: u32, k: usize, row_flags: &[bool], fill: u64) -> DeltaPayload {
+    let rows: Vec<(u32, Vec<f32>)> = row_flags
+        .iter()
+        .enumerate()
+        .take(vocab as usize)
+        .filter(|(_, &on)| on)
+        .map(|(v, _)| {
+            let probs = (0..k)
+                .map(|j| {
+                    f32::from_bits(
+                        (fill.wrapping_mul(v as u64 + 1).wrapping_add(j as u64) & 0xFFFF_FFFF)
+                            as u32,
+                    )
+                })
+                .collect();
+            (v as u32, probs)
+        })
+        .collect();
+    DeltaPayload {
+        base_version: fill % 1000,
+        target_version: fill % 1000 + 1 + fill % 7,
+        vocab_size: vocab as usize,
+        n_topics: k,
+        alpha: 0.05,
+        sampler_code: 0,
+        rows,
+    }
+}
+
+/// Byte offset of the `base_version` field in the 57-byte header.
+const DELTA_BASE_OFFSET: usize = 12;
+/// Byte offset of the `target_version` field.
+const DELTA_TARGET_OFFSET: usize = 20;
+/// Byte offset of the first row id (header end).
+const DELTA_FIRST_ROW_OFFSET: usize = 57;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode/decode round-trips are byte-exact for arbitrary deltas —
+    /// including empty ones and NaN probability bits.
+    #[test]
+    fn sabrdelta_roundtrips_byte_exact(
+        vocab in 1u32..300,
+        k in 1usize..12,
+        row_flags in vec(any::<bool>(), 0..40usize),
+        fill in any::<u64>(),
+    ) {
+        let delta = sample_delta(vocab, k, &row_flags, fill);
+        let mut bytes = Vec::new();
+        save_delta(&delta, &mut bytes).expect("canonical delta encodes");
+        prop_assert_eq!(Some(bytes.len() as u64), delta.encoded_bytes());
+        let back = load_delta(bytes.as_slice()).expect("own encoding decodes");
+        prop_assert_eq!(back.base_version, delta.base_version);
+        prop_assert_eq!(back.target_version, delta.target_version);
+        prop_assert_eq!(back.vocab_size, delta.vocab_size);
+        prop_assert_eq!(back.n_topics, delta.n_topics);
+        prop_assert_eq!(back.sampler_code, delta.sampler_code);
+        prop_assert_eq!(back.rows.len(), delta.rows.len());
+        // Bit-exactness without f32 comparison traps: re-encoding the
+        // decoded payload reproduces the original bytes.
+        let mut again = Vec::new();
+        save_delta(&back, &mut again).expect("decoded delta re-encodes");
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// Every strict prefix of a valid delta errors — never panics, never
+    /// yields a silently shortened patch.
+    #[test]
+    fn sabrdelta_truncations_always_error(
+        vocab in 1u32..100,
+        k in 1usize..8,
+        row_flags in vec(any::<bool>(), 1..20usize),
+        cut_seed in any::<u64>(),
+    ) {
+        let delta = sample_delta(vocab, k, &row_flags, 99);
+        let mut bytes = Vec::new();
+        save_delta(&delta, &mut bytes).expect("canonical delta encodes");
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(load_delta(&bytes[..cut]).is_err());
+    }
+
+    /// The decoder consumes exactly the encoded bytes: anything after the
+    /// last row is rejected, so a framing bug upstream cannot half-parse.
+    #[test]
+    fn sabrdelta_trailing_bytes_are_rejected(
+        vocab in 1u32..100,
+        k in 1usize..8,
+        row_flags in vec(any::<bool>(), 0..20usize),
+        trailing in vec(any::<u8>(), 1..9usize),
+    ) {
+        let delta = sample_delta(vocab, k, &row_flags, 7);
+        let mut bytes = Vec::new();
+        save_delta(&delta, &mut bytes).expect("canonical delta encodes");
+        bytes.extend_from_slice(&trailing);
+        prop_assert!(load_delta(bytes.as_slice()).is_err());
+    }
+
+    /// Patching a row id out of range, or epochs so the target does not
+    /// advance past the base, turns a valid delta into a rejected one.
+    #[test]
+    fn sabrdelta_bad_row_ids_and_epochs_are_rejected(
+        vocab in 1u32..100,
+        k in 1usize..8,
+        fill in any::<u64>(),
+    ) {
+        let flags = vec![true]; // exactly row 0 changes
+        let delta = sample_delta(vocab, k, &flags, fill);
+        let mut bytes = Vec::new();
+        save_delta(&delta, &mut bytes).expect("canonical delta encodes");
+
+        // Row id ≥ V.
+        let mut bad_row = bytes.clone();
+        bad_row[DELTA_FIRST_ROW_OFFSET..DELTA_FIRST_ROW_OFFSET + 4]
+            .copy_from_slice(&vocab.to_le_bytes());
+        prop_assert!(load_delta(bad_row.as_slice()).is_err());
+
+        // Target epoch equal to the base (not advancing).
+        let mut bad_epoch = bytes.clone();
+        let base = delta.base_version.to_le_bytes();
+        bad_epoch[DELTA_TARGET_OFFSET..DELTA_TARGET_OFFSET + 8].copy_from_slice(&base);
+        prop_assert!(load_delta(bad_epoch.as_slice()).is_err());
+
+        // Target epoch behind the base.
+        let mut behind = bytes;
+        behind[DELTA_BASE_OFFSET..DELTA_BASE_OFFSET + 8]
+            .copy_from_slice(&(delta.target_version + 1).to_le_bytes());
+        prop_assert!(load_delta(behind.as_slice()).is_err());
+    }
+
+    /// Non-increasing row ids are rejected — duplicate a neighbour's id.
+    #[test]
+    fn sabrdelta_non_increasing_rows_are_rejected(
+        vocab in 2u32..100,
+        k in 1usize..8,
+    ) {
+        let flags = vec![true, true]; // rows 0 and 1 change
+        let delta = sample_delta(vocab, k, &flags, 3);
+        let mut bytes = Vec::new();
+        save_delta(&delta, &mut bytes).expect("canonical delta encodes");
+        let second_row = DELTA_FIRST_ROW_OFFSET + 4 + 4 * k;
+        bytes[second_row..second_row + 4].copy_from_slice(&0u32.to_le_bytes());
+        prop_assert!(load_delta(bytes.as_slice()).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder, framed or not.
+    #[test]
+    fn sabrdelta_decoder_survives_byte_soup(bytes in vec(any::<u8>(), 0..200usize)) {
+        let _ = load_delta(bytes.as_slice());
+        let mut framed = b"SABRDELT".to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = load_delta(framed.as_slice());
     }
 }
 

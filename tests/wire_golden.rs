@@ -19,8 +19,8 @@ use saberlda::serve::stats::LatencyHistogram;
 use saberlda::serve::wire;
 use saberlda::serve::{
     EndpointStats, FoldInParams, HttpConfig, HttpServer, HttpStats, InferResponse, PartialRequest,
-    PartialResponse, RouterStats, ServeConfig, ServeStats, ShardInfo, ShardPlan, ShardRouter,
-    TopicServer,
+    PartialResponse, PipelineStats, RouterStats, ServeConfig, ServeStats, ShardInfo, ShardPlan,
+    ShardRouter, TopicServer,
 };
 use saberlda::trace::{SpanEvent, SpanRecord, Trace, TraceId};
 use saberlda::{LdaModel, Vocabulary};
@@ -341,6 +341,7 @@ fn prometheus_bytes_are_stable() {
         breaker_trips: 1,
         breaker_readmits: 1,
         replica_health: vec![vec![true, false], vec![true]],
+        pipeline: None,
     };
     let text = wire::encode_prometheus(&serve, 2, 2, &http, Some(&router));
     // Spot-pin the counters and the serve histogram; the endpoint
@@ -497,6 +498,7 @@ fn stats_body_with_router_member_is_stable() {
         breaker_trips: 1,
         breaker_readmits: 1,
         replica_health: vec![vec![true], vec![false], vec![true]],
+        pipeline: None,
     };
     let body = wire::encode_stats_body(&serve, 2, 3, &http, Some(&router)).to_string();
     assert!(
@@ -510,6 +512,81 @@ fn stats_body_with_router_member_is_stable() {
     assert!(!wire::encode_stats_body(&serve, 2, 1, &http, None)
         .to_string()
         .contains("router"));
+}
+
+#[test]
+fn pipeline_stats_bytes_are_stable() {
+    // PR 10: once a router has published at least one epoch, its stats
+    // carry a `pipeline` block; fleets that never published keep the old
+    // bytes exactly (pinned by the two tests above).
+    let serve = ServeStats::default();
+    let http = HttpStats {
+        requests: 1,
+        errors: 0,
+        active_connections: 1,
+        infer: EndpointStats::default(),
+        top_words: EndpointStats::default(),
+        similar: EndpointStats::default(),
+        stats: EndpointStats::default(),
+        healthz: EndpointStats::default(),
+    };
+    let router = RouterStats {
+        requests: 0,
+        skew_retries: 0,
+        epoch: 4,
+        n_shards: 2,
+        shard_requests: vec![0, 0],
+        transport_retries: 0,
+        hedges: 0,
+        breaker_trips: 0,
+        breaker_readmits: 0,
+        replica_health: vec![vec![true], vec![true]],
+        pipeline: Some(PipelineStats {
+            epochs_published: 3,
+            delta_epochs: 2,
+            rows_shipped: 40,
+            rows_total: 96,
+            fallbacks: 1,
+            last_publish_micros: 1500,
+            publish_micros_total: 5200,
+        }),
+    };
+    let body = wire::encode_stats_body(&serve, 4, 2, &http, Some(&router)).to_string();
+    assert!(
+        body.contains(concat!(
+            r#""pipeline":{"epochs_published":3,"delta_epochs":2,"#,
+            r#""rows_shipped":40,"rows_total":96,"fallbacks":1,"#,
+            r#""last_publish_micros":1500,"publish_micros_total":5200}"#
+        )),
+        "stats body missing the pipeline block: {body}"
+    );
+    let text = wire::encode_prometheus(&serve, 4, 2, &http, Some(&router));
+    let expected_block = "\
+# TYPE saber_pipeline_epochs_published_total counter\n\
+saber_pipeline_epochs_published_total 3\n\
+# TYPE saber_pipeline_delta_epochs_total counter\n\
+saber_pipeline_delta_epochs_total 2\n\
+# TYPE saber_pipeline_rows_shipped_total counter\n\
+saber_pipeline_rows_shipped_total 40\n\
+# TYPE saber_pipeline_rows_total counter\n\
+saber_pipeline_rows_total 96\n\
+# TYPE saber_pipeline_fallbacks_total counter\n\
+saber_pipeline_fallbacks_total 1\n\
+# TYPE saber_pipeline_publish_micros_total counter\n\
+saber_pipeline_publish_micros_total 5200\n\
+# TYPE saber_pipeline_last_publish_micros gauge\n\
+saber_pipeline_last_publish_micros 1500\n";
+    assert!(
+        text.contains(expected_block),
+        "prometheus exposition missing the pipeline block:\n{text}"
+    );
+    // The block slots in directly after the replica-admitted gauges, before
+    // the serve histograms.
+    let after_replicas = text
+        .split("saber_router_replica_admitted{shard=\"1\",replica=\"0\"} 1\n")
+        .nth(1)
+        .expect("replica gauges present");
+    assert!(after_replicas.starts_with("# TYPE saber_pipeline_epochs_published_total"));
 }
 
 /// The deterministic planted model behind the full-stack fixtures.
