@@ -421,6 +421,16 @@ impl SaberLda {
         std::mem::take(&mut self.touched).into_iter().collect()
     }
 
+    /// Re-marks `rows` as touched — the inverse of
+    /// [`Self::take_touched_rows`] for a caller whose publication failed
+    /// *after* draining the set. Merging the drained list back in (rows
+    /// touched since the drain stay touched) keeps the invariant that the
+    /// next export covers every row changed since the last *successful*
+    /// publication, so a retried delta is never missing rows.
+    pub fn restore_touched_rows(&mut self, rows: &[u32]) {
+        self.touched.extend(rows.iter().copied());
+    }
+
     /// `B̂` rows recomputed individually by the incremental path (ingest and
     /// incremental iterations) since construction.
     pub fn rows_rebuilt(&self) -> u64 {
@@ -745,6 +755,25 @@ mod tests {
         // pass is a no-op.
         lda.iterate();
         assert_eq!(lda.iterate_incremental(), 0);
+    }
+
+    #[test]
+    fn restore_touched_rows_merges_back_into_later_touches() {
+        let corpus = SyntheticSpec::small_test().generate(15);
+        let mut lda = SaberLda::new(small_config(6, 1), &corpus).unwrap();
+        lda.take_touched_rows();
+
+        // A drain whose publication failed: the drained rows go back in…
+        lda.ingest(vec![vec![0u32, 1, 2]]).unwrap();
+        let drained = lda.take_touched_rows();
+        assert_eq!(drained, vec![0, 1, 2]);
+        lda.restore_touched_rows(&drained);
+
+        // …and the next drain is the union with everything touched since,
+        // still sorted and deduplicated (row 2 overlaps both batches).
+        lda.ingest(vec![vec![2u32, 7]]).unwrap();
+        assert_eq!(lda.take_touched_rows(), vec![0, 1, 2, 7]);
+        assert!(lda.take_touched_rows().is_empty());
     }
 
     #[test]

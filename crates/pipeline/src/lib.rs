@@ -465,8 +465,11 @@ impl<T: ShardTransport> TrainingPipeline<T> {
     /// # Errors
     ///
     /// Returns [`PipelineError::Serve`] when the fleet refuses the
-    /// publication; the touched-row drain is *not* rolled back, so the
-    /// next attempt ships full slices (safe, never wrong).
+    /// publication. The touched-row drain is rolled back on failure
+    /// ([`SaberLda::restore_touched_rows`]), so the next attempt's delta
+    /// again covers every row changed since the last *successful*
+    /// publication; a shard that committed the failed epoch anyway
+    /// declines that delta's base and is re-staged with a full slice.
     pub fn push_epoch(&mut self) -> Result<EpochReport, PipelineError> {
         let full_refresh = self.config.full_refresh_every > 0
             && (self.epochs_pushed + 1).is_multiple_of(self.config.full_refresh_every as u64);
@@ -476,9 +479,21 @@ impl<T: ShardTransport> TrainingPipeline<T> {
         let changed = self.trainer.take_touched_rows();
         let snapshot =
             InferenceSnapshot::from_model(self.trainer.model(), self.router.config().sampler);
-        let epoch = self
+        let epoch = match self
             .router
-            .publish_incremental(snapshot, &changed, self.served_epoch)?;
+            .publish_incremental(snapshot, &changed, self.served_epoch)
+        {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                // Nothing was committed under our base epoch; without this
+                // restore the drained rows would vanish, and a retry with
+                // no training in between would publish an *empty* delta the
+                // fleet accepts (the base still matches) — silently serving
+                // bits that diverge from the trainer.
+                self.trainer.restore_touched_rows(&changed);
+                return Err(e.into());
+            }
+        };
         self.served_epoch = epoch;
         self.epochs_pushed += 1;
         self.ticks_since_epoch_push = 0;

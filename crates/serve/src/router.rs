@@ -592,7 +592,8 @@ impl<T: ShardTransport> ShardRouter<T> {
     }
 
     /// [`ShardRouter::publish`] with the incremental fast path: the caller
-    /// names the `B̂` rows that changed (global word ids, sorted) and the
+    /// names the `B̂` rows that changed (global word ids; sorted and
+    /// deduplicated here, so callers need not pre-canonicalise) and the
     /// epoch the fleet should currently serve (`base_epoch`). Each replica
     /// is first offered a `SABRDELTA` of its range's changed rows
     /// ([`ShardTransport::prepare_publish_delta`]); a replica that
@@ -611,7 +612,23 @@ impl<T: ShardTransport> ShardRouter<T> {
         changed_rows: &[u32],
         base_epoch: u64,
     ) -> Result<u64, ServeError> {
-        self.publish_impl(&snapshot, Some((changed_rows, base_epoch)))
+        // The SABRDELTA codec requires strictly increasing row ids;
+        // enforce the canonical encoding once at this seam so every
+        // transport sees the same bytes regardless of caller discipline
+        // (an unsorted list would hard-fail remote staging while local
+        // staging shrugged it off).
+        if changed_rows
+            .iter()
+            .zip(changed_rows.iter().skip(1))
+            .all(|(a, b)| a < b)
+        {
+            self.publish_impl(&snapshot, Some((changed_rows, base_epoch)))
+        } else {
+            let mut rows = changed_rows.to_vec();
+            rows.sort_unstable();
+            rows.dedup();
+            self.publish_impl(&snapshot, Some((&rows, base_epoch)))
+        }
     }
 
     /// The shared two-phase publication, with the optional delta fast
